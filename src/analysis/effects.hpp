@@ -1,0 +1,23 @@
+// Effect classification shared by the extractor (per-call treatment)
+// and the interprocedural summary computation.
+#pragma once
+
+#include <string>
+
+namespace curare::analysis {
+
+/// What an operation does to structure reachable from its arguments.
+enum class BuiltinEffect {
+  Pure,        ///< reads only what its argument accessors already read
+  DeepRead,    ///< traverses everything below its arguments
+  WriteCar,    ///< writes the car field of argument 0 (rplaca)
+  WriteCdr,    ///< writes the cdr field of argument 0 (rplacd)
+  DeepWrite,   ///< may write anywhere below its arguments
+  Opaque,      ///< defeats analysis entirely (set, eval)
+  HigherOrder  ///< applies a function argument / unknown user function
+};
+
+/// The effect of a named builtin; HigherOrder for unknown names.
+BuiltinEffect builtin_effect(const std::string& name);
+
+}  // namespace curare::analysis

@@ -1,0 +1,31 @@
+// Extraction of the analysis IR from a defun form.
+#pragma once
+
+#include "analysis/function_info.hpp"
+#include "analysis/summary.hpp"
+#include "decl/declarations.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::analysis {
+
+/// Walk a (defun name (params...) body...) form and build its
+/// FunctionInfo. Throws LispError if the form is not a defun.
+/// `summaries` (optional) supplies interprocedural effect summaries for
+/// other user functions; without it every unknown call is worst-cased.
+FunctionInfo extract_function(sexpr::Ctx& ctx,
+                              const decl::Declarations& decls,
+                              Value defun_form,
+                              const SummaryMap* summaries = nullptr);
+
+/// Resolve an expression to a pure accessor chain over a tracked root:
+/// (cadr l) → (l, [cdr, car]). Used by the extractor and by transforms
+/// that need to name the location a setf writes. Only car/cdr
+/// compositions, nth/nthcdr with literal indexes, and declared structure
+/// accessors resolve. Returns nullopt otherwise.
+struct ResolvedPath {
+  Symbol* root;
+  FieldPath path;
+};
+std::optional<ResolvedPath> resolve_accessor(sexpr::Ctx& ctx, Value expr);
+
+}  // namespace curare::analysis

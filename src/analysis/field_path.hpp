@@ -1,0 +1,104 @@
+// Accessor paths (paper §2.1).
+//
+// "The accessor A(P) of a path P is the ordered sequence of fields along
+// the elements of the path." A FieldPath is that sequence, stored in
+// application order: (cadr l) = car(cdr(l)) traverses cdr first, so its
+// path is [cdr, car], printed "cdr.car" exactly as the paper writes it.
+//
+// Canonicalization (paper's C function) removes adjacent declared
+// inverse-field pairs — succ.pred and pred.succ collapse — until no pair
+// remains, reducing the infinite path family of a doubly-linked structure
+// to unique representatives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decl/declarations.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::analysis {
+
+using Field = sexpr::Symbol*;
+
+class FieldPath {
+ public:
+  FieldPath() = default;
+  explicit FieldPath(std::vector<Field> fields)
+      : fields_(std::move(fields)) {}
+
+  static FieldPath empty() { return FieldPath(); }
+
+  bool is_empty() const { return fields_.empty(); }
+  std::size_t size() const { return fields_.size(); }
+  Field operator[](std::size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Extend by one more dereference (applied after this path).
+  FieldPath then(Field f) const {
+    std::vector<Field> v = fields_;
+    v.push_back(f);
+    return FieldPath(std::move(v));
+  }
+
+  /// Concatenation: this path followed by `tail`.
+  FieldPath then(const FieldPath& tail) const {
+    std::vector<Field> v = fields_;
+    v.insert(v.end(), tail.fields_.begin(), tail.fields_.end());
+    return FieldPath(std::move(v));
+  }
+
+  /// The paper's prefix operator ≤: true when this path is a prefix of
+  /// (or equal to) `other` — i.e. this path's destination lies on
+  /// `other`'s traversal.
+  bool prefix_of(const FieldPath& other) const {
+    if (size() > other.size()) return false;
+    for (std::size_t i = 0; i < size(); ++i)
+      if (fields_[i] != other.fields_[i]) return false;
+    return true;
+  }
+
+  /// n-fold self-concatenation (used for τ^d with word-shaped τ).
+  FieldPath repeated(std::size_t n) const {
+    std::vector<Field> v;
+    v.reserve(n * size());
+    for (std::size_t i = 0; i < n; ++i)
+      v.insert(v.end(), fields_.begin(), fields_.end());
+    return FieldPath(std::move(v));
+  }
+
+  /// Canonicalize under the declared inverse pairs: repeatedly delete
+  /// adjacent (f, inverse(f)) pairs. A single left-to-right pass with a
+  /// stack reaches the fixpoint.
+  FieldPath canonicalize(const decl::Declarations& decls) const {
+    std::vector<Field> out;
+    for (Field f : fields_) {
+      if (!out.empty() && decls.inverse_of(out.back()) == f) {
+        out.pop_back();
+      } else {
+        out.push_back(f);
+      }
+    }
+    return FieldPath(std::move(out));
+  }
+
+  /// "cdr.car" notation; empty path prints as "ε".
+  std::string to_string() const {
+    if (fields_.empty()) return "ε";
+    std::string s;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += '.';
+      s += fields_[i]->name;
+    }
+    return s;
+  }
+
+  friend bool operator==(const FieldPath& a, const FieldPath& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace curare::analysis

@@ -1,0 +1,206 @@
+#include "analysis/headtail.hpp"
+
+#include "sexpr/list_ops.hpp"
+
+namespace curare::analysis {
+
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::car;
+using sexpr::cddr;
+using sexpr::cdr;
+using sexpr::Kind;
+
+std::size_t form_size(Value form) {
+  if (!form.is(Kind::Cons)) return 1;
+  std::size_t n = 0;
+  while (form.is(Kind::Cons)) {
+    auto* c = static_cast<sexpr::Cons*>(form.obj());
+    n += form_size(c->car());
+    form = c->cdr();
+  }
+  if (!form.is_nil()) n += 1;  // dotted tail
+  return n + 1;
+}
+
+bool contains_rec_call(sexpr::Ctx& ctx, Value form, Symbol* fname) {
+  (void)ctx;
+  if (!form.is(Kind::Cons)) return false;
+  Value head = car(form);
+  if (head.is(Kind::Symbol)) {
+    Symbol* op = static_cast<Symbol*>(head.obj());
+    if (op == fname) return true;
+    if (op->name == "quote") return false;
+  }
+  for (Value rest = form; rest.is(Kind::Cons); rest = cdr(rest)) {
+    if (contains_rec_call(ctx, car(rest), fname)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+class Partitioner {
+ public:
+  Partitioner(sexpr::Ctx& ctx, Symbol* fname) : ctx_(ctx), fname_(fname) {}
+
+  HeadTail run(Value body) {
+    bool dominated = false;
+    classify_seq(body, dominated);
+    for (const StmtClass& s : out_.stmts) {
+      if (s.in_tail) {
+        out_.tail_size += s.size;
+      } else {
+        out_.head_size += s.size;
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Classify each form of a sequence; `dominated` threads through and
+  /// is updated after forms that always perform a recursive call.
+  /// Returns true when the whole sequence always calls.
+  bool classify_seq(Value forms, bool& dominated) {
+    bool always = false;
+    for (Value rest = forms; !rest.is_nil(); rest = cdr(rest)) {
+      always |= classify_form(car(rest), dominated);
+      dominated |= always;
+    }
+    return always;
+  }
+
+  /// Classify one form. Returns true when every execution path through
+  /// the form performs a recursive call.
+  bool classify_form(Value form, bool dominated) {
+    if (!form.is(Kind::Cons)) {
+      emit(form, dominated);
+      return false;
+    }
+    Value head = car(form);
+    if (!head.is(Kind::Symbol)) {
+      emit(form, dominated);
+      return contains_rec_call(ctx_, form, fname_);
+    }
+    const std::string& op = static_cast<Symbol*>(head.obj())->name;
+
+    if (op == "quote" || op == "declare") {
+      return false;  // no cost, no calls
+    }
+
+    if (op == "progn") {
+      bool dom = dominated;
+      return classify_seq(cdr(form), dom);
+    }
+
+    if (op == "when" || op == "unless") {
+      emit(cadr(form), dominated);  // the test runs unconditionally
+      bool dom = dominated;
+      classify_seq(cddr(form), dom);
+      return false;  // the body may be skipped
+    }
+
+    if (op == "if") {
+      emit(cadr(form), dominated);
+      bool dom_then = dominated;
+      const bool then_calls = classify_form(caddr(form), dom_then);
+      Value else_form = sexpr::cadddr(form);
+      bool else_calls = false;
+      if (!sexpr::cdddr(form).is_nil()) {
+        bool dom_else = dominated;
+        else_calls = classify_form(else_form, dom_else);
+      }
+      return then_calls && else_calls && !sexpr::cdddr(form).is_nil();
+    }
+
+    if (op == "cond") {
+      bool all_call = true;
+      bool has_default = false;
+      for (Value cl = cdr(form); !cl.is_nil(); cl = cdr(cl)) {
+        Value clause = car(cl);
+        Value test = car(clause);
+        emit(test, dominated);
+        if (test.is(Kind::Symbol) &&
+            static_cast<Symbol*>(test.obj()) == ctx_.s_t) {
+          has_default = true;
+        }
+        bool dom = dominated;
+        all_call &= classify_seq(cdr(clause), dom);
+      }
+      return all_call && has_default;
+    }
+
+    if (op == "let" || op == "let*") {
+      bool inits_call = false;
+      for (Value b = cadr(form); !b.is_nil(); b = cdr(b)) {
+        Value binding = car(b);
+        if (binding.is(Kind::Cons)) {
+          emit(cadr(binding), dominated);
+          inits_call |= contains_rec_call(ctx_, cadr(binding), fname_);
+        }
+      }
+      bool dom = dominated || inits_call;
+      return classify_seq(cddr(form), dom) || inits_call;
+    }
+
+    if (op == "and" || op == "or") {
+      // First element always runs; the rest are conditional.
+      Value rest = cdr(form);
+      bool first = true;
+      bool first_calls = false;
+      for (; !rest.is_nil(); rest = cdr(rest)) {
+        bool dom = dominated || first_calls;
+        const bool calls = classify_form(car(rest), dom);
+        if (first) first_calls = calls;
+        first = false;
+      }
+      return first_calls;
+    }
+
+    if (op == "while" || op == "dotimes" || op == "dolist") {
+      // Loop bodies may run zero times.
+      emit(cadr(form), dominated);
+      bool dom = dominated;
+      classify_seq(cddr(form), dom);
+      return false;
+    }
+
+    if (op == "setf" || op == "setq" || op == "lambda" ||
+        op == "future") {
+      emit(form, dominated);
+      return contains_rec_call(ctx_, form, fname_);
+    }
+
+    // Ordinary call (possibly the recursive call itself).
+    emit(form, dominated);
+    return contains_rec_call(ctx_, form, fname_);
+  }
+
+  void emit(Value form, bool dominated) {
+    StmtClass s;
+    s.form = form;
+    s.has_rec_call = contains_rec_call(ctx_, form, fname_);
+    s.is_rec_call = form.is(Kind::Cons) && car(form).is(Kind::Symbol) &&
+                    static_cast<Symbol*>(car(form).obj()) == fname_;
+    // "S_i belongs in the tail if S_i is not a recursive call and is
+    // dominated by a recursive call." Statements containing embedded
+    // calls stay in the head (the head holds all recursive calls).
+    s.in_tail = dominated && !s.has_rec_call;
+    s.size = form_size(form);
+    out_.stmts.push_back(std::move(s));
+  }
+
+  sexpr::Ctx& ctx_;
+  Symbol* fname_;
+  HeadTail out_;
+};
+
+}  // namespace
+
+HeadTail partition_head_tail(sexpr::Ctx& ctx, const FunctionInfo& info) {
+  Partitioner p(ctx, info.name);
+  return p.run(info.body);
+}
+
+}  // namespace curare::analysis

@@ -1,0 +1,55 @@
+// Head/tail partition of a recursive function body (paper §3.1).
+//
+// "A statement S_i belongs in the tail of f if S_i is not a recursive
+// call and is dominated by a recursive call. A statement that is not in
+// f's tail is in its head. The head contains all recursive calls and all
+// statements that might execute before a recursive call."
+//
+// The partition drives everything in §3–4: the predicted concurrency is
+// (|H|+|T|)/|H|, lock statements must sit in the head, the delay
+// transformation moves statements INTO the head, and the scheduler's
+// optimal server count S* = sqrt(d(h+t)/h) needs h and t.
+//
+// Sizes are static estimates — the number of S-expression nodes in a
+// statement — in the spirit of the Sarkar–Hennessy cost estimates the
+// paper cites. Benchmarks measure the real h and t dynamically.
+#pragma once
+
+#include <vector>
+
+#include "analysis/function_info.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::analysis {
+
+struct StmtClass {
+  Value form;
+  bool in_tail = false;
+  bool is_rec_call = false;   ///< the statement IS a recursive call
+  bool has_rec_call = false;  ///< a recursive call appears inside it
+  std::size_t size = 0;       ///< node-count cost estimate
+};
+
+struct HeadTail {
+  std::vector<StmtClass> stmts;
+  std::size_t head_size = 0;
+  std::size_t tail_size = 0;
+
+  /// Paper §3.1: number of invocations that can execute simultaneously.
+  double concurrency() const {
+    if (head_size == 0) return 1.0;
+    return static_cast<double>(head_size + tail_size) /
+           static_cast<double>(head_size);
+  }
+};
+
+/// Node count of a form (atoms and conses).
+std::size_t form_size(Value form);
+
+/// Does a self-recursive call to `fname` appear anywhere inside `form`
+/// (not counting quoted data)?
+bool contains_rec_call(sexpr::Ctx& ctx, Value form, Symbol* fname);
+
+HeadTail partition_head_tail(sexpr::Ctx& ctx, const FunctionInfo& info);
+
+}  // namespace curare::analysis

@@ -1,0 +1,278 @@
+#include "analysis/path_regex.hpp"
+
+#include <deque>
+
+namespace curare::analysis {
+
+namespace {
+RegexPtr make(PathRegex::Op op, Field lit, std::vector<RegexPtr> children) {
+  struct Access : PathRegex {
+    Access(Op o, Field l, std::vector<RegexPtr> c)
+        : PathRegex(o, l, std::move(c)) {}
+  };
+  // PathRegex's constructor is private; expose it through a local
+  // subclass so construction stays funneled through the factories.
+  return std::make_shared<Access>(op, lit, std::move(children));
+}
+}  // namespace
+
+RegexPtr PathRegex::epsilon() {
+  static RegexPtr eps = make(Op::Epsilon, nullptr, {});
+  return eps;
+}
+
+RegexPtr PathRegex::literal(Field f) { return make(Op::Literal, f, {}); }
+
+RegexPtr PathRegex::any() {
+  static RegexPtr a = make(Op::Any, nullptr, {});
+  return a;
+}
+
+RegexPtr PathRegex::word(const FieldPath& path) {
+  if (path.is_empty()) return epsilon();
+  std::vector<RegexPtr> parts;
+  parts.reserve(path.size());
+  for (Field f : path.fields()) parts.push_back(literal(f));
+  return concat(std::move(parts));
+}
+
+RegexPtr PathRegex::concat(std::vector<RegexPtr> parts) {
+  std::vector<RegexPtr> flat;
+  for (RegexPtr& p : parts) {
+    if (p->op() == Op::Epsilon) continue;  // ε is the concat unit
+    if (p->op() == Op::Concat) {
+      flat.insert(flat.end(), p->children().begin(), p->children().end());
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.empty()) return epsilon();
+  if (flat.size() == 1) return flat[0];
+  return make(Op::Concat, nullptr, std::move(flat));
+}
+
+RegexPtr PathRegex::alt(std::vector<RegexPtr> parts) {
+  if (parts.empty()) return epsilon();
+  if (parts.size() == 1) return parts[0];
+  return make(Op::Alt, nullptr, std::move(parts));
+}
+
+RegexPtr PathRegex::star(RegexPtr r) {
+  if (r->op() == Op::Star || r->op() == Op::Epsilon) return r;
+  return make(Op::Star, nullptr, {std::move(r)});
+}
+
+RegexPtr PathRegex::plus(RegexPtr r) {
+  RegexPtr starred = star(r);
+  return concat(std::move(r), std::move(starred));
+}
+
+RegexPtr PathRegex::power(const RegexPtr& r, std::size_t n) {
+  if (n == 0) return epsilon();
+  std::vector<RegexPtr> parts(n, r);
+  return concat(std::move(parts));
+}
+
+std::string PathRegex::to_string() const {
+  switch (op_) {
+    case Op::Epsilon: return "ε";
+    case Op::Any: return "Σ";
+    case Op::Literal: return lit_->name;
+    case Op::Concat: {
+      std::string s;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) s += '.';
+        const PathRegex& c = *children_[i];
+        if (c.op() == Op::Alt) {
+          s += '(' + c.to_string() + ')';
+        } else {
+          s += c.to_string();
+        }
+      }
+      return s;
+    }
+    case Op::Alt: {
+      std::string s;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) s += '|';
+        s += children_[i]->to_string();
+      }
+      return s;
+    }
+    case Op::Star: {
+      const PathRegex& c = *children_[0];
+      const bool paren =
+          c.op() == Op::Concat || c.op() == Op::Alt;
+      return (paren ? "(" + c.to_string() + ")" : c.to_string()) + "*";
+    }
+  }
+  return "?";
+}
+
+// ---- NFA -----------------------------------------------------------------
+
+int Nfa::new_state() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+std::pair<int, int> Nfa::build(const PathRegex& r) {
+  using Op = PathRegex::Op;
+  switch (r.op()) {
+    case Op::Epsilon: {
+      int s = new_state();
+      int t = new_state();
+      states_[static_cast<std::size_t>(s)].push_back(
+          {Edge::Type::Eps, nullptr, t});
+      return {s, t};
+    }
+    case Op::Literal: {
+      int s = new_state();
+      int t = new_state();
+      states_[static_cast<std::size_t>(s)].push_back(
+          {Edge::Type::Lit, r.lit(), t});
+      return {s, t};
+    }
+    case Op::Any: {
+      int s = new_state();
+      int t = new_state();
+      states_[static_cast<std::size_t>(s)].push_back(
+          {Edge::Type::Any, nullptr, t});
+      return {s, t};
+    }
+    case Op::Concat: {
+      std::pair<int, int> first = build(*r.children().front());
+      int entry = first.first;
+      int prev_exit = first.second;
+      for (std::size_t i = 1; i < r.children().size(); ++i) {
+        auto [s, t] = build(*r.children()[i]);
+        states_[static_cast<std::size_t>(prev_exit)].push_back(
+            {Edge::Type::Eps, nullptr, s});
+        prev_exit = t;
+      }
+      return {entry, prev_exit};
+    }
+    case Op::Alt: {
+      int s = new_state();
+      int t = new_state();
+      for (const RegexPtr& c : r.children()) {
+        auto [cs, ct] = build(*c);
+        states_[static_cast<std::size_t>(s)].push_back(
+            {Edge::Type::Eps, nullptr, cs});
+        states_[static_cast<std::size_t>(ct)].push_back(
+            {Edge::Type::Eps, nullptr, t});
+      }
+      return {s, t};
+    }
+    case Op::Star: {
+      int s = new_state();
+      int t = new_state();
+      auto [cs, ct] = build(*r.children()[0]);
+      auto& from_s = states_[static_cast<std::size_t>(s)];
+      from_s.push_back({Edge::Type::Eps, nullptr, cs});
+      from_s.push_back({Edge::Type::Eps, nullptr, t});
+      auto& from_ct = states_[static_cast<std::size_t>(ct)];
+      from_ct.push_back({Edge::Type::Eps, nullptr, cs});
+      from_ct.push_back({Edge::Type::Eps, nullptr, t});
+      return {s, t};
+    }
+  }
+  throw sexpr::LispError("path_regex: unknown regex op");
+}
+
+Nfa::Nfa(const RegexPtr& regex) {
+  auto [s, t] = build(*regex);
+  start_ = s;
+  accept_ = t;
+
+  // Reverse reachability to the accept state: a live simulation set only
+  // witnesses a prefix of some full word if one of its states can still
+  // reach accept. (Thompson fragments keep every state on a start→accept
+  // path, but computing it explicitly keeps the queries honest under
+  // future construction changes.)
+  std::vector<std::vector<int>> rev(states_.size());
+  for (std::size_t from = 0; from < states_.size(); ++from)
+    for (const Edge& e : states_[from])
+      rev[static_cast<std::size_t>(e.to)].push_back(static_cast<int>(from));
+  can_reach_accept_.assign(states_.size(), false);
+  std::deque<int> work{accept_};
+  can_reach_accept_[static_cast<std::size_t>(accept_)] = true;
+  while (!work.empty()) {
+    int s2 = work.front();
+    work.pop_front();
+    for (int p : rev[static_cast<std::size_t>(s2)]) {
+      if (!can_reach_accept_[static_cast<std::size_t>(p)]) {
+        can_reach_accept_[static_cast<std::size_t>(p)] = true;
+        work.push_back(p);
+      }
+    }
+  }
+}
+
+void Nfa::eps_closure(std::vector<bool>& set) const {
+  std::deque<int> work;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (set[i]) work.push_back(static_cast<int>(i));
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop_front();
+    for (const Edge& e : states_[static_cast<std::size_t>(s)]) {
+      if (e.type == Edge::Type::Eps &&
+          !set[static_cast<std::size_t>(e.to)]) {
+        set[static_cast<std::size_t>(e.to)] = true;
+        work.push_back(e.to);
+      }
+    }
+  }
+}
+
+std::vector<bool> Nfa::step(const std::vector<bool>& set, Field f) const {
+  std::vector<bool> next(states_.size(), false);
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    if (!set[s]) continue;
+    for (const Edge& e : states_[s]) {
+      if (e.type == Edge::Type::Any ||
+          (e.type == Edge::Type::Lit && e.lit == f)) {
+        next[static_cast<std::size_t>(e.to)] = true;
+      }
+    }
+  }
+  eps_closure(next);
+  return next;
+}
+
+bool Nfa::matches(const FieldPath& word) const {
+  std::vector<bool> set(states_.size(), false);
+  set[static_cast<std::size_t>(start_)] = true;
+  eps_closure(set);
+  for (Field f : word.fields()) {
+    set = step(set, f);
+  }
+  return set[static_cast<std::size_t>(accept_)];
+}
+
+bool Nfa::word_is_prefix_of_language(const FieldPath& word) const {
+  std::vector<bool> set(states_.size(), false);
+  set[static_cast<std::size_t>(start_)] = true;
+  eps_closure(set);
+  for (Field f : word.fields()) {
+    set = step(set, f);
+  }
+  for (std::size_t s = 0; s < set.size(); ++s)
+    if (set[s] && can_reach_accept_[s]) return true;
+  return false;
+}
+
+bool Nfa::language_has_prefix_of_word(const FieldPath& word) const {
+  std::vector<bool> set(states_.size(), false);
+  set[static_cast<std::size_t>(start_)] = true;
+  eps_closure(set);
+  if (set[static_cast<std::size_t>(accept_)]) return true;  // ε ∈ L
+  for (Field f : word.fields()) {
+    set = step(set, f);
+    if (set[static_cast<std::size_t>(accept_)]) return true;
+  }
+  return false;
+}
+
+}  // namespace curare::analysis

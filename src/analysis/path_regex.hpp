@@ -1,0 +1,109 @@
+// Regular expressions over field alphabets (paper §2.1–2.2).
+//
+// "List accesses are strings in the language {car, cdr}+. Transfer
+// functions are regular expressions over the alphabet {car, cdr}."
+//
+// The paper's conflict test reduces to prefix queries between a concrete
+// accessor word and the language of a regex:
+//
+//   A1 ⊙ A2 under τ at distance d  ⟺  A1 ≤ some word of L(τ^d · A2)
+//
+// so beyond plain membership the NFA answers two prefix queries:
+//
+//   word_is_prefix_of_language(w)  —  ∃x ∈ L : w ≤ x
+//   language_has_prefix_of_word(w) —  ∃x ∈ L : x ≤ w
+//
+// Both run in O(|w| · states) by NFA simulation (no DFA construction
+// needed; programs produce tiny regexes).
+//
+// The `any` wildcard (Σ) matches every field, so the paper's "τ = A*"
+// worst case for unanalyzable variables is star(any()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/field_path.hpp"
+
+namespace curare::analysis {
+
+class PathRegex;
+using RegexPtr = std::shared_ptr<const PathRegex>;
+
+class PathRegex {
+ public:
+  enum class Op { Epsilon, Literal, Any, Concat, Alt, Star };
+
+  static RegexPtr epsilon();
+  static RegexPtr literal(Field f);
+  static RegexPtr any();
+  /// Word regex: concatenation of the path's fields; ε for empty path.
+  static RegexPtr word(const FieldPath& path);
+  static RegexPtr concat(std::vector<RegexPtr> parts);
+  static RegexPtr concat(RegexPtr a, RegexPtr b) {
+    return concat(std::vector<RegexPtr>{std::move(a), std::move(b)});
+  }
+  static RegexPtr alt(std::vector<RegexPtr> parts);
+  static RegexPtr star(RegexPtr r);
+  /// r+ = r · r*
+  static RegexPtr plus(RegexPtr r);
+  /// r^n: n-fold concatenation (τ^d); epsilon when n is 0.
+  static RegexPtr power(const RegexPtr& r, std::size_t n);
+  /// Σ* — the worst-case transfer function for unknown variables.
+  static RegexPtr any_star() { return star(any()); }
+
+  Op op() const { return op_; }
+  Field lit() const { return lit_; }
+  const std::vector<RegexPtr>& children() const { return children_; }
+
+  std::string to_string() const;
+
+ protected:
+  // Construction goes through the factories; protected so the factory
+  // helper can derive and forward.
+  PathRegex(Op op, Field lit, std::vector<RegexPtr> children)
+      : op_(op), lit_(lit), children_(std::move(children)) {}
+
+  Op op_;
+  Field lit_;
+  std::vector<RegexPtr> children_;
+};
+
+/// Thompson NFA compiled from a PathRegex.
+class Nfa {
+ public:
+  explicit Nfa(const RegexPtr& regex);
+
+  /// word ∈ L?
+  bool matches(const FieldPath& word) const;
+
+  /// ∃x ∈ L : word is a prefix of x (or equal)?
+  bool word_is_prefix_of_language(const FieldPath& word) const;
+
+  /// ∃x ∈ L : x is a prefix of word (or equal)?
+  bool language_has_prefix_of_word(const FieldPath& word) const;
+
+  std::size_t state_count() const { return states_.size(); }
+
+ private:
+  struct Edge {
+    enum class Type { Eps, Any, Lit };
+    Type type;
+    Field lit;  // valid for Lit
+    int to;
+  };
+
+  int new_state();
+  /// Build the fragment for `r`, returning (entry, exit) states.
+  std::pair<int, int> build(const PathRegex& r);
+  void eps_closure(std::vector<bool>& set) const;
+  std::vector<bool> step(const std::vector<bool>& set, Field f) const;
+
+  std::vector<std::vector<Edge>> states_;
+  int start_ = -1;
+  int accept_ = -1;
+  std::vector<bool> can_reach_accept_;
+};
+
+}  // namespace curare::analysis

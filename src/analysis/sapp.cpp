@@ -1,0 +1,40 @@
+#include "analysis/sapp.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "sexpr/printer.hpp"
+
+namespace curare::analysis {
+
+using sexpr::Cons;
+using sexpr::Kind;
+using sexpr::Value;
+
+SappResult check_sapp(Value root) {
+  SappResult result;
+  std::unordered_set<Cons*> seen;
+  std::vector<Value> stack{root};
+  while (!stack.empty()) {
+    Value v = stack.back();
+    stack.pop_back();
+    if (!v.is(Kind::Cons)) continue;
+    Cons* c = static_cast<Cons*>(v.obj());
+    if (!seen.insert(c).second) {
+      result.holds = false;
+      result.witness = v;
+      result.violation =
+          "cell reachable along two canonical paths (shared substructure "
+          "or cycle): " +
+          sexpr::print_str(v, {.readably = true, .max_depth = 4,
+                               .max_length = 8});
+      return result;
+    }
+    stack.push_back(c->car());
+    stack.push_back(c->cdr());
+  }
+  result.cells = seen.size();
+  return result;
+}
+
+}  // namespace curare::analysis

@@ -1,0 +1,38 @@
+// Single Access Path Property verifier (paper §2.1).
+//
+// "An instance of a structure I has the single access path property
+// (SAPP) if there exists only one canonical path to any instance in
+// accessible(I). In effect, this property requires that instances form a
+// tree rather than a general graph. We are measuring how often this
+// occurs in Lisp programs."
+//
+// The static analysis *assumes* SAPP from a declaration; this runtime
+// check lets programs (and our tests/benches) measure whether the
+// assumption holds on real data, exactly the measurement the paper says
+// it is undertaking. For plain cons structures no canonicalization is
+// needed, so SAPP is: no cons cell reachable along two different paths
+// (shared substructure) and no cycles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sexpr/value.hpp"
+
+namespace curare::analysis {
+
+struct SappResult {
+  bool holds = true;
+  std::size_t cells = 0;        ///< cons cells visited
+  sexpr::Value witness;          ///< first doubly-reachable cell, if any
+  std::string violation;         ///< empty when holds
+
+  explicit operator bool() const { return holds; }
+};
+
+/// Check whether the cons structure reachable from `root` is a tree.
+/// Atoms (symbols, numbers, strings) are identity-shared by design and
+/// do not violate SAPP. Runs in O(cells) time and space.
+SappResult check_sapp(sexpr::Value root);
+
+}  // namespace curare::analysis

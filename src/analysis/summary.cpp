@@ -1,0 +1,242 @@
+#include "analysis/summary.hpp"
+
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+
+namespace curare::analysis {
+
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::cddr;
+using sexpr::cdr;
+using sexpr::Kind;
+
+const char* fn_effect_name(FnEffect e) {
+  switch (e) {
+    case FnEffect::Pure: return "pure";
+    case FnEffect::DeepRead: return "read-only";
+    case FnEffect::DeepWrite: return "may-write";
+    case FnEffect::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+std::string FnSummary::to_string() const {
+  std::string s = fn_effect_name(effect);
+  if (!global_reads.empty()) {
+    s += "; reads globals:";
+    for (Symbol* g : global_reads) s += " " + g->name;
+  }
+  if (!global_writes.empty()) {
+    s += "; writes globals:";
+    for (Symbol* g : global_writes) s += " " + g->name;
+  }
+  return s;
+}
+
+namespace {
+
+FnEffect join(FnEffect a, FnEffect b) { return a > b ? a : b; }
+
+/// One pass of the summary scanner over a function body.
+bool is_cxr_name(const std::string& name) {
+  if (name.size() < 3 || name.front() != 'c' || name.back() != 'r')
+    return false;
+  for (std::size_t i = 1; i + 1 < name.size(); ++i)
+    if (name[i] != 'a' && name[i] != 'd') return false;
+  return true;
+}
+
+class Scanner {
+ public:
+  Scanner(const decl::Declarations& decls, const SummaryMap& current,
+          FnSummary& out)
+      : decls_(decls), current_(current), out_(out) {}
+
+  void scan_defun(Value defun) {
+    // Locals: parameters; let/lambda/loop bindings are added as seen.
+    for (Value p = caddr(defun); !p.is_nil(); p = cdr(p)) {
+      if (sexpr::car(p).is(Kind::Symbol))
+        locals_.insert(static_cast<Symbol*>(sexpr::car(p).obj()));
+    }
+    for (Value b = cdr(cddr(defun)); !b.is_nil(); b = cdr(b))
+      scan(sexpr::car(b));
+  }
+
+ private:
+  void raise(FnEffect e) { out_.effect = join(out_.effect, e); }
+
+  void scan_seq(Value forms) {
+    for (; !forms.is_nil(); forms = cdr(forms)) scan(sexpr::car(forms));
+  }
+
+  void scan(Value f) {
+    if (f.is(Kind::Symbol)) {
+      Symbol* s = static_cast<Symbol*>(f.obj());
+      if (s->name != "t" && !locals_.contains(s))
+        out_.global_reads.insert(s);
+      return;
+    }
+    if (!f.is(Kind::Cons)) return;
+    Value head = sexpr::car(f);
+    if (!head.is(Kind::Symbol)) {
+      raise(FnEffect::Opaque);  // computed operator
+      return;
+    }
+    const std::string& op = as_symbol(head)->name;
+
+    // ---- special forms --------------------------------------------------
+    if (op == "quote" || op == "declare" || op == "defstruct") return;
+    if (op == "progn" || op == "when" || op == "unless" || op == "and" ||
+        op == "or" || op == "while" || op == "if" || op == "future") {
+      scan_seq(cdr(f));
+      return;
+    }
+    if (op == "cond") {
+      for (Value cl = cdr(f); !cl.is_nil(); cl = cdr(cl))
+        scan_seq(sexpr::car(cl));
+      return;
+    }
+    if (op == "let" || op == "let*") {
+      for (Value b = cadr(f); !b.is_nil(); b = cdr(b)) {
+        Value binding = sexpr::car(b);
+        if (binding.is(Kind::Symbol)) {
+          locals_.insert(static_cast<Symbol*>(binding.obj()));
+        } else {
+          scan(cadr(binding));
+          locals_.insert(as_symbol(sexpr::car(binding)));
+        }
+      }
+      scan_seq(cddr(f));
+      return;
+    }
+    if (op == "lambda") {
+      for (Value p = cadr(f); !p.is_nil(); p = cdr(p)) {
+        if (sexpr::car(p).is(Kind::Symbol))
+          locals_.insert(static_cast<Symbol*>(sexpr::car(p).obj()));
+      }
+      scan_seq(cddr(f));
+      return;
+    }
+    if (op == "dotimes" || op == "dolist") {
+      Value spec = cadr(f);
+      locals_.insert(as_symbol(sexpr::car(spec)));
+      scan(cadr(spec));
+      raise(op == "dolist" ? FnEffect::DeepRead : FnEffect::Pure);
+      scan_seq(cddr(f));
+      return;
+    }
+    if (op == "setq") {
+      for (Value rest = cdr(f); !rest.is_nil(); rest = cddr(rest)) {
+        Symbol* var = as_symbol(sexpr::car(rest));
+        scan(cadr(rest));
+        if (!locals_.contains(var)) out_.global_writes.insert(var);
+      }
+      return;
+    }
+    if (op == "setf" || op == "incf" || op == "decf" || op == "push" ||
+        op == "pop") {
+      Value place = (op == "push") ? caddr(f) : cadr(f);
+      scan_seq(cdr(f));  // value/extra expressions (place rescanned ok)
+      if (place.is(Kind::Symbol)) {
+        Symbol* var = static_cast<Symbol*>(place.obj());
+        if (!locals_.contains(var)) out_.global_writes.insert(var);
+        if (op != "setf" && op != "push") {
+          // incf/decf/pop also read the variable.
+          if (!locals_.contains(var)) out_.global_reads.insert(var);
+        }
+      } else {
+        // Writing through a place: may touch argument structure.
+        raise(FnEffect::DeepWrite);
+      }
+      return;
+    }
+    if (op == "defun") {
+      raise(FnEffect::Opaque);  // nested defuns are not summarized
+      return;
+    }
+
+    // Accessor applications dereference their argument: the summary
+    // cannot carry the precise path, so the sound abstraction is "reads
+    // somewhere below its arguments" — DeepRead.
+    if (is_cxr_name(op) || op == "nth" || op == "nthcdr" ||
+        decls_.is_known_field(as_symbol(head))) {
+      raise(FnEffect::DeepRead);
+      scan_seq(cdr(f));
+      return;
+    }
+
+    // ---- calls ------------------------------------------------------------
+    Symbol* callee = as_symbol(head);
+    if (const FnSummary* s = current_.lookup(callee)) {
+      raise(s->effect);
+      out_.global_reads.insert(s->global_reads.begin(),
+                               s->global_reads.end());
+      out_.global_writes.insert(s->global_writes.begin(),
+                                s->global_writes.end());
+    } else {
+      switch (builtin_effect(op)) {
+        case BuiltinEffect::Pure: break;
+        case BuiltinEffect::DeepRead: raise(FnEffect::DeepRead); break;
+        case BuiltinEffect::WriteCar:
+        case BuiltinEffect::WriteCdr:
+        case BuiltinEffect::DeepWrite: raise(FnEffect::DeepWrite); break;
+        case BuiltinEffect::Opaque: raise(FnEffect::Opaque); break;
+        case BuiltinEffect::HigherOrder:
+          // Unknown function or applies one: worst case on arguments.
+          raise(FnEffect::DeepWrite);
+          break;
+      }
+    }
+    scan_seq(cdr(f));
+    return;
+  }
+
+  const decl::Declarations& decls_;
+  const SummaryMap& current_;
+  FnSummary& out_;
+  std::unordered_set<Symbol*> locals_;
+};
+
+}  // namespace
+
+SummaryMap compute_summaries(sexpr::Ctx& ctx,
+                             const decl::Declarations& decls,
+                             const std::vector<Value>& defuns) {
+  (void)ctx;
+  SummaryMap map;
+  // Seed slots so recursive/mutual calls resolve optimistically.
+  std::vector<Symbol*> names;
+  for (Value d : defuns) {
+    Symbol* name = as_symbol(cadr(d));
+    map.slot(name) = FnSummary{};
+    names.push_back(name);
+  }
+
+  // Monotone fixpoint: re-scan until nothing changes. The lattice has
+  // height 4 per function plus the finite global sets, so this
+  // terminates quickly.
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    for (std::size_t i = 0; i < defuns.size(); ++i) {
+      FnSummary fresh;
+      Scanner scanner(decls, map, fresh);
+      scanner.scan_defun(defuns[i]);
+      FnSummary& slot = map.slot(names[i]);
+      const bool grew =
+          fresh.effect > slot.effect ||
+          fresh.global_reads.size() != slot.global_reads.size() ||
+          fresh.global_writes.size() != slot.global_writes.size();
+      if (grew) {
+        slot = std::move(fresh);
+        changed = true;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace curare::analysis

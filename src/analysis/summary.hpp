@@ -1,0 +1,73 @@
+// Interprocedural effect summaries.
+//
+// The paper's extractor must assume the worst about calls to functions
+// it has not analyzed ("a program analyzer can reasonably assume the
+// worst about their side-effects", §2) — but a whole-program driver HAS
+// the other defuns. A summary classifies each user function by the most
+// severe thing it can do to structure reachable from its arguments
+//
+//     Pure < DeepRead < DeepWrite < Opaque
+//
+// and records the global variables it (transitively) reads and writes,
+// so a caller's conflict detection sees the callee's shared-state
+// traffic. Summaries are computed by an optimistic fixpoint over the
+// call graph (monotone in the effect lattice), which converges for
+// arbitrary mutual recursion.
+//
+// This turns e.g.
+//
+//   (defun get-val (x) (car x))
+//   (defun f (l) (print (get-val l)) (f (cdr l)))
+//
+// from "worst-case deep write through l" into "read-only" — and f
+// becomes transformable without declarations.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "decl/declarations.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::analysis {
+
+using sexpr::Symbol;
+using sexpr::Value;
+
+/// Argument-effect lattice for whole functions.
+enum class FnEffect { Pure, DeepRead, DeepWrite, Opaque };
+
+const char* fn_effect_name(FnEffect e);
+
+struct FnSummary {
+  FnEffect effect = FnEffect::Pure;
+  std::unordered_set<Symbol*> global_reads;
+  std::unordered_set<Symbol*> global_writes;
+
+  std::string to_string() const;
+};
+
+class SummaryMap {
+ public:
+  const FnSummary* lookup(Symbol* fn) const {
+    auto it = map_.find(fn);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  FnSummary& slot(Symbol* fn) { return map_[fn]; }
+  std::size_t size() const { return map_.size(); }
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<Symbol*, FnSummary> map_;
+};
+
+/// Compute summaries for every defun form in `defuns`, to fixpoint.
+SummaryMap compute_summaries(sexpr::Ctx& ctx,
+                             const decl::Declarations& decls,
+                             const std::vector<Value>& defuns);
+
+}  // namespace curare::analysis

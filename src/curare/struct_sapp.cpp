@@ -1,0 +1,73 @@
+#include "curare/struct_sapp.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "lisp/structs.hpp"
+
+namespace curare {
+
+using lisp::Instance;
+using sexpr::Kind;
+using sexpr::Symbol;
+using sexpr::Value;
+
+StructSappResult check_struct_sapp(Value root,
+                                   const decl::Declarations& decls) {
+  StructSappResult result;
+  std::unordered_set<const sexpr::Obj*> seen;
+
+  struct Work {
+    Value node;
+    Symbol* arrived_by;  ///< field traversed to reach node (null = root)
+  };
+  std::vector<Work> stack{{root, nullptr}};
+
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+
+    if (w.node.is(Kind::Cons)) {
+      auto* c = static_cast<sexpr::Cons*>(w.node.obj());
+      if (!seen.insert(c).second) {
+        result.holds = false;
+        result.violation = "cons cell reachable along two canonical paths";
+        return result;
+      }
+      stack.push_back({c->car(), nullptr});
+      stack.push_back({c->cdr(), nullptr});
+      continue;
+    }
+
+    if (!w.node.is(Kind::Struct)) continue;
+    auto* inst = static_cast<Instance*>(w.node.obj());
+    if (!seen.insert(inst).second) {
+      result.holds = false;
+      result.violation = "instance of " + inst->type->name->name +
+                         " reachable along two canonical paths";
+      return result;
+    }
+    ++result.instances;
+
+    // The canonicalization: skip the inverse of the arriving edge. A
+    // path …·f·inverse(f)·… is not canonical, so the back-edge does not
+    // constitute a second path.
+    Symbol* skip =
+        w.arrived_by ? decls.inverse_of(w.arrived_by) : nullptr;
+    for (Symbol* f : inst->type->pointer_fields) {
+      if (f == skip) continue;
+      const int idx = inst->type->slot_index(f);
+      stack.push_back({inst->get(idx), f});
+    }
+    // Data fields may hold lists — follow them as plain values.
+    for (Symbol* f : inst->type->data_fields) {
+      const int idx = inst->type->slot_index(f);
+      Value v = inst->get(idx);
+      if (v.is(Kind::Cons) || v.is(Kind::Struct))
+        stack.push_back({v, nullptr});
+    }
+  }
+  return result;
+}
+
+}  // namespace curare

@@ -1,0 +1,612 @@
+// Standard builtin library: the Common-Lisp-flavoured primitives the
+// paper's example programs (and our benchmarks) use. Everything here must
+// be safe to call from multiple server threads at once; primitives that
+// mutate shared structure (rplaca, sort, nreverse) rely on the program's
+// own synchronization, exactly as the paper's execution model prescribes.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "lisp/interp.hpp"
+#include "sexpr/equal.hpp"
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/table.hpp"
+
+namespace curare::lisp {
+
+using sexpr::as_cons;
+using sexpr::as_symbol;
+using sexpr::car;
+using sexpr::cdr;
+using sexpr::Cons;
+using sexpr::Kind;
+using sexpr::LispError;
+using sexpr::Table;
+using sexpr::Value;
+
+namespace {
+
+Value bool_val(sexpr::Ctx& ctx, bool b) {
+  return b ? Value::object(ctx.s_t) : Value::nil();
+}
+
+/// Apply a cxr accessor spelled "a..d" (already stripped of c/r) to v,
+/// right-to-left.
+Value apply_cxr(std::string_view letters, Value v) {
+  for (auto it = letters.rbegin(); it != letters.rend(); ++it)
+    v = (*it == 'a') ? car(v) : cdr(v);
+  return v;
+}
+
+bool numeric_equal(Value a, Value b) {
+  if (a.is_fixnum() && b.is_fixnum()) return a.as_fixnum() == b.as_fixnum();
+  return as_number(a) == as_number(b);
+}
+
+bool numeric_less(Value a, Value b) {
+  if (a.is_fixnum() && b.is_fixnum()) return a.as_fixnum() < b.as_fixnum();
+  return as_number(a) < as_number(b);
+}
+
+/// Fold a variadic numeric op, staying in fixnums unless a float appears.
+template <typename IntOp, typename DblOp>
+Value numeric_fold(Interp& in, std::span<const Value> args,
+                   std::int64_t unit, IntOp iop, DblOp dop,
+                   bool unary_inverts) {
+  if (args.empty()) return Value::fixnum(unit);
+  bool any_float = false;
+  for (Value v : args) any_float |= v.is(Kind::Float);
+
+  if (!any_float) {
+    std::int64_t acc;
+    std::size_t start;
+    if (args.size() == 1 && unary_inverts) {
+      acc = iop(unit, args[0].as_fixnum());
+      start = 1;
+    } else {
+      acc = as_int(args[0]);
+      start = 1;
+    }
+    for (std::size_t i = start; i < args.size(); ++i)
+      acc = iop(acc, as_int(args[i]));
+    return Value::fixnum(acc);
+  }
+
+  double acc;
+  std::size_t start;
+  if (args.size() == 1 && unary_inverts) {
+    acc = dop(static_cast<double>(unit), as_number(args[0]));
+    start = 1;
+  } else {
+    acc = as_number(args[0]);
+    start = 1;
+  }
+  for (std::size_t i = start; i < args.size(); ++i)
+    acc = dop(acc, as_number(args[i]));
+  return in.ctx().real(acc);
+}
+
+template <typename Cmp>
+Value chain_compare(sexpr::Ctx& ctx, std::span<const Value> args, Cmp cmp) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i)
+    if (!cmp(args[i], args[i + 1])) return Value::nil();
+  return Value::object(ctx.s_t);
+}
+
+/// Merge sort on a vector of values with a Lisp predicate.
+void merge_sort(Interp& in, Value pred, std::vector<Value>& v) {
+  std::stable_sort(v.begin(), v.end(), [&](Value a, Value b) {
+    const Value args[] = {a, b};
+    return in.apply(pred, args).truthy();
+  });
+}
+
+}  // namespace
+
+void install_builtins(Interp& in) {
+  sexpr::Ctx& ctx = in.ctx();
+
+  // ---- cons cells ------------------------------------------------------
+  in.define_builtin("cons", 2, 2, [](Interp& i, std::span<const Value> a) {
+    return i.ctx().cons(a[0], a[1]);
+  });
+  in.define_builtin("car", 1, 1, [](Interp&, std::span<const Value> a) {
+    return car(a[0]);
+  });
+  in.define_builtin("cdr", 1, 1, [](Interp&, std::span<const Value> a) {
+    return cdr(a[0]);
+  });
+  // All cxr accessors of 2..4 letters: cadr, cddr, caddr, cdar, ...
+  for (int len = 2; len <= 4; ++len) {
+    for (int bits = 0; bits < (1 << len); ++bits) {
+      std::string letters;
+      for (int i = 0; i < len; ++i)
+        letters.push_back((bits >> i) & 1 ? 'd' : 'a');
+      std::string name = "c" + letters + "r";
+      in.define_builtin(name, 1, 1,
+                        [letters](Interp&, std::span<const Value> a) {
+                          return apply_cxr(letters, a[0]);
+                        });
+    }
+  }
+  in.define_builtin("rplaca", 2, 2, [](Interp&, std::span<const Value> a) {
+    as_cons(a[0])->set_car(a[1]);
+    return a[0];
+  });
+  in.define_builtin("rplacd", 2, 2, [](Interp&, std::span<const Value> a) {
+    as_cons(a[0])->set_cdr(a[1]);
+    return a[0];
+  });
+
+  // ---- list constructors and walkers ------------------------------------
+  in.define_builtin("list", 0, -1, [](Interp& i, std::span<const Value> a) {
+    return i.ctx().heap.list(std::vector<Value>(a.begin(), a.end()));
+  });
+  in.define_builtin("list*", 1, -1, [](Interp& i, std::span<const Value> a) {
+    Value acc = a.back();
+    for (std::size_t k = a.size() - 1; k-- > 0;)
+      acc = i.ctx().cons(a[k], acc);
+    return acc;
+  });
+  in.define_builtin("append", 0, -1, [](Interp& i,
+                                        std::span<const Value> a) {
+    if (a.empty()) return Value::nil();
+    Value acc = a.back();
+    for (std::size_t k = a.size() - 1; k-- > 0;)
+      acc = sexpr::append2(i.ctx().heap, a[k], acc);
+    return acc;
+  });
+  in.define_builtin("reverse", 1, 1, [](Interp& i,
+                                        std::span<const Value> a) {
+    return sexpr::reverse_list(i.ctx().heap, a[0]);
+  });
+  in.define_builtin("nreverse", 1, 1, [](Interp&,
+                                         std::span<const Value> a) {
+    // Destructive in-place reversal by cdr rewiring.
+    Value prev = Value::nil();
+    Value cur = a[0];
+    while (!cur.is_nil()) {
+      Cons* c = as_cons(cur);
+      Value next = c->cdr();
+      c->set_cdr(prev);
+      prev = cur;
+      cur = next;
+    }
+    return prev;
+  });
+  in.define_builtin("length", 1, 1, [](Interp&, std::span<const Value> a) {
+    if (a[0].is(Kind::Vector)) {
+      return Value::fixnum(static_cast<std::int64_t>(
+          static_cast<sexpr::Vector*>(a[0].obj())->items.size()));
+    }
+    return Value::fixnum(
+        static_cast<std::int64_t>(sexpr::list_length(a[0])));
+  });
+  in.define_builtin("nth", 2, 2, [](Interp&, std::span<const Value> a) {
+    return sexpr::nth(a[1], static_cast<std::size_t>(as_int(a[0])));
+  });
+  in.define_builtin("nthcdr", 2, 2, [](Interp&, std::span<const Value> a) {
+    Value l = a[1];
+    for (std::int64_t n = as_int(a[0]); n > 0 && !l.is_nil(); --n)
+      l = cdr(l);
+    return l;
+  });
+  in.define_builtin("last", 1, 1, [](Interp&, std::span<const Value> a) {
+    Value l = a[0];
+    if (l.is_nil()) return Value::nil();
+    while (!cdr(l).is_nil()) l = cdr(l);
+    return l;
+  });
+  in.define_builtin("member", 2, 2, [](Interp&, std::span<const Value> a) {
+    return sexpr::member_eq(a[0], a[1]);
+  });
+  in.define_builtin("assoc", 2, 2, [](Interp&, std::span<const Value> a) {
+    return sexpr::assoc_eq(a[0], a[1]);
+  });
+  in.define_builtin("copy-list", 1, 1, [](Interp& i,
+                                          std::span<const Value> a) {
+    return i.ctx().heap.list(sexpr::list_to_vector(a[0]));
+  });
+  in.define_builtin("copy-tree", 1, 1, [](Interp& i,
+                                          std::span<const Value> a) {
+    return sexpr::copy_tree(i.ctx().heap, a[0]);
+  });
+
+  // ---- predicates --------------------------------------------------------
+  in.define_builtin("null", 1, 1, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, a[0].is_nil());
+  });
+  in.define_builtin("not", 1, 1, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, !a[0].truthy());
+  });
+  in.define_builtin("atom", 1, 1, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, !a[0].is(Kind::Cons));
+  });
+  in.define_builtin("consp", 1, 1, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, a[0].is(Kind::Cons));
+  });
+  in.define_builtin("listp", 1, 1, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, a[0].is_nil() || a[0].is(Kind::Cons));
+  });
+  in.define_builtin("symbolp", 1, 1, [&ctx](Interp&,
+                                            std::span<const Value> a) {
+    return bool_val(ctx, a[0].is(Kind::Symbol) || a[0].is_nil());
+  });
+  in.define_builtin("numberp", 1, 1, [&ctx](Interp&,
+                                            std::span<const Value> a) {
+    return bool_val(ctx, is_number(a[0]));
+  });
+  in.define_builtin("stringp", 1, 1, [&ctx](Interp&,
+                                            std::span<const Value> a) {
+    return bool_val(ctx, a[0].is(Kind::String));
+  });
+  in.define_builtin("functionp", 1, 1, [&ctx](Interp&,
+                                              std::span<const Value> a) {
+    return bool_val(ctx,
+                    a[0].is(Kind::Closure) || a[0].is(Kind::Builtin));
+  });
+  in.define_builtin("eq", 2, 2, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, a[0] == a[1]);
+  });
+  in.define_builtin("eql", 2, 2, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, sexpr::eql(a[0], a[1]));
+  });
+  in.define_builtin("equal", 2, 2, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, sexpr::equal_values(a[0], a[1]));
+  });
+  in.define_builtin("zerop", 1, 1, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, as_number(a[0]) == 0);
+  });
+  in.define_builtin("plusp", 1, 1, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, as_number(a[0]) > 0);
+  });
+  in.define_builtin("minusp", 1, 1, [&ctx](Interp&,
+                                           std::span<const Value> a) {
+    return bool_val(ctx, as_number(a[0]) < 0);
+  });
+  in.define_builtin("evenp", 1, 1, [&ctx](Interp&,
+                                          std::span<const Value> a) {
+    return bool_val(ctx, as_int(a[0]) % 2 == 0);
+  });
+  in.define_builtin("oddp", 1, 1, [&ctx](Interp&,
+                                         std::span<const Value> a) {
+    return bool_val(ctx, as_int(a[0]) % 2 != 0);
+  });
+
+  // ---- arithmetic ---------------------------------------------------------
+  in.define_builtin("+", 0, -1, [](Interp& i, std::span<const Value> a) {
+    return numeric_fold(
+        i, a, 0, [](std::int64_t x, std::int64_t y) { return x + y; },
+        [](double x, double y) { return x + y; }, false);
+  });
+  in.define_builtin("-", 1, -1, [](Interp& i, std::span<const Value> a) {
+    return numeric_fold(
+        i, a, 0, [](std::int64_t x, std::int64_t y) { return x - y; },
+        [](double x, double y) { return x - y; }, true);
+  });
+  in.define_builtin("*", 0, -1, [](Interp& i, std::span<const Value> a) {
+    return numeric_fold(
+        i, a, 1, [](std::int64_t x, std::int64_t y) { return x * y; },
+        [](double x, double y) { return x * y; }, false);
+  });
+  in.define_builtin("/", 1, -1, [](Interp& i, std::span<const Value> a) {
+    // Lisp integer division truncates only when exact; we keep it simple
+    // and truncate for fixnums, which the benchmarks rely on.
+    return numeric_fold(
+        i, a, 1,
+        [](std::int64_t x, std::int64_t y) {
+          if (y == 0) throw LispError("division by zero");
+          return x / y;
+        },
+        [](double x, double y) { return x / y; }, true);
+  });
+  in.define_builtin("mod", 2, 2, [](Interp&, std::span<const Value> a) {
+    const std::int64_t x = as_int(a[0]);
+    const std::int64_t y = as_int(a[1]);
+    if (y == 0) throw LispError("mod: division by zero");
+    std::int64_t r = x % y;
+    if (r != 0 && ((r < 0) != (y < 0))) r += y;
+    return Value::fixnum(r);
+  });
+  in.define_builtin("rem", 2, 2, [](Interp&, std::span<const Value> a) {
+    const std::int64_t y = as_int(a[1]);
+    if (y == 0) throw LispError("rem: division by zero");
+    return Value::fixnum(as_int(a[0]) % y);
+  });
+  in.define_builtin("1+", 1, 1, [](Interp&, std::span<const Value> a) {
+    return Value::fixnum(as_int(a[0]) + 1);
+  });
+  in.define_builtin("1-", 1, 1, [](Interp&, std::span<const Value> a) {
+    return Value::fixnum(as_int(a[0]) - 1);
+  });
+  in.define_builtin("min", 1, -1, [](Interp&, std::span<const Value> a) {
+    Value best = a[0];
+    for (Value v : a.subspan(1))
+      if (numeric_less(v, best)) best = v;
+    return best;
+  });
+  in.define_builtin("max", 1, -1, [](Interp&, std::span<const Value> a) {
+    Value best = a[0];
+    for (Value v : a.subspan(1))
+      if (numeric_less(best, v)) best = v;
+    return best;
+  });
+  in.define_builtin("abs", 1, 1, [](Interp& i, std::span<const Value> a) {
+    if (a[0].is_fixnum()) return Value::fixnum(std::abs(a[0].as_fixnum()));
+    return i.ctx().real(std::abs(as_number(a[0])));
+  });
+  in.define_builtin("sqrt", 1, 1, [](Interp& i, std::span<const Value> a) {
+    return i.ctx().real(std::sqrt(as_number(a[0])));
+  });
+  in.define_builtin("expt", 2, 2, [](Interp& i, std::span<const Value> a) {
+    if (a[0].is_fixnum() && a[1].is_fixnum() && a[1].as_fixnum() >= 0) {
+      std::int64_t base = a[0].as_fixnum();
+      std::int64_t acc = 1;
+      for (std::int64_t e = a[1].as_fixnum(); e > 0; --e) acc *= base;
+      return Value::fixnum(acc);
+    }
+    return i.ctx().real(std::pow(as_number(a[0]), as_number(a[1])));
+  });
+  in.define_builtin("floor", 1, 1, [](Interp&, std::span<const Value> a) {
+    return Value::fixnum(
+        static_cast<std::int64_t>(std::floor(as_number(a[0]))));
+  });
+  in.define_builtin("truncate", 1, 1, [](Interp&,
+                                         std::span<const Value> a) {
+    return Value::fixnum(static_cast<std::int64_t>(as_number(a[0])));
+  });
+  in.define_builtin("=", 1, -1, [&ctx](Interp&, std::span<const Value> a) {
+    return chain_compare(ctx, a, numeric_equal);
+  });
+  in.define_builtin("/=", 2, 2, [&ctx](Interp&, std::span<const Value> a) {
+    return bool_val(ctx, !numeric_equal(a[0], a[1]));
+  });
+  in.define_builtin("<", 1, -1, [&ctx](Interp&, std::span<const Value> a) {
+    return chain_compare(ctx, a, numeric_less);
+  });
+  in.define_builtin(">", 1, -1, [&ctx](Interp&, std::span<const Value> a) {
+    return chain_compare(ctx, a,
+                         [](Value x, Value y) { return numeric_less(y, x); });
+  });
+  in.define_builtin("<=", 1, -1, [&ctx](Interp&, std::span<const Value> a) {
+    return chain_compare(
+        ctx, a, [](Value x, Value y) { return !numeric_less(y, x); });
+  });
+  in.define_builtin(">=", 1, -1, [&ctx](Interp&, std::span<const Value> a) {
+    return chain_compare(
+        ctx, a, [](Value x, Value y) { return !numeric_less(x, y); });
+  });
+
+  // ---- higher-order -------------------------------------------------------
+  in.define_builtin("apply", 2, -1, [](Interp& i,
+                                       std::span<const Value> a) {
+    // (apply f x y list): final argument is a list of trailing args.
+    std::vector<Value> args(a.begin() + 1, a.end() - 1);
+    for (Value rest = a.back(); !rest.is_nil(); rest = cdr(rest))
+      args.push_back(car(rest));
+    return i.apply(a[0], args);
+  });
+  in.define_builtin("funcall", 1, -1, [](Interp& i,
+                                         std::span<const Value> a) {
+    return i.apply(a[0], a.subspan(1));
+  });
+  in.define_builtin("mapcar", 2, -1, [](Interp& i,
+                                        std::span<const Value> a) {
+    std::vector<Value> lists(a.begin() + 1, a.end());
+    std::vector<Value> out;
+    for (;;) {
+      std::vector<Value> args;
+      for (Value& l : lists) {
+        if (l.is_nil()) return i.ctx().heap.list(out);
+        args.push_back(car(l));
+        l = cdr(l);
+      }
+      out.push_back(i.apply(a[0], args));
+    }
+  });
+  in.define_builtin("mapc", 2, 2, [](Interp& i, std::span<const Value> a) {
+    for (Value l = a[1]; !l.is_nil(); l = cdr(l)) {
+      const Value args[] = {car(l)};
+      i.apply(a[0], args);
+    }
+    return a[1];
+  });
+  in.define_builtin("reduce", 2, 3, [](Interp& i,
+                                       std::span<const Value> a) {
+    Value list = a[1];
+    Value acc;
+    if (a.size() == 3) {
+      acc = a[2];
+    } else {
+      if (list.is_nil()) return i.apply(a[0], {});
+      acc = car(list);
+      list = cdr(list);
+    }
+    for (; !list.is_nil(); list = cdr(list)) {
+      const Value args[] = {acc, car(list)};
+      acc = i.apply(a[0], args);
+    }
+    return acc;
+  });
+  in.define_builtin("sort", 2, 2, [](Interp& i, std::span<const Value> a) {
+    std::vector<Value> v = sexpr::list_to_vector(a[0]);
+    merge_sort(i, a[1], v);
+    return i.ctx().heap.list(v);
+  });
+  in.define_builtin("identity", 1, 1, [](Interp&,
+                                         std::span<const Value> a) {
+    return a[0];
+  });
+
+  // ---- hash tables ---------------------------------------------------------
+  in.define_builtin("make-hash-table", 0, 0,
+                    [](Interp& i, std::span<const Value>) {
+                      return Value::object(i.ctx().heap.alloc<Table>());
+                    });
+  in.define_builtin("gethash", 2, 3, [](Interp&, std::span<const Value> a) {
+    if (!a[1].is(Kind::Table)) throw LispError("gethash: not a table");
+    Value dflt = a.size() == 3 ? a[2] : Value::nil();
+    return static_cast<Table*>(a[1].obj())->get(a[0], dflt);
+  });
+  in.define_builtin("puthash", 3, 3, [](Interp&, std::span<const Value> a) {
+    if (!a[2].is(Kind::Table)) throw LispError("puthash: not a table");
+    static_cast<Table*>(a[2].obj())->put(a[0], a[1]);
+    return a[1];
+  });
+  in.define_builtin("remhash", 2, 2, [&ctx](Interp&,
+                                            std::span<const Value> a) {
+    if (!a[1].is(Kind::Table)) throw LispError("remhash: not a table");
+    return bool_val(ctx, static_cast<Table*>(a[1].obj())->remove(a[0]));
+  });
+  in.define_builtin("hash-table-count", 1, 1,
+                    [](Interp&, std::span<const Value> a) {
+                      if (!a[0].is(Kind::Table))
+                        throw LispError("hash-table-count: not a table");
+                      return Value::fixnum(static_cast<std::int64_t>(
+                          static_cast<Table*>(a[0].obj())->size()));
+                    });
+
+  // ---- vectors --------------------------------------------------------------
+  in.define_builtin("make-array", 1, 2, [](Interp& i,
+                                           std::span<const Value> a) {
+    const std::int64_t n = as_int(a[0]);
+    if (n < 0) throw LispError("make-array: negative size");
+    Value fill = a.size() == 2 ? a[1] : Value::nil();
+    auto* v = i.ctx().heap.alloc<sexpr::Vector>(
+        std::vector<Value>(static_cast<std::size_t>(n), fill));
+    return Value::object(v);
+  });
+  in.define_builtin("aref", 2, 2, [](Interp&, std::span<const Value> a) {
+    auto* v = sexpr::as_vector(a[0]);
+    const std::int64_t i = as_int(a[1]);
+    if (i < 0 || static_cast<std::size_t>(i) >= v->items.size())
+      throw LispError("aref: index out of range");
+    return v->items[static_cast<std::size_t>(i)];
+  });
+
+  // ---- symbols / strings ------------------------------------------------------
+  in.define_builtin("gensym", 0, 1, [](Interp& i,
+                                       std::span<const Value> a) {
+    std::string_view prefix = "g";
+    if (a.size() == 1) prefix = sexpr::as_string(a[0])->text;
+    return Value::object(i.ctx().symbols.gensym(prefix));
+  });
+  in.define_builtin("symbol-name", 1, 1, [](Interp& i,
+                                            std::span<const Value> a) {
+    return i.ctx().str(as_symbol(a[0])->name);
+  });
+  in.define_builtin("intern", 1, 1, [](Interp& i,
+                                       std::span<const Value> a) {
+    return i.ctx().symbols.intern_value(sexpr::as_string(a[0])->text);
+  });
+  in.define_builtin("string=", 2, 2, [&ctx](Interp&,
+                                            std::span<const Value> a) {
+    return bool_val(ctx, sexpr::as_string(a[0])->text ==
+                             sexpr::as_string(a[1])->text);
+  });
+  in.define_builtin("concat", 0, -1, [](Interp& i,
+                                        std::span<const Value> a) {
+    std::string out;
+    for (Value v : a) out += sexpr::as_string(v)->text;
+    return i.ctx().str(std::move(out));
+  });
+
+  // ---- I/O -----------------------------------------------------------------
+  in.define_builtin("print", 1, 1, [](Interp& i, std::span<const Value> a) {
+    i.write_output(sexpr::write_str(a[0]) + "\n");
+    return a[0];
+  });
+  in.define_builtin("princ", 1, 1, [](Interp& i, std::span<const Value> a) {
+    i.write_output(sexpr::display_str(a[0]));
+    return a[0];
+  });
+  in.define_builtin("prin1", 1, 1, [](Interp& i, std::span<const Value> a) {
+    i.write_output(sexpr::write_str(a[0]));
+    return a[0];
+  });
+  in.define_builtin("terpri", 0, 0, [](Interp& i, std::span<const Value>) {
+    i.write_output("\n");
+    return Value::nil();
+  });
+  // (format dest control args…): dest nil → return the string, dest t →
+  // write it. Directives: ~a (display), ~s (write), ~d (decimal),
+  // ~% (newline), ~~ (literal tilde).
+  in.define_builtin("format", 2, -1, [](Interp& i,
+                                        std::span<const Value> a) {
+    const std::string& control = sexpr::as_string(a[1])->text;
+    std::string out;
+    std::size_t next_arg = 2;
+    for (std::size_t k = 0; k < control.size(); ++k) {
+      if (control[k] != '~') {
+        out.push_back(control[k]);
+        continue;
+      }
+      if (++k >= control.size())
+        throw LispError("format: control string ends with ~");
+      const char d = control[k];
+      switch (d) {
+        case '%': out.push_back('\n'); break;
+        case '~': out.push_back('~'); break;
+        case 'a':
+        case 'A':
+        case 's':
+        case 'S':
+        case 'd':
+        case 'D': {
+          if (next_arg >= a.size())
+            throw LispError("format: not enough arguments for control "
+                            "string");
+          Value v = a[next_arg++];
+          if (d == 'd' || d == 'D') {
+            out += std::to_string(as_int(v));
+          } else if (d == 'a' || d == 'A') {
+            out += sexpr::display_str(v);
+          } else {
+            out += sexpr::write_str(v);
+          }
+          break;
+        }
+        default:
+          throw LispError(std::string("format: unsupported directive ~") +
+                          d);
+      }
+    }
+    if (a[0].is_nil()) return i.ctx().str(std::move(out));
+    i.write_output(out);
+    return Value::nil();
+  });
+
+  // ---- misc -----------------------------------------------------------------
+  in.define_builtin("random", 1, 1, [](Interp& i,
+                                       std::span<const Value> a) {
+    return Value::fixnum(i.random_below(as_int(a[0])));
+  });
+  in.define_builtin("error", 1, -1, [](Interp&, std::span<const Value> a)
+                                        -> Value {
+    std::string msg = a[0].is(Kind::String)
+                          ? sexpr::as_string(a[0])->text
+                          : sexpr::write_str(a[0]);
+    for (Value v : a.subspan(1)) msg += " " + sexpr::write_str(v);
+    throw LispError("error: " + msg);
+  });
+  in.define_builtin("touch", 1, 1, [](Interp& i, std::span<const Value> a) {
+    // Forces a future; identity on ordinary values (Multilisp semantics).
+    return i.force_future(a[0]);
+  });
+  in.define_builtin("get-internal-real-time", 0, 0,
+                    [](Interp&, std::span<const Value>) {
+                      auto now = std::chrono::steady_clock::now();
+                      return Value::fixnum(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              now.time_since_epoch())
+                              .count());
+                    });
+}
+
+}  // namespace curare::lisp

@@ -1,0 +1,94 @@
+// Lexical environments.
+//
+// Local frames form a parent chain and are owned by shared_ptr so
+// closures can outlive the activation that created them. The global frame
+// is shared by every server thread in the CRI runtime, so its map is
+// guarded by a shared_mutex: transformed programs read globals constantly
+// (function lookups) and write them rarely (defun, top-level setq).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "sexpr/value.hpp"
+
+namespace curare::lisp {
+
+using sexpr::Symbol;
+using sexpr::Value;
+
+class Env;
+using EnvPtr = std::shared_ptr<Env>;
+
+class Env {
+ public:
+  /// Create the global (root) frame.
+  static EnvPtr make_global() { return EnvPtr(new Env(nullptr, true)); }
+
+  /// Create a local frame chained to `parent`.
+  static EnvPtr make_local(EnvPtr parent) {
+    return EnvPtr(new Env(std::move(parent), false));
+  }
+
+  /// Lexical lookup; std::nullopt when unbound anywhere in the chain.
+  std::optional<Value> lookup(Symbol* name) const {
+    for (const Env* e = this; e != nullptr; e = e->parent_.get()) {
+      if (e->global_) {
+        std::shared_lock lock(e->mu_);
+        auto it = e->vars_.find(name);
+        if (it != e->vars_.end()) return it->second;
+      } else {
+        auto it = e->vars_.find(name);
+        if (it != e->vars_.end()) return it->second;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Bind `name` in THIS frame (let/lambda binding or defun).
+  void define(Symbol* name, Value v) {
+    if (global_) {
+      std::unique_lock lock(mu_);
+      vars_[name] = v;
+    } else {
+      vars_[name] = v;
+    }
+  }
+
+  /// Assign to the innermost existing binding (setq). Creates a global
+  /// binding if the variable is unbound, as interactive Lisps do.
+  void set(Symbol* name, Value v) {
+    for (Env* e = this; e != nullptr; e = e->parent_.get()) {
+      if (e->global_) {
+        std::unique_lock lock(e->mu_);
+        auto it = e->vars_.find(name);
+        if (it != e->vars_.end() || e->parent_ == nullptr) {
+          e->vars_[name] = v;
+          return;
+        }
+      } else {
+        auto it = e->vars_.find(name);
+        if (it != e->vars_.end()) {
+          it->second = v;
+          return;
+        }
+      }
+    }
+  }
+
+  bool is_global() const { return global_; }
+  const EnvPtr& parent() const { return parent_; }
+
+ private:
+  Env(EnvPtr parent, bool global)
+      : parent_(std::move(parent)), global_(global) {}
+
+  EnvPtr parent_;
+  const bool global_;
+  mutable std::shared_mutex mu_;  // used only when global_
+  std::unordered_map<Symbol*, Value> vars_;
+};
+
+}  // namespace curare::lisp

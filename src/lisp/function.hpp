@@ -1,0 +1,56 @@
+// Function objects: user closures and native builtins.
+//
+// Both are heap objects (sexpr::Obj) so a Value can hold them; `defun`
+// binds the function object to its name in the global environment (this
+// Lisp is a Lisp-1: one namespace for functions and variables, which is
+// all the paper's examples need).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lisp/env.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::lisp {
+
+class Interp;
+
+/// User-defined function. `params` are required positional parameters;
+/// `rest` (may be null) collects extras as a list, per &rest.
+struct Closure final : sexpr::Obj {
+  Closure(std::string name_, std::vector<Symbol*> params_, Symbol* rest_,
+          Value body_, EnvPtr env_)
+      : Obj(sexpr::Kind::Closure),
+        name(std::move(name_)),
+        params(std::move(params_)),
+        rest(rest_),
+        body(body_),
+        env(std::move(env_)) {}
+
+  const std::string name;  ///< "" for anonymous lambdas
+  const std::vector<Symbol*> params;
+  Symbol* const rest;
+  const Value body;  ///< list of body forms
+  const EnvPtr env;  ///< captured lexical environment
+};
+
+using BuiltinFn = std::function<Value(Interp&, std::span<const Value>)>;
+
+struct Builtin final : sexpr::Obj {
+  Builtin(std::string name_, int min_args_, int max_args_, BuiltinFn fn_)
+      : Obj(sexpr::Kind::Builtin),
+        name(std::move(name_)),
+        min_args(min_args_),
+        max_args(max_args_),
+        fn(std::move(fn_)) {}
+
+  const std::string name;
+  const int min_args;
+  const int max_args;  ///< -1 for variadic
+  const BuiltinFn fn;
+};
+
+}  // namespace curare::lisp

@@ -1,0 +1,85 @@
+// defstruct-style record types (paper §2: "these objects are a
+// contiguous block of memory with named fields, for example list-cells
+// or structures produced by defstruct").
+//
+// Syntax mirrors the declaration grammar so one form feeds both the
+// runtime and the analyzer:
+//
+//   (defstruct node (pointers next prev) (data val))
+//
+// defines:
+//   (make-node)                         — all slots nil
+//   (make-node 'next x 'val 3)          — plist initialization
+//   (next n) (prev n) (val n)           — slot accessors; field names ARE
+//                                         the accessor names, matching the
+//                                         paper's unique-accessor model
+//   (setf (next n) v)                   — slot assignment
+//   (node-p x)                          — type predicate
+//
+// Slots are atomic words (like cons cells): unsynchronized concurrent
+// access never tears; ordering is the transformed program's job.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sexpr/value.hpp"
+
+namespace curare::lisp {
+
+/// Shared descriptor of one struct type.
+struct StructType {
+  sexpr::Symbol* name = nullptr;
+  std::vector<sexpr::Symbol*> pointer_fields;
+  std::vector<sexpr::Symbol*> data_fields;
+
+  /// All fields, pointers first (slot order).
+  std::vector<sexpr::Symbol*> all_fields() const {
+    std::vector<sexpr::Symbol*> v = pointer_fields;
+    v.insert(v.end(), data_fields.begin(), data_fields.end());
+    return v;
+  }
+
+  int slot_index(sexpr::Symbol* field) const {
+    int i = 0;
+    for (sexpr::Symbol* f : pointer_fields) {
+      if (f == field) return i;
+      ++i;
+    }
+    for (sexpr::Symbol* f : data_fields) {
+      if (f == field) return i;
+      ++i;
+    }
+    return -1;
+  }
+
+  std::size_t slot_count() const {
+    return pointer_fields.size() + data_fields.size();
+  }
+};
+
+/// A struct instance (Kind::Struct heap object).
+struct Instance final : sexpr::Obj {
+  Instance(std::shared_ptr<const StructType> t)
+      : Obj(sexpr::Kind::Struct),
+        type(std::move(t)),
+        slots(type->slot_count()) {
+    for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+  }
+
+  sexpr::Value get(int slot) const {
+    return sexpr::Value::from_bits(
+        slots[static_cast<std::size_t>(slot)].load(
+            std::memory_order_relaxed));
+  }
+  void set(int slot, sexpr::Value v) {
+    slots[static_cast<std::size_t>(slot)].store(
+        v.bits(), std::memory_order_relaxed);
+  }
+
+  const std::shared_ptr<const StructType> type;
+  std::vector<std::atomic<std::uint64_t>> slots;
+};
+
+}  // namespace curare::lisp

@@ -1,0 +1,101 @@
+#include "runtime/future_pool.hpp"
+
+namespace curare::runtime {
+
+FuturePool::FuturePool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+FuturePool::~FuturePool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn) {
+  auto state = std::make_shared<FutureState>();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    queue_.push_back(Task{std::move(fn), state});
+  }
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return state;
+}
+
+void FuturePool::run_task(Task& t) {
+  Value v;
+  std::exception_ptr err;
+  try {
+    v = t.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> g(t.state->mu);
+    t.state->value = v;
+    t.state->error = err;
+    t.state->done = true;
+  }
+  t.state->cv.notify_all();
+}
+
+bool FuturePool::run_one_task() {
+  Task t;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (queue_.empty()) return false;
+    t = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  run_task(t);
+  return true;
+}
+
+void FuturePool::worker_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_.wait(g, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_task(t);
+  }
+}
+
+Value FuturePool::touch(const std::shared_ptr<FutureState>& f) {
+  // Help-first waiting: executing queued tasks while the target is
+  // unresolved keeps a bounded pool deadlock-free even when futures
+  // depend on queued futures.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> g(f->mu);
+      if (f->done) {
+        if (f->error) std::rethrow_exception(f->error);
+        return f->value;
+      }
+    }
+    if (!run_one_task()) {
+      std::unique_lock<std::mutex> g(f->mu);
+      f->cv.wait_for(g, std::chrono::milliseconds(1),
+                     [&] { return f->done; });
+      if (f->done) {
+        if (f->error) std::rethrow_exception(f->error);
+        return f->value;
+      }
+    }
+  }
+}
+
+}  // namespace curare::runtime

@@ -1,0 +1,85 @@
+// Multilisp-style futures on a fixed worker pool (paper §3.1).
+//
+// "If the spawning process is not strict in its use of the result (e.g.,
+// it stores the result in a data structure rather than looking at its
+// value), then a Multilisp future provides process creation and
+// synchronization features that permit concurrent execution."
+//
+// The pool has a fixed number of workers — the paper is explicit that
+// processes are NOT a free and infinite resource (§1.2), contra
+// Multilisp. `touch` on an unresolved future helps by executing queued
+// tasks instead of blocking, so a bounded pool can never deadlock on
+// future dependencies.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sexpr/value.hpp"
+
+namespace curare::runtime {
+
+using sexpr::Value;
+
+/// Shared state of one future. Heap-resident via FutureObj so Lisp code
+/// can store futures in structures.
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Value value;
+  std::exception_ptr error;
+};
+
+/// The heap object a Lisp program sees (Kind::Native).
+struct FutureObj final : sexpr::Obj {
+  explicit FutureObj(std::shared_ptr<FutureState> s)
+      : Obj(sexpr::Kind::Native), state(std::move(s)) {}
+  const std::shared_ptr<FutureState> state;
+};
+
+class FuturePool {
+ public:
+  /// Starts `workers` threads (hardware concurrency if 0).
+  explicit FuturePool(std::size_t workers = 0);
+  ~FuturePool();
+  FuturePool(const FuturePool&) = delete;
+  FuturePool& operator=(const FuturePool&) = delete;
+
+  /// Submit a computation; returns its future state.
+  std::shared_ptr<FutureState> spawn(std::function<Value()> fn);
+
+  /// Block until the future resolves, helping with queued tasks while
+  /// waiting. Rethrows the task's exception, if any.
+  Value touch(const std::shared_ptr<FutureState>& f);
+
+  std::size_t workers() const { return threads_.size(); }
+  std::uint64_t spawned() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task {
+    std::function<Value()> fn;
+    std::shared_ptr<FutureState> state;
+  };
+
+  void worker_loop();
+  bool run_one_task();
+  static void run_task(Task& t);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> spawned_{0};
+};
+
+}  // namespace curare::runtime

@@ -1,0 +1,86 @@
+#include "runtime/lock_manager.hpp"
+
+#include "sexpr/value.hpp"
+
+namespace curare::runtime {
+
+void LockManager::lock(const LocKey& key, bool exclusive) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::unique_lock<std::mutex> g(s.mu);
+  const auto self = std::this_thread::get_id();
+
+  // unlock() erases entries whose counts reach zero, so references into
+  // the map are only valid until the next wait: re-look-up after every
+  // wake-up.
+  for (;;) {
+    Entry& e = s.entries[key];  // creates a zero entry if absent
+
+    if (e.writer == self && e.writer_depth > 0) {
+      // Reentrant hold (reads by the writer also land here so unlock
+      // bookkeeping stays symmetric).
+      ++e.writer_depth;
+      return;
+    }
+    if (exclusive) {
+      if (e.readers == 0 && e.writer_depth == 0) {
+        e.writer = self;
+        e.writer_depth = 1;
+        return;
+      }
+    } else {
+      if (e.writer_depth == 0) {
+        ++e.readers;
+        return;
+      }
+    }
+    s.cv.wait(g);
+  }
+}
+
+void LockManager::unlock(const LocKey& key, bool exclusive) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) {
+    throw sexpr::LispError("unlock of a location that is not locked");
+  }
+  Entry& e = it->second;
+  const auto self = std::this_thread::get_id();
+
+  if (e.writer_depth > 0 && e.writer == self) {
+    // Owner unlocking a (possibly reentrant) write hold. A shared
+    // unlock by the writer also lands here, matching the reentrant
+    // acquisition path above.
+    (void)exclusive;
+    if (--e.writer_depth == 0) {
+      e.writer = std::thread::id{};
+      if (e.readers == 0) s.entries.erase(it);
+      s.cv.notify_all();
+    }
+    return;
+  }
+
+  if (!exclusive && e.readers > 0) {
+    if (--e.readers == 0 && e.writer_depth == 0) {
+      s.entries.erase(it);
+      s.cv.notify_all();
+    }
+    return;
+  }
+
+  throw sexpr::LispError(
+      "unlock does not match a lock held by this thread");
+}
+
+std::size_t LockManager::live_entries() const {
+  std::size_t n = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    n += s.entries.size();
+  }
+  return n;
+}
+
+}  // namespace curare::runtime

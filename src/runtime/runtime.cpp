@@ -1,0 +1,305 @@
+#include "runtime/runtime.hpp"
+
+#include <vector>
+
+#include "sexpr/printer.hpp"
+
+namespace curare::runtime {
+
+using lisp::Interp;
+using sexpr::as_cons;
+using sexpr::as_symbol;
+using sexpr::Cons;
+using sexpr::Kind;
+using sexpr::LispError;
+using sexpr::Symbol;
+using sexpr::Value;
+
+namespace {
+
+FutureObj* as_future(Value v) {
+  if (!v.is(Kind::Native)) return nullptr;
+  return dynamic_cast<FutureObj*>(v.obj());
+}
+
+bool parse_mode_exclusive(std::span<const Value> args, std::size_t idx) {
+  if (args.size() <= idx) return true;  // default: exclusive
+  Symbol* m = as_symbol(args[idx]);
+  if (m->name == "read") return false;
+  if (m->name == "write") return true;
+  throw LispError("%lock: mode must be 'read or 'write, got " + m->name);
+}
+
+LocKey cell_key(Value cell, Value field) {
+  // Locking "off the end" of a structure (the location expression
+  // evaluated to nil) protects nothing and touches nothing: a no-op key
+  // is represented by a null object and filtered by the caller.
+  if (cell.is_nil()) return LocKey{};
+  if (cell.is(Kind::Cons) || cell.is(Kind::Struct))
+    return LocKey{cell.obj(), as_symbol(field)};
+  throw LispError("%lock: location container must be a cons or struct");
+}
+
+}  // namespace
+
+Runtime::Runtime(Interp& interp, std::size_t workers)
+    : interp_(interp), futures_(workers) {}
+
+CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
+                          std::size_t servers, TaskArgs initial_args) {
+  CriRun run(interp_, fn, num_sites, servers);
+  last_stats_ = run.run(std::move(initial_args));
+  return last_stats_;
+}
+
+Value Runtime::force_tree(Value v) {
+  if (FutureObj* f = as_future(v)) v = futures_.touch(f->state);
+  if (!v.is(Kind::Cons)) return v;
+  // Iterative spine walk with recursion on cars keeps stack use bounded
+  // by tree depth, not list length.
+  Value cell = v;
+  while (cell.is(Kind::Cons)) {
+    Cons* c = static_cast<Cons*>(cell.obj());
+    Value a = c->car();
+    Value forced_a = force_tree(a);
+    if (forced_a != a) c->set_car(forced_a);
+    Value d = c->cdr();
+    if (FutureObj* f = as_future(d)) {
+      d = futures_.touch(f->state);
+      c->set_cdr(d);
+    }
+    if (!d.is(Kind::Cons)) break;  // nil or atom tail: spine done
+    cell = d;
+  }
+  return v;
+}
+
+void Runtime::install() {
+  Interp& in = interp_;
+
+  // ---- location locks (§3.2.1) ---------------------------------------
+  in.define_builtin("%lock", 2, 3, [this](Interp&,
+                                          std::span<const Value> a) {
+    LocKey key = cell_key(a[0], a[1]);
+    if (key.object != nullptr) locks_.lock(key, parse_mode_exclusive(a, 2));
+    return Value::nil();
+  });
+  in.define_builtin("%unlock", 2, 3, [this](Interp&,
+                                            std::span<const Value> a) {
+    LocKey key = cell_key(a[0], a[1]);
+    if (key.object != nullptr)
+      locks_.unlock(key, parse_mode_exclusive(a, 2));
+    return Value::nil();
+  });
+  in.define_builtin("%lock-var", 1, 1, [this](Interp&,
+                                              std::span<const Value> a) {
+    locks_.lock(LocKey{as_symbol(a[0]), nullptr}, true);
+    return Value::nil();
+  });
+  in.define_builtin("%unlock-var", 1, 1, [this](Interp&,
+                                                std::span<const Value> a) {
+    locks_.unlock(LocKey{as_symbol(a[0]), nullptr}, true);
+    return Value::nil();
+  });
+
+  // ---- atomic reordered updates (§3.2.3) --------------------------------
+  in.define_builtin("%atomic-add", 3, 3, [](Interp&,
+                                            std::span<const Value> a) {
+    Symbol* field = as_symbol(a[1]);
+    const std::int64_t delta = lisp::as_int(a[2]);
+    std::atomic<std::uint64_t>* slot = nullptr;
+    if (a[0].is(Kind::Cons)) {
+      Cons* cell = static_cast<Cons*>(a[0].obj());
+      if (field->name == "car") {
+        slot = &cell->car_bits;
+      } else if (field->name == "cdr") {
+        slot = &cell->cdr_bits;
+      } else {
+        throw LispError("%atomic-add: cons field must be car or cdr");
+      }
+    } else if (a[0].is(Kind::Struct)) {
+      auto* inst = static_cast<lisp::Instance*>(a[0].obj());
+      const int idx = inst->type->slot_index(field);
+      if (idx < 0)
+        throw LispError("%atomic-add: no field " + field->name + " in " +
+                        inst->type->name->name);
+      slot = &inst->slots[static_cast<std::size_t>(idx)];
+    } else {
+      throw LispError("%atomic-add: container must be a cons or struct");
+    }
+    // CAS loop over the tagged fixnum representation.
+    std::uint64_t old_bits = slot->load(std::memory_order_relaxed);
+    for (;;) {
+      Value old_val = Value::from_bits(old_bits);
+      if (!old_val.is_fixnum())
+        throw LispError("%atomic-add: location does not hold a fixnum");
+      Value new_val = Value::fixnum(old_val.as_fixnum() + delta);
+      if (slot->compare_exchange_weak(old_bits, new_val.bits(),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return new_val;
+      }
+    }
+  });
+  in.define_builtin("%atomic-incf-var", 2, 2,
+                    [this](Interp& i, std::span<const Value> a) {
+                      Symbol* var = as_symbol(a[0]);
+                      const std::int64_t delta = lisp::as_int(a[1]);
+                      const LocKey key{var, nullptr};
+                      locks_.lock(key, true);
+                      Value nv;
+                      try {
+                        auto old = i.global_env()->lookup(var);
+                        const std::int64_t base =
+                            old ? lisp::as_int(*old) : 0;
+                        nv = Value::fixnum(base + delta);
+                        i.global_env()->set(var, nv);
+                      } catch (...) {
+                        locks_.unlock(key, true);
+                        throw;
+                      }
+                      locks_.unlock(key, true);
+                      return nv;
+                    });
+
+  // ---- generic atomic/locked update for any operator -----------------
+  // (%locked-update-var 'v fn) applies fn to the current value under the
+  // variable's lock — atomizing a declared commutative+associative op
+  // that is not natively atomic ("non-atomic commutative and associative
+  // operations can be made atomic with the aid of locks", §3.2.3).
+  in.define_builtin("%locked-update-var", 2, 2,
+                    [this](Interp& i, std::span<const Value> a) {
+                      Symbol* var = as_symbol(a[0]);
+                      const LocKey key{var, nullptr};
+                      locks_.lock(key, true);
+                      Value nv;
+                      try {
+                        auto old = i.global_env()->lookup(var);
+                        const Value args[] = {old ? *old : Value::nil()};
+                        nv = i.apply(a[1], args);
+                        i.global_env()->set(var, nv);
+                      } catch (...) {
+                        locks_.unlock(key, true);
+                        throw;
+                      }
+                      locks_.unlock(key, true);
+                      return nv;
+                    });
+
+  // (%locked-update cell 'field fn): apply fn to the field's value under
+  // the location's lock — atomizes a declared comm+assoc operator on a
+  // structure location.
+  in.define_builtin(
+      "%locked-update", 3, 3, [this](Interp& i, std::span<const Value> a) {
+        Symbol* field = as_symbol(a[1]);
+        std::function<Value()> get;
+        std::function<void(Value)> set;
+        if (a[0].is(Kind::Cons)) {
+          Cons* cell = static_cast<Cons*>(a[0].obj());
+          const bool is_car = field->name == "car";
+          if (!is_car && field->name != "cdr")
+            throw LispError("%locked-update: cons field must be car or "
+                            "cdr");
+          get = [cell, is_car] {
+            return is_car ? cell->car() : cell->cdr();
+          };
+          set = [cell, is_car](Value v) {
+            if (is_car) {
+              cell->set_car(v);
+            } else {
+              cell->set_cdr(v);
+            }
+          };
+        } else if (a[0].is(Kind::Struct)) {
+          auto* inst = static_cast<lisp::Instance*>(a[0].obj());
+          const int idx = inst->type->slot_index(field);
+          if (idx < 0)
+            throw LispError("%locked-update: no field " + field->name);
+          get = [inst, idx] { return inst->get(idx); };
+          set = [inst, idx](Value v) { inst->set(idx, v); };
+        } else {
+          throw LispError(
+              "%locked-update: container must be a cons or struct");
+        }
+        const LocKey key{a[0].obj(), field};
+        locks_.lock(key, true);
+        Value nv;
+        try {
+          const Value args[] = {get()};
+          nv = i.apply(a[2], args);
+          set(nv);
+        } catch (...) {
+          locks_.unlock(key, true);
+          throw;
+        }
+        locks_.unlock(key, true);
+        return nv;
+      });
+
+  // ---- CRI server pool (§4) --------------------------------------------
+  in.define_builtin("%cri-enqueue", 1, -1,
+                    [](Interp&, std::span<const Value> a) {
+                      CriRun* run = CriRun::current();
+                      if (run == nullptr) {
+                        throw LispError(
+                            "%cri-enqueue outside of a CRI server pool");
+                      }
+                      const std::int64_t site = lisp::as_int(a[0]);
+                      run->enqueue(static_cast<std::size_t>(site),
+                                   TaskArgs(a.begin() + 1, a.end()));
+                      return Value::nil();
+                    });
+  in.define_builtin("%cri-finish", 0, 1,
+                    [](Interp&, std::span<const Value> a) {
+                      CriRun* run = CriRun::current();
+                      if (run == nullptr) {
+                        throw LispError(
+                            "%cri-finish outside of a CRI server pool");
+                      }
+                      run->finish(a.empty() ? Value::nil() : a[0]);
+                      return Value::nil();
+                    });
+  in.define_builtin(
+      "%cri-run", 3, -1, [this](Interp&, std::span<const Value> a) {
+        Value fn = a[0];
+        const auto num_sites =
+            static_cast<std::size_t>(lisp::as_int(a[1]));
+        const auto servers = static_cast<std::size_t>(lisp::as_int(a[2]));
+        CriStats stats = run_cri(fn, num_sites, servers,
+                                 TaskArgs(a.begin() + 3, a.end()));
+        // Any-result searches deliver their value through finish; plain
+        // recursions yield nil here (results come via result variables
+        // or DPS destinations).
+        return stats.result;
+      });
+
+  // ---- futures (§3.1) -----------------------------------------------------
+  in.define_builtin("spawn", 1, 1, [this](Interp& i,
+                                          std::span<const Value> a) {
+    Value thunk = a[0];
+    auto state = futures_.spawn([&i, thunk] {
+      return i.apply(thunk, {});
+    });
+    return Value::object(i.ctx().heap.alloc<FutureObj>(std::move(state)));
+  });
+  in.define_builtin("future-p", 1, 1, [](Interp& i,
+                                         std::span<const Value> a) {
+    return as_future(a[0]) != nullptr ? Value::object(i.ctx().s_t)
+                                      : Value::nil();
+  });
+  in.define_builtin("force-tree", 1, 1, [this](Interp&,
+                                               std::span<const Value> a) {
+    return force_tree(a[0]);
+  });
+
+  in.set_spawn_hook([this](Interp& i, Value thunk) {
+    auto state = futures_.spawn([&i, thunk] { return i.apply(thunk, {}); });
+    return Value::object(i.ctx().heap.alloc<FutureObj>(std::move(state)));
+  });
+  in.set_touch_hook([this](Interp&, Value v) {
+    if (FutureObj* f = as_future(v)) return futures_.touch(f->state);
+    return v;
+  });
+}
+
+}  // namespace curare::runtime

@@ -1,0 +1,58 @@
+// Runtime facade: owns the lock manager and future pool, and installs
+// the primitive operations that Curare-transformed programs call:
+//
+//   (%lock cell 'field ['read|'write])     §3.2.1 Lock(M)
+//   (%unlock cell 'field ['read|'write])   §3.2.1 Unlock(M)
+//   (%lock-var 'v) (%unlock-var 'v)        variable-location locks
+//   (%atomic-add cell 'field delta)        §3.2.3 reordered atomic update
+//   (%atomic-incf-var 'v delta)            §3.2.3 for variables
+//   (%cri-enqueue site args…)              §4 recursive call → enqueue
+//   (%cri-run fn num-sites servers args…)  §4 start a server pool
+//   (spawn thunk) / futures via the `future` special form; (touch x)
+//   (force-tree x)                          resolve futures inside a tree
+//
+// Installing the runtime also arms the interpreter's future/touch hooks,
+// switching `future` from eager (uniprocessor) to pooled execution.
+#pragma once
+
+#include <memory>
+
+#include "lisp/interp.hpp"
+#include "runtime/future_pool.hpp"
+#include "runtime/lock_manager.hpp"
+#include "runtime/server_pool.hpp"
+
+namespace curare::runtime {
+
+class Runtime {
+ public:
+  /// Binds to an interpreter; `workers` sizes the future pool (0 =
+  /// hardware concurrency). Call install() to register primitives.
+  explicit Runtime(lisp::Interp& interp, std::size_t workers = 0);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  void install();
+
+  LockManager& locks() { return locks_; }
+  FuturePool& futures() { return futures_; }
+
+  /// Run a transformed server-body function under a CRI pool.
+  CriStats run_cri(sexpr::Value fn, std::size_t num_sites,
+                   std::size_t servers, TaskArgs initial_args);
+
+  const CriStats& last_cri_stats() const { return last_stats_; }
+
+  /// Walk a cons tree, forcing every future found (destructively
+  /// replacing it with its value). Returns the (possibly replaced) root.
+  sexpr::Value force_tree(sexpr::Value v);
+
+ private:
+  lisp::Interp& interp_;
+  LockManager locks_;
+  FuturePool futures_;
+  CriStats last_stats_;
+};
+
+}  // namespace curare::runtime

@@ -1,0 +1,88 @@
+#include "runtime/server_pool.hpp"
+
+#include <vector>
+
+namespace curare::runtime {
+
+namespace {
+thread_local CriRun* g_current_run = nullptr;
+
+struct CurrentRunGuard {
+  explicit CurrentRunGuard(CriRun* r) : prev(g_current_run) {
+    g_current_run = r;
+  }
+  ~CurrentRunGuard() { g_current_run = prev; }
+  CriRun* prev;
+};
+}  // namespace
+
+CriRun* CriRun::current() { return g_current_run; }
+
+CriRun::CriRun(lisp::Interp& interp, sexpr::Value fn,
+               std::size_t num_sites, std::size_t servers)
+    : interp_(interp),
+      fn_(fn),
+      queues_(num_sites),
+      servers_(servers == 0 ? 1 : servers) {}
+
+void CriRun::enqueue(std::size_t site, TaskArgs args) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  queues_.push(site, std::move(args));
+}
+
+void CriRun::finish(sexpr::Value result) {
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    if (finished_early_) return;  // first result wins
+    finished_early_ = true;
+    result_ = result;
+  }
+  queues_.close();  // kill tokens for every server
+}
+
+void CriRun::serve() {
+  CurrentRunGuard guard(this);
+  while (auto task = queues_.pop()) {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      interp_.apply(fn_, *task);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> g(err_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      queues_.close();
+      return;
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // This invocation finished the recursion: kill the servers.
+      queues_.close();
+    }
+  }
+}
+
+CriStats CriRun::run(TaskArgs initial_args) {
+  pending_.store(1, std::memory_order_relaxed);
+  queues_.push(0, std::move(initial_args));
+
+  std::vector<std::thread> threads;
+  threads.reserve(servers_);
+  for (std::size_t i = 0; i < servers_; ++i)
+    threads.emplace_back([this] { serve(); });
+  for (std::thread& t : threads) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+
+  CriStats stats;
+  stats.invocations = invocations_.load(std::memory_order_relaxed);
+  stats.max_queue_length = queues_.max_length();
+  stats.servers = servers_;
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    stats.result = result_;
+    stats.finished_early = finished_early_;
+  }
+  return stats;
+}
+
+}  // namespace curare::runtime

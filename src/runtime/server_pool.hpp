@@ -1,0 +1,85 @@
+// The CRI server pool (paper §4).
+//
+// "Because every transaction executes an identical function body, we can
+// have a collection of servers that repeatedly execute this piece of
+// code. Each server only needs to obtain the arguments to an invocation
+// to begin executing a new task. It does not need to execute a process
+// context switch."
+//
+// The abstract server model of §4.1:
+//
+//     while ¬ *recursion-done* do
+//        dequeue parameters;
+//        {body of f}
+//     end
+//
+// CriRun realizes it: S std::threads loop dequeue→apply on a transformed
+// function whose recursive calls were rewritten to (%cri-enqueue site
+// args…). Termination: a pending-task counter (enqueue +1, completion
+// −1, initial call = 1) closes the queues at zero — the invocation that
+// terminates the recursion effectively "enqueues tokens that kill the
+// other servers".
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "lisp/interp.hpp"
+#include "runtime/task_queue.hpp"
+
+namespace curare::runtime {
+
+struct CriStats {
+  std::uint64_t invocations = 0;
+  std::size_t max_queue_length = 0;
+  std::size_t servers = 0;
+  /// Value delivered by %cri-finish (any-result searches, §3.2.3);
+  /// nil when the recursion ran to completion.
+  sexpr::Value result;
+  bool finished_early = false;
+};
+
+class CriRun {
+ public:
+  /// `fn` is the transformed server-body function (a Closure value);
+  /// `num_sites` the number of recursive call sites it enqueues to;
+  /// `servers` the number of server threads S.
+  CriRun(lisp::Interp& interp, sexpr::Value fn, std::size_t num_sites,
+         std::size_t servers);
+
+  /// Execute the recursion started by `initial_args` to completion.
+  /// Blocks; rethrows the first body error. Returns the statistics.
+  CriStats run(TaskArgs initial_args);
+
+  /// Called (via the %cri-enqueue builtin) from server threads.
+  void enqueue(std::size_t site, TaskArgs args);
+
+  /// Any-result search termination (§3.2.3): deliver a result and kill
+  /// the remaining servers. First call wins; later calls are ignored
+  /// ("a search can proceed in parallel without the additional
+  /// constraint of having to find the same result as a sequential
+  /// search").
+  void finish(sexpr::Value result);
+
+  /// The CriRun the calling server thread is executing for, if any.
+  static CriRun* current();
+
+ private:
+  void serve();
+
+  lisp::Interp& interp_;
+  sexpr::Value fn_;
+  OrderedTaskQueues queues_;
+  std::size_t servers_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::uint64_t> invocations_{0};
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+
+  std::mutex result_mu_;
+  sexpr::Value result_;
+  bool finished_early_ = false;
+};
+
+}  // namespace curare::runtime

@@ -1,0 +1,60 @@
+#include "runtime/sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace curare::runtime {
+
+std::vector<InvocationTrace> simulate_cri_trace(const SimParams& p) {
+  const std::size_t d = std::max<std::size_t>(1, p.depth);
+  const std::size_t S = std::max<std::size_t>(1, p.servers);
+
+  std::vector<double> server_free(S, 0.0);
+  std::vector<InvocationTrace> trace(d);
+  double ready = 0.0;       // invocation 0 is ready at t=0
+  double queue_free = 0.0;  // central queue serializes dequeues
+
+  for (std::size_t i = 0; i < d; ++i) {
+    double start = ready;
+    // Lock blocking: wait for the unlock of invocation i−k (§3.2.1).
+    if (p.conflict_distance > 0 && i >= p.conflict_distance)
+      start = std::max(start, trace[i - p.conflict_distance].finish);
+    // Earliest-free server takes the task.
+    std::size_t srv = 0;
+    for (std::size_t s = 1; s < S; ++s)
+      if (server_free[s] < server_free[srv]) srv = s;
+    start = std::max(start, server_free[srv]);
+    // Dequeue is serialized through the central queue.
+    start = std::max(start, queue_free);
+    queue_free = start + p.dequeue_cost;
+    start += p.dequeue_cost;
+
+    trace[i].start = start;
+    trace[i].head_end = start + p.head_cost;
+    trace[i].finish = trace[i].head_end + p.tail_cost;
+    trace[i].server = srv;
+    server_free[srv] = trace[i].finish;
+    ready = trace[i].head_end;  // the enqueue happens at head end
+  }
+  return trace;
+}
+
+SimResult simulate_cri(const SimParams& p) {
+  const std::vector<InvocationTrace> trace = simulate_cri_trace(p);
+  SimResult r;
+  for (const InvocationTrace& t : trace) {
+    r.total_time = std::max(r.total_time, t.finish);
+    r.busy_time += p.head_cost + p.tail_cost + p.dequeue_cost;
+  }
+  r.avg_concurrency = r.total_time > 0 ? r.busy_time / r.total_time : 1.0;
+  return r;
+}
+
+double SimResult::speedup_vs_one(const SimParams& p) const {
+  SimParams one = p;
+  one.servers = 1;
+  const SimResult base = simulate_cri(one);
+  return total_time > 0 ? base.total_time / total_time : 1.0;
+}
+
+}  // namespace curare::runtime

@@ -1,0 +1,57 @@
+// Discrete-event simulator of the CRI server pool (paper §4.1).
+//
+// The paper evaluates its execution model analytically (Figure 10's
+// T(S) curve) because the target multiprocessors were scarce; this host
+// may not have one either (the reference environment has a single
+// core). The simulator plays the role of the 5–100 processor machine of
+// §1.2: S servers, a central task queue with a serialized dequeue cost,
+// chain-spawned invocations (invocation i+1 becomes ready when i's head
+// finishes — the enqueue at the recursive call), optional lock blocking
+// at a conflict distance k (invocation i's body may not start before
+// invocation i−k has unlocked at its completion, §3.2.1).
+//
+// With zero dequeue cost and no conflicts this reproduces the paper's
+//   T(S) = (⌈d/S⌉−1)(h+t) + (S·h+t)
+// shape; with conflicts it exhibits the min-distance concurrency cap;
+// with dequeue cost it exposes the central-queue bottleneck of §4.1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace curare::runtime {
+
+struct SimParams {
+  double head_cost = 1.0;  ///< h: time units before/including the spawn
+  double tail_cost = 0.0;  ///< t: time units after the spawn
+  std::size_t depth = 1;   ///< d: number of invocations in the chain
+  std::size_t servers = 1; ///< S
+  /// Lock-imposed ordering: invocation i may not start its body until
+  /// invocation i−k completed (0 = conflict-free).
+  std::size_t conflict_distance = 0;
+  /// Serialized time to pop the central queue (0 = free queue).
+  double dequeue_cost = 0.0;
+};
+
+struct SimResult {
+  double total_time = 0.0;       ///< completion time of the recursion
+  double busy_time = 0.0;        ///< Σ per-invocation service time
+  double avg_concurrency = 0.0;  ///< busy_time / total_time
+  /// Speedup over the same workload on one server.
+  double speedup_vs_one(const SimParams& p) const;
+};
+
+SimResult simulate_cri(const SimParams& p);
+
+/// Per-invocation schedule, for Figure 6/7-style visualizations.
+struct InvocationTrace {
+  double start = 0;     ///< body begins (post-dequeue)
+  double head_end = 0;  ///< spawn point: the next invocation is ready
+  double finish = 0;    ///< tail done (unlock point under conflicts)
+  std::size_t server = 0;
+};
+
+/// Simulate and return the full schedule (same model as simulate_cri).
+std::vector<InvocationTrace> simulate_cri_trace(const SimParams& p);
+
+}  // namespace curare::runtime

@@ -1,0 +1,93 @@
+// Ordered task queues for the CRI server pool (paper §4.1).
+//
+// "If f contains multiple self-recursive calls, then the order of
+// invocations can be scrambled by the queue. … This problem can be
+// resolved by maintaining an ordered set of queues, one for each call
+// site, and by having a server use the next queue only after it
+// finishes executing all calls in the current queue."
+//
+// pop() therefore always drains the lowest-index nonempty queue first.
+// Termination uses the paper's kill-token idea: close() wakes every
+// server with an empty pop, and they exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sexpr/value.hpp"
+
+namespace curare::runtime {
+
+using TaskArgs = std::vector<sexpr::Value>;
+
+class OrderedTaskQueues {
+ public:
+  explicit OrderedTaskQueues(std::size_t num_sites)
+      : queues_(num_sites == 0 ? 1 : num_sites) {}
+
+  /// Enqueue an invocation's arguments at a call site's queue.
+  void push(std::size_t site, TaskArgs args) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (site >= queues_.size())
+        throw sexpr::LispError("cri: call-site index out of range");
+      queues_[site].push_back(std::move(args));
+      std::size_t total = 0;
+      for (const auto& q : queues_) total += q.size();
+      if (total > max_len_) max_len_ = total;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block for the next task (lowest-index site first); nullopt when the
+  /// queues are closed and empty — the kill token.
+  std::optional<TaskArgs> pop() {
+    std::unique_lock<std::mutex> g(mu_);
+    for (;;) {
+      for (auto& q : queues_) {
+        if (!q.empty()) {
+          TaskArgs t = std::move(q.front());
+          q.pop_front();
+          return t;
+        }
+      }
+      if (closed_) return std::nullopt;
+      cv_.wait(g);
+    }
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return closed_;
+  }
+
+  /// High-water mark of total queued tasks (§4.1: with a single call
+  /// site the queue never grows beyond its initial length).
+  std::size_t max_length() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return max_len_;
+  }
+
+  std::size_t sites() const { return queues_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<TaskArgs>> queues_;
+  bool closed_ = false;
+  std::size_t max_len_ = 0;
+};
+
+}  // namespace curare::runtime

@@ -1,0 +1,86 @@
+// Shared allocation context: one heap + one symbol table, plus the
+// well-known symbols the reader, evaluator, and transformer all need.
+// Every component in the system holds a reference to one Ctx; tests create
+// a fresh Ctx each so they are hermetic.
+#pragma once
+
+#include "sexpr/heap.hpp"
+#include "sexpr/symbol_table.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+struct Ctx {
+  Ctx()
+      : symbols(heap),
+        s_quote(symbols.intern("quote")),
+        s_t(symbols.intern("t")),
+        s_nil(symbols.intern("nil")),
+        s_lambda(symbols.intern("lambda")),
+        s_defun(symbols.intern("defun")),
+        s_setf(symbols.intern("setf")),
+        s_setq(symbols.intern("setq")),
+        s_if(symbols.intern("if")),
+        s_cond(symbols.intern("cond")),
+        s_when(symbols.intern("when")),
+        s_unless(symbols.intern("unless")),
+        s_let(symbols.intern("let")),
+        s_let_star(symbols.intern("let*")),
+        s_progn(symbols.intern("progn")),
+        s_and(symbols.intern("and")),
+        s_or(symbols.intern("or")),
+        s_while(symbols.intern("while")),
+        s_dotimes(symbols.intern("dotimes")),
+        s_dolist(symbols.intern("dolist")),
+        s_rest(symbols.intern("&rest")),
+        s_optional(symbols.intern("&optional")),
+        s_declare(symbols.intern("declare")),
+        s_car(symbols.intern("car")),
+        s_cdr(symbols.intern("cdr")) {}
+
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  Value cons(Value a, Value d) { return heap.cons(a, d); }
+  Value sym(std::string_view name) { return symbols.intern_value(name); }
+  Value list(const std::vector<Value>& items) { return heap.list(items); }
+  Value str(std::string s) { return heap.string(std::move(s)); }
+  Value real(double d) { return heap.real(d); }
+  static Value num(std::int64_t n) { return Value::fixnum(n); }
+
+  /// Convenience variadic list builder.
+  template <typename... Vs>
+  Value make_list(Vs... vs) {
+    return heap.list(std::vector<Value>{vs...});
+  }
+
+  Heap heap;
+  SymbolTable symbols;
+
+  Symbol* const s_quote;
+  Symbol* const s_t;
+  Symbol* const s_nil;
+  Symbol* const s_lambda;
+  Symbol* const s_defun;
+  Symbol* const s_setf;
+  Symbol* const s_setq;
+  Symbol* const s_if;
+  Symbol* const s_cond;
+  Symbol* const s_when;
+  Symbol* const s_unless;
+  Symbol* const s_let;
+  Symbol* const s_let_star;
+  Symbol* const s_progn;
+  Symbol* const s_and;
+  Symbol* const s_or;
+  Symbol* const s_while;
+  Symbol* const s_dotimes;
+  Symbol* const s_dolist;
+  Symbol* const s_rest;
+  Symbol* const s_optional;
+  Symbol* const s_declare;
+  Symbol* const s_car;
+  Symbol* const s_cdr;
+};
+
+}  // namespace curare::sexpr

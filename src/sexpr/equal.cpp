@@ -1,0 +1,51 @@
+#include "sexpr/equal.hpp"
+
+namespace curare::sexpr {
+
+bool eql(Value a, Value b) {
+  if (a == b) return true;
+  if (a.is(Kind::Float) && b.is(Kind::Float)) {
+    return static_cast<Float*>(a.obj())->value ==
+           static_cast<Float*>(b.obj())->value;
+  }
+  return false;
+}
+
+bool equal_values(Value a, Value b, std::size_t depth_budget) {
+  if (depth_budget == 0) return false;
+  if (eql(a, b)) return true;
+  if (!a.is_object() || !b.is_object()) return false;
+  if (a.obj()->kind != b.obj()->kind) return false;
+  switch (a.obj()->kind) {
+    case Kind::Cons: {
+      // Iterate on cdr to keep recursion depth proportional to tree
+      // depth, not list length.
+      while (a.is(Kind::Cons) && b.is(Kind::Cons)) {
+        if (depth_budget-- == 0) return false;
+        auto* ca = static_cast<Cons*>(a.obj());
+        auto* cb = static_cast<Cons*>(b.obj());
+        if (!equal_values(ca->car(), cb->car(), depth_budget)) return false;
+        a = ca->cdr();
+        b = cb->cdr();
+      }
+      return equal_values(a, b, depth_budget);
+    }
+    case Kind::String:
+      return static_cast<String*>(a.obj())->text ==
+             static_cast<String*>(b.obj())->text;
+    case Kind::Vector: {
+      auto* va = static_cast<Vector*>(a.obj());
+      auto* vb = static_cast<Vector*>(b.obj());
+      if (va->items.size() != vb->items.size()) return false;
+      for (std::size_t i = 0; i < va->items.size(); ++i) {
+        if (!equal_values(va->items[i], vb->items[i], depth_budget - 1))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // identity already failed
+  }
+}
+
+}  // namespace curare::sexpr

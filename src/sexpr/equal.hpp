@@ -1,0 +1,22 @@
+// Lisp equality predicates.
+//
+//   eq    — identity (same word). Value::operator== already is eq.
+//   eql   — eq, or numbers of the same type with the same value.
+//   equal — structural equality on conses, strings, vectors; eql leaves.
+//
+// `equal_values` is depth-bounded so cyclic structures terminate (they
+// compare unequal once the budget runs out rather than hanging the
+// analyzer).
+#pragma once
+
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+inline bool eq(Value a, Value b) { return a == b; }
+
+bool eql(Value a, Value b);
+
+bool equal_values(Value a, Value b, std::size_t depth_budget = 1u << 16);
+
+}  // namespace curare::sexpr

@@ -1,0 +1,94 @@
+// Sharded object heap.
+//
+// The CRI server pool allocates cons cells from many threads at once
+// (every spawned invocation builds argument lists, DPS functions cons
+// result cells). A single global free-list would serialize the very
+// parallelism Curare creates, so the heap is split into shards; a thread
+// hashes its id to a shard and contends only with threads that landed on
+// the same shard.
+//
+// There is no garbage collector: objects live until the Heap is destroyed.
+// Programs under transformation and benchmarking are bounded, and this
+// mirrors the paper's focus — Curare is about restructuring, not storage
+// management. The trade-off is documented in DESIGN.md.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+class Heap {
+ public:
+  Heap() = default;
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  /// Allocate a heap object of type T (derived from Obj), forwarding
+  /// constructor arguments. Thread-safe.
+  template <typename T, typename... Args>
+  T* alloc(Args&&... args) {
+    static_assert(std::is_base_of_v<Obj, T>, "T must derive from Obj");
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    Shard& s = shard_for_this_thread();
+    {
+      std::lock_guard<std::mutex> g(s.mu);
+      s.objects.push_back(std::move(owned));
+    }
+    return raw;
+  }
+
+  Value cons(Value car, Value cdr) {
+    return Value::object(alloc<Cons>(car, cdr));
+  }
+
+  Value string(std::string s) {
+    return Value::object(alloc<String>(std::move(s)));
+  }
+
+  Value real(double d) { return Value::object(alloc<Float>(d)); }
+
+  /// Build a proper list from a vector of values.
+  Value list(const std::vector<Value>& items) {
+    Value acc = Value::nil();
+    for (auto it = items.rbegin(); it != items.rend(); ++it)
+      acc = cons(*it, acc);
+    return acc;
+  }
+
+  /// Total number of live objects (approximate while threads allocate).
+  std::size_t live_objects() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> g(s.mu);
+      n += s.objects.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Obj>> objects;
+  };
+
+  Shard& shard_for_this_thread() {
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace curare::sexpr

@@ -1,0 +1,77 @@
+#include "sexpr/list_ops.hpp"
+
+namespace curare::sexpr {
+
+std::vector<Value> list_to_vector(Value list) {
+  std::vector<Value> out;
+  while (!list.is_nil()) {
+    Cons* c = as_cons(list);
+    out.push_back(c->car());
+    list = c->cdr();
+  }
+  return out;
+}
+
+Value nth(Value list, std::size_t n) {
+  while (n-- > 0 && !list.is_nil()) list = cdr(list);
+  return car(list);
+}
+
+Value append2(Heap& heap, Value a, Value b) {
+  std::vector<Value> items = list_to_vector(a);
+  Value acc = b;
+  for (auto it = items.rbegin(); it != items.rend(); ++it)
+    acc = heap.cons(*it, acc);
+  return acc;
+}
+
+Value reverse_list(Heap& heap, Value list) {
+  Value acc = Value::nil();
+  while (!list.is_nil()) {
+    Cons* c = as_cons(list);
+    acc = heap.cons(c->car(), acc);
+    list = c->cdr();
+  }
+  return acc;
+}
+
+Value map_list(Heap& heap, Value list,
+               const std::function<Value(Value)>& f) {
+  std::vector<Value> out;
+  while (!list.is_nil()) {
+    Cons* c = as_cons(list);
+    out.push_back(f(c->car()));
+    list = c->cdr();
+  }
+  return heap.list(out);
+}
+
+Value member_eq(Value item, Value list) {
+  while (!list.is_nil()) {
+    Cons* c = as_cons(list);
+    if (c->car() == item) return list;
+    list = c->cdr();
+  }
+  return Value::nil();
+}
+
+Value assoc_eq(Value key, Value alist) {
+  while (!alist.is_nil()) {
+    Cons* c = as_cons(alist);
+    Value entry = c->car();
+    if (entry.is(Kind::Cons) &&
+        static_cast<Cons*>(entry.obj())->car() == key) {
+      return entry;
+    }
+    alist = c->cdr();
+  }
+  return Value::nil();
+}
+
+Value copy_tree(Heap& heap, Value v) {
+  if (!v.is(Kind::Cons)) return v;
+  Cons* c = static_cast<Cons*>(v.obj());
+  return heap.cons(copy_tree(heap, c->car()), copy_tree(heap, c->cdr()));
+}
+
+}  // namespace curare::sexpr

@@ -1,0 +1,41 @@
+// C++-side helpers for walking and building Lisp lists. Used heavily by
+// the analyzer and transformer, which destructure program text, and by
+// tests that build expected structures.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sexpr/heap.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+/// Copy a proper list's elements into a std::vector. Throws on improper
+/// lists.
+std::vector<Value> list_to_vector(Value list);
+
+/// nth element (0-based); nil past the end.
+Value nth(Value list, std::size_t n);
+
+/// Fresh list that is `a` followed by `b`; `a`'s cells are copied, `b` is
+/// shared (Lisp append semantics for two arguments).
+Value append2(Heap& heap, Value a, Value b);
+
+/// Fresh reversed copy of a proper list.
+Value reverse_list(Heap& heap, Value list);
+
+/// Fresh list of f(x) for each element x.
+Value map_list(Heap& heap, Value list, const std::function<Value(Value)>& f);
+
+/// First cons whose car is eq to `item`, or nil (Lisp member with eq).
+Value member_eq(Value item, Value list);
+
+/// First element pair (a . d) in an association list whose car is eq to
+/// `key`, or nil.
+Value assoc_eq(Value key, Value alist);
+
+/// Structural deep copy of a tree of conses (leaves shared).
+Value copy_tree(Heap& heap, Value v);
+
+}  // namespace curare::sexpr

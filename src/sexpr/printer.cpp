@@ -1,0 +1,121 @@
+#include "sexpr/printer.hpp"
+
+#include <sstream>
+
+namespace curare::sexpr {
+
+namespace {
+
+struct Printer {
+  const PrintOptions& opts;
+  std::ostringstream out;
+  std::size_t budget;
+
+  explicit Printer(const PrintOptions& o)
+      : opts(o), budget(o.max_length) {}
+
+  void print(Value v, std::size_t depth) {
+    if (depth > opts.max_depth || budget == 0) {
+      out << "...";
+      return;
+    }
+    if (v.is_nil()) {
+      out << "nil";
+      return;
+    }
+    if (v.is_fixnum()) {
+      out << v.as_fixnum();
+      return;
+    }
+    switch (v.obj()->kind) {
+      case Kind::Cons: print_list(v, depth); break;
+      case Kind::Symbol: out << static_cast<Symbol*>(v.obj())->name; break;
+      case Kind::String: print_string(static_cast<String*>(v.obj())); break;
+      case Kind::Float: print_float(static_cast<Float*>(v.obj())); break;
+      case Kind::Vector: print_vector(static_cast<Vector*>(v.obj()), depth); break;
+      case Kind::Table: out << "#<hash-table>"; break;
+      case Kind::Closure: out << "#<closure>"; break;
+      case Kind::Builtin: out << "#<builtin>"; break;
+      case Kind::Native: out << "#<native>"; break;
+      case Kind::Struct: out << "#<struct>"; break;
+    }
+  }
+
+  void print_list(Value v, std::size_t depth) {
+    out << '(';
+    bool first = true;
+    while (v.is(Kind::Cons)) {
+      if (budget == 0) {
+        out << " ...";
+        break;
+      }
+      --budget;
+      if (!first) out << ' ';
+      first = false;
+      auto* cell = static_cast<Cons*>(v.obj());
+      print(cell->car(), depth + 1);
+      v = cell->cdr();
+    }
+    if (!v.is_nil() && !v.is(Kind::Cons)) {
+      out << " . ";
+      print(v, depth + 1);
+    }
+    out << ')';
+  }
+
+  void print_string(const String* s) {
+    if (!opts.readably) {
+      out << s->text;
+      return;
+    }
+    out << '"';
+    for (char c : s->text) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default: out << c;
+      }
+    }
+    out << '"';
+  }
+
+  void print_float(const Float* f) {
+    std::ostringstream tmp;
+    tmp << f->value;
+    std::string t = tmp.str();
+    // Ensure floats read back as floats, not fixnums.
+    if (t.find('.') == std::string::npos &&
+        t.find('e') == std::string::npos &&
+        t.find("inf") == std::string::npos &&
+        t.find("nan") == std::string::npos) {
+      t += ".0";
+    }
+    out << t;
+  }
+
+  void print_vector(const Vector* vec, std::size_t depth) {
+    out << "#(";
+    for (std::size_t i = 0; i < vec->items.size(); ++i) {
+      if (budget == 0) {
+        out << " ...";
+        break;
+      }
+      --budget;
+      if (i) out << ' ';
+      print(vec->items[i], depth + 1);
+    }
+    out << ')';
+  }
+};
+
+}  // namespace
+
+std::string print_str(Value v, const PrintOptions& opts) {
+  Printer p(opts);
+  p.print(v, 0);
+  return std::move(p.out).str();
+}
+
+}  // namespace curare::sexpr

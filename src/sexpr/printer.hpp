@@ -1,0 +1,32 @@
+// S-expression printer.
+//
+// `write_str` produces read-back-able text (strings quoted and escaped);
+// `display_str` produces human text (strings raw), matching Lisp's
+// write/princ distinction. Both guard against cyclic structures with a
+// depth/length budget rather than full circle detection — transformed
+// programs can build shared structure, and the printer must never loop.
+#pragma once
+
+#include <string>
+
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+struct PrintOptions {
+  bool readably = true;          ///< quote strings (write) vs raw (princ)
+  std::size_t max_depth = 512;   ///< nesting budget before "..."
+  std::size_t max_length = 1u << 20;  ///< list-element budget
+};
+
+std::string print_str(Value v, const PrintOptions& opts);
+
+inline std::string write_str(Value v) { return print_str(v, {}); }
+
+inline std::string display_str(Value v) {
+  PrintOptions o;
+  o.readably = false;
+  return print_str(v, o);
+}
+
+}  // namespace curare::sexpr

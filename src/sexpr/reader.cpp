@@ -1,0 +1,168 @@
+#include "sexpr/reader.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace curare::sexpr {
+
+char Reader::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Reader::skip_ws_and_comments() {
+  while (!at_end()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == ';') {
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+void Reader::fail(std::string msg) const {
+  throw ReadError(std::move(msg), line_, col_);
+}
+
+bool Reader::is_delim(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+         c == ')' || c == ';' || c == '"' || c == '\'';
+}
+
+std::optional<Value> Reader::read() {
+  skip_ws_and_comments();
+  if (at_end()) return std::nullopt;
+  return read_form();
+}
+
+std::vector<Value> Reader::read_all() {
+  std::vector<Value> forms;
+  while (auto v = read()) forms.push_back(*v);
+  return forms;
+}
+
+Value Reader::read_form() {
+  skip_ws_and_comments();
+  if (at_end()) fail("unexpected end of input");
+  const char c = peek();
+  if (c == '(') {
+    advance();
+    return read_list();
+  }
+  if (c == ')') fail("unmatched ')'");
+  if (c == '\'') {
+    advance();
+    Value quoted = read_form();
+    return ctx_.make_list(Value::object(ctx_.s_quote), quoted);
+  }
+  if (c == '"') {
+    advance();
+    return read_string();
+  }
+  return read_atom();
+}
+
+Value Reader::read_list() {
+  // Collect items, handling the dotted-pair tail "(a b . c)".
+  std::vector<Value> items;
+  Value tail = Value::nil();
+  for (;;) {
+    skip_ws_and_comments();
+    if (at_end()) fail("unterminated list");
+    if (peek() == ')') {
+      advance();
+      break;
+    }
+    // A lone "." introduces the dotted tail. A token that merely starts
+    // with '.' (like a float ".5" or symbol "...") is handled by
+    // read_atom, so peek one past.
+    if (peek() == '.' &&
+        (pos_ + 1 >= src_.size() || is_delim(src_[pos_ + 1]))) {
+      if (items.empty()) fail("dotted pair with no head");
+      advance();  // consume '.'
+      tail = read_form();
+      skip_ws_and_comments();
+      if (at_end() || peek() != ')') fail("malformed dotted pair");
+      advance();  // consume ')'
+      break;
+    }
+    items.push_back(read_form());
+  }
+  Value acc = tail;
+  for (auto it = items.rbegin(); it != items.rend(); ++it)
+    acc = ctx_.cons(*it, acc);
+  return acc;
+}
+
+Value Reader::read_string() {
+  std::string out;
+  for (;;) {
+    if (at_end()) fail("unterminated string literal");
+    char c = advance();
+    if (c == '"') break;
+    if (c == '\\') {
+      if (at_end()) fail("unterminated escape in string literal");
+      const char e = advance();
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default: fail(std::string("unknown escape \\") + e);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return ctx_.str(std::move(out));
+}
+
+Value Reader::read_atom() {
+  const std::size_t start = pos_;
+  while (!at_end() && !is_delim(peek())) advance();
+  const std::string_view tok = src_.substr(start, pos_ - start);
+  if (tok.empty()) fail("empty token");
+
+  // Try fixnum.
+  {
+    std::int64_t n = 0;
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    auto [p, ec] = std::from_chars(first, last, n);
+    if (ec == std::errc() && p == last) return Value::fixnum(n);
+  }
+  // Try float. std::from_chars(double) is available in libstdc++ 12.
+  {
+    double d = 0;
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    auto [p, ec] = std::from_chars(first, last, d);
+    if (ec == std::errc() && p == last) return ctx_.real(d);
+  }
+  if (tok == "nil") return Value::nil();
+  return ctx_.symbols.intern_value(tok);
+}
+
+std::vector<Value> read_all(Ctx& ctx, std::string_view src) {
+  Reader r(ctx, src);
+  return r.read_all();
+}
+
+Value read_one(Ctx& ctx, std::string_view src) {
+  Reader r(ctx, src);
+  auto v = r.read();
+  if (!v) throw LispError("read_one: empty input");
+  if (r.read()) throw LispError("read_one: trailing forms in input");
+  return *v;
+}
+
+}  // namespace curare::sexpr

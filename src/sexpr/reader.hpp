@@ -1,0 +1,76 @@
+// S-expression reader.
+//
+// Accepts the subset of Lisp syntax the paper's examples use: atoms
+// (symbols, fixnums, floats, strings), proper and dotted lists, the quote
+// shorthand 'x, and ; comments. Symbols are case-sensitive. The token
+// `nil` and the empty list () both read as Value::nil().
+//
+// Errors carry line/column so the Curare driver can point at the offending
+// form when it explains why it refused to transform a function.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sexpr/ctx.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+class ReadError : public LispError {
+ public:
+  ReadError(std::string msg, std::size_t line, std::size_t col)
+      : LispError("read error at " + std::to_string(line) + ":" +
+                  std::to_string(col) + ": " + std::move(msg)),
+        line_(line),
+        col_(col) {}
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+
+ private:
+  std::size_t line_;
+  std::size_t col_;
+};
+
+class Reader {
+ public:
+  Reader(Ctx& ctx, std::string_view src) : ctx_(ctx), src_(src) {}
+
+  /// Read the next form; std::nullopt at end of input.
+  std::optional<Value> read();
+
+  /// Read every remaining form.
+  std::vector<Value> read_all();
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+  char advance();
+  void skip_ws_and_comments();
+  [[noreturn]] void fail(std::string msg) const;
+
+  Value read_form();
+  Value read_list();
+  Value read_string();
+  Value read_atom();
+
+  static bool is_delim(char c);
+
+  Ctx& ctx_;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+/// Parse all forms in `src` with the given context.
+std::vector<Value> read_all(Ctx& ctx, std::string_view src);
+
+/// Parse exactly one form; throws if the source is empty or has trailing
+/// forms.
+Value read_one(Ctx& ctx, std::string_view src);
+
+}  // namespace curare::sexpr

@@ -1,0 +1,21 @@
+#include "sexpr/symbol_table.hpp"
+
+namespace curare::sexpr {
+
+Symbol* SymbolTable::gensym(std::string_view prefix) {
+  // Loop until an unused spelling is found; a user program could have
+  // interned "g17" already.
+  for (;;) {
+    const std::uint64_t n =
+        gensym_counter_.fetch_add(1, std::memory_order_relaxed);
+    std::string candidate(prefix);
+    candidate += std::to_string(n);
+    {
+      std::shared_lock lock(mu_);
+      if (map_.contains(candidate)) continue;
+    }
+    return intern(candidate);
+  }
+}
+
+}  // namespace curare::sexpr

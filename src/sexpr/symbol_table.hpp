@@ -1,0 +1,59 @@
+// Symbol interning.
+//
+// Lisp symbols compare by identity (`eq`), so the reader must hand out the
+// same Symbol object for the same spelling. The table is shared by every
+// thread in the CRI runtime — analysis and transformed programs intern
+// symbols concurrently — so lookup takes a shared lock and only a genuine
+// first-time intern takes the exclusive lock.
+#pragma once
+
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sexpr/heap.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+class SymbolTable {
+ public:
+  explicit SymbolTable(Heap& heap) : heap_(heap) {}
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Return the unique Symbol for `name`, creating it on first use.
+  Symbol* intern(std::string_view name) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = map_.find(std::string(name));
+      if (it != map_.end()) return it->second;
+    }
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = map_.try_emplace(std::string(name), nullptr);
+    if (inserted) it->second = heap_.alloc<Symbol>(std::string(name));
+    return it->second;
+  }
+
+  Value intern_value(std::string_view name) {
+    return Value::object(intern(name));
+  }
+
+  /// Generate a fresh uninterned-looking symbol (gensym). The name is
+  /// unique for the lifetime of this table.
+  Symbol* gensym(std::string_view prefix = "g");
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  Heap& heap_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Symbol*> map_;
+  std::atomic<std::uint64_t> gensym_counter_{0};
+};
+
+}  // namespace curare::sexpr

@@ -1,0 +1,69 @@
+// Hash table object (Kind::Table).
+//
+// The paper's §3.2.3 singles out "operations that put a value into an
+// unordered data-structure" — hashtables foremost — as reorderable: the
+// insertion order does not matter, so conflict constraints between
+// concurrent puts can be dropped. For that to be sound the table itself
+// must be atomic per-operation, so this implementation synchronizes
+// internally with a shared_mutex (many concurrent readers, exclusive
+// writers). Key equality is Lisp `eql`.
+#pragma once
+
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sexpr/equal.hpp"
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+struct ValueEqlHash {
+  std::size_t operator()(Value v) const {
+    if (v.is(Kind::Float)) {
+      return std::hash<double>{}(static_cast<Float*>(v.obj())->value);
+    }
+    return std::hash<std::uint64_t>{}(v.bits());
+  }
+};
+
+struct ValueEqlEq {
+  bool operator()(Value a, Value b) const { return eql(a, b); }
+};
+
+struct Table final : Obj {
+  Table() : Obj(Kind::Table) {}
+
+  Value get(Value key, Value dflt) const {
+    std::shared_lock lock(mu);
+    auto it = map.find(key);
+    return it == map.end() ? dflt : it->second;
+  }
+
+  void put(Value key, Value val) {
+    std::unique_lock lock(mu);
+    map[key] = val;
+  }
+
+  bool remove(Value key) {
+    std::unique_lock lock(mu);
+    return map.erase(key) > 0;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu);
+    return map.size();
+  }
+
+  /// Snapshot of entries, in unspecified order.
+  std::vector<std::pair<Value, Value>> entries() const {
+    std::shared_lock lock(mu);
+    return {map.begin(), map.end()};
+  }
+
+  mutable std::shared_mutex mu;
+  std::unordered_map<Value, Value, ValueEqlHash, ValueEqlEq> map;
+};
+
+}  // namespace curare::sexpr

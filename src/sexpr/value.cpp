@@ -1,0 +1,83 @@
+#include "sexpr/value.hpp"
+
+namespace curare::sexpr {
+
+namespace {
+[[noreturn]] void type_error(const char* want, Value got) {
+  std::string msg = "type error: expected ";
+  msg += want;
+  if (got.is_nil()) {
+    msg += ", got nil";
+  } else if (got.is_fixnum()) {
+    msg += ", got fixnum " + std::to_string(got.as_fixnum());
+  } else {
+    switch (got.obj()->kind) {
+      case Kind::Cons: msg += ", got cons"; break;
+      case Kind::Symbol:
+        msg += ", got symbol " + static_cast<Symbol*>(got.obj())->name;
+        break;
+      case Kind::String: msg += ", got string"; break;
+      case Kind::Float: msg += ", got float"; break;
+      case Kind::Vector: msg += ", got vector"; break;
+      case Kind::Table: msg += ", got hash-table"; break;
+      case Kind::Closure: msg += ", got closure"; break;
+      case Kind::Builtin: msg += ", got builtin"; break;
+      case Kind::Native: msg += ", got native object"; break;
+      case Kind::Struct: msg += ", got struct instance"; break;
+    }
+  }
+  throw LispError(msg);
+}
+}  // namespace
+
+Cons* as_cons(Value v) {
+  if (!v.is(Kind::Cons)) type_error("cons", v);
+  return static_cast<Cons*>(v.obj());
+}
+
+Symbol* as_symbol(Value v) {
+  if (!v.is(Kind::Symbol)) type_error("symbol", v);
+  return static_cast<Symbol*>(v.obj());
+}
+
+String* as_string(Value v) {
+  if (!v.is(Kind::String)) type_error("string", v);
+  return static_cast<String*>(v.obj());
+}
+
+Vector* as_vector(Value v) {
+  if (!v.is(Kind::Vector)) type_error("vector", v);
+  return static_cast<Vector*>(v.obj());
+}
+
+Value car(Value v) {
+  if (v.is_nil()) return Value::nil();
+  return as_cons(v)->car();
+}
+
+Value cdr(Value v) {
+  if (v.is_nil()) return Value::nil();
+  return as_cons(v)->cdr();
+}
+
+std::size_t list_length(Value v) {
+  std::size_t n = 0;
+  while (!v.is_nil()) {
+    if (!v.is(Kind::Cons)) throw LispError("list-length: improper list");
+    ++n;
+    v = static_cast<Cons*>(v.obj())->cdr();
+  }
+  return n;
+}
+
+bool is_proper_list(Value v, std::size_t limit) {
+  std::size_t n = 0;
+  while (!v.is_nil()) {
+    if (!v.is(Kind::Cons)) return false;
+    if (++n > limit) return false;
+    v = static_cast<Cons*>(v.obj())->cdr();
+  }
+  return true;
+}
+
+}  // namespace curare::sexpr

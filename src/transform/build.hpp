@@ -1,0 +1,66 @@
+// Form-construction helpers for the transformations: the code generators
+// build new Lisp programs as S-expressions and hand them back to the
+// interpreter/printer.
+#pragma once
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "analysis/field_path.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+using analysis::FieldPath;
+using sexpr::Symbol;
+using sexpr::Value;
+
+inline Value sym(sexpr::Ctx& ctx, std::string_view name) {
+  return ctx.symbols.intern_value(name);
+}
+
+inline Value form(sexpr::Ctx& ctx, std::initializer_list<Value> items) {
+  return ctx.heap.list(std::vector<Value>(items));
+}
+
+inline Value form(sexpr::Ctx& ctx, const std::vector<Value>& items) {
+  return ctx.heap.list(items);
+}
+
+/// (quote v)
+inline Value quoted(sexpr::Ctx& ctx, Value v) {
+  return form(ctx, {Value::object(ctx.s_quote), v});
+}
+
+/// The expression that navigates `path` from `root`:
+/// path cdr.car over l → (car (cdr l)).
+inline Value path_expr(sexpr::Ctx& ctx, Symbol* root,
+                       const FieldPath& path) {
+  Value e = Value::object(root);
+  for (analysis::Field f : path.fields())
+    e = form(ctx, {Value::object(f), e});
+  return e;
+}
+
+/// The (cell-expr, field) pair naming the *location* of a non-empty
+/// path: cdr.car over l → cell (cdr l), field car.
+struct LocationExpr {
+  Value cell;     ///< expression evaluating to the containing cons
+  Symbol* field;  ///< which slot of that cons
+};
+
+inline LocationExpr location_expr(sexpr::Ctx& ctx, Symbol* root,
+                                  const FieldPath& path) {
+  if (path.is_empty())
+    throw sexpr::LispError(
+        "location_expr: the empty path names the variable, not a "
+        "structure location");
+  FieldPath prefix(
+      std::vector<analysis::Field>(path.fields().begin(),
+                                   path.fields().end() - 1));
+  return LocationExpr{path_expr(ctx, root, prefix),
+                      path.fields().back()};
+}
+
+}  // namespace curare::transform

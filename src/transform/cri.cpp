@@ -1,0 +1,257 @@
+#include "transform/cri.hpp"
+
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "transform/build.hpp"
+
+namespace curare::transform {
+
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::cddr;
+using sexpr::cdr;
+using sexpr::Kind;
+using sexpr::Symbol;
+
+namespace {
+
+class CriGen {
+ public:
+  CriGen(sexpr::Ctx& ctx, const analysis::FunctionInfo& info,
+         const CriOptions& opts)
+      : ctx_(ctx), info_(info), opts_(opts) {}
+
+  bool failed() const { return !failure_.empty(); }
+  const std::string& failure() const { return failure_; }
+  std::size_t sites() const { return next_site_; }
+
+  /// Rewrite a body sequence; `tail` marks that the last form's value is
+  /// the function's result.
+  std::vector<Value> rewrite_seq(Value forms, bool tail) {
+    std::vector<Value> out;
+    std::vector<Value> in = sexpr::list_to_vector(forms);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const bool last = (i + 1 == in.size());
+      out.push_back(rewrite(in[i], tail && last));
+    }
+    return out;
+  }
+
+  Value rewrite(Value f, bool tail) {
+    if (!f.is(Kind::Cons)) return tail ? capture(f) : f;
+    Value head = sexpr::car(f);
+    if (!head.is(Kind::Symbol)) return tail ? capture(f) : f;
+    Symbol* op = static_cast<Symbol*>(head.obj());
+
+    if (op == info_.name) return rewrite_call(f);
+
+    const std::string& name = op->name;
+    if (name == "quote") return tail ? capture(f) : f;
+
+    if (name == "progn" || name == "when" || name == "unless") {
+      // when/unless: value is nil when the test fails — capturing only
+      // the body's last form is fine for effect-style recursions; the
+      // base case of a when-style traversal is "test fails", whose nil
+      // value is the initial value of the result variable.
+      Value keep = (name == "progn") ? ctx_.make_list(Value::object(op))
+                                     : ctx_.make_list(Value::object(op),
+                                                      cadr(f));
+      Value seq = (name == "progn") ? cdr(f) : cddr(f);
+      std::vector<Value> out = sexpr::list_to_vector(keep);
+      for (Value s : rewrite_seq(seq, tail)) out.push_back(s);
+      return form(ctx_, out);
+    }
+    if (name == "let" || name == "let*") {
+      if (contains_call(cadr(f))) {
+        failure_ = "recursive call inside let bindings of " +
+                   sexpr::write_str(f);
+        return f;
+      }
+      std::vector<Value> out{Value::object(op), cadr(f)};
+      for (Value s : rewrite_seq(cddr(f), tail)) out.push_back(s);
+      return form(ctx_, out);
+    }
+    if (name == "cond") {
+      std::vector<Value> out{sym(ctx_, "cond")};
+      for (Value cl = cdr(f); !cl.is_nil(); cl = cdr(cl)) {
+        Value clause = sexpr::car(cl);
+        if (contains_call(sexpr::car(clause))) {
+          failure_ = "recursive call inside a cond test";
+          return f;
+        }
+        std::vector<Value> nc{sexpr::car(clause)};
+        for (Value s : rewrite_seq(cdr(clause), tail)) nc.push_back(s);
+        out.push_back(form(ctx_, nc));
+      }
+      return form(ctx_, out);
+    }
+    if (name == "if") {
+      if (contains_call(cadr(f))) {
+        failure_ = "recursive call inside an if test";
+        return f;
+      }
+      std::vector<Value> out{Value::object(ctx_.s_if), cadr(f),
+                             rewrite(caddr(f), tail)};
+      if (!sexpr::cdddr(f).is_nil())
+        out.push_back(rewrite(sexpr::cadddr(f), tail));
+      return form(ctx_, out);
+    }
+    if (name == "and" || name == "or" || name == "while" ||
+        name == "dotimes" || name == "dolist" || name == "setq" ||
+        name == "setf" || name == "lambda" || name == "future" ||
+        name == "declare") {
+      if (contains_call(f)) {
+        failure_ = "recursive call embedded in " + name +
+                   " uses its result or escapes statement position; "
+                   "apply rec2iter or DPS first (paper §5)";
+        return f;
+      }
+      return tail ? capture(f) : f;
+    }
+
+    // Ordinary call: recursive calls in argument position are the
+    // "result used" case the paper excludes.
+    if (contains_call(f)) {
+      failure_ =
+          "recursive call's result is used inside " + sexpr::write_str(f) +
+          "; apply rec2iter or DPS first (paper §5)";
+      return f;
+    }
+    return tail ? capture(f) : f;
+  }
+
+ private:
+  Value rewrite_call(Value f) {
+    const int site = next_site_++;
+    std::vector<Value> out{sym(ctx_, "%cri-enqueue"),
+                           Value::fixnum(site)};
+    for (Value a = cdr(f); !a.is_nil(); a = cdr(a)) {
+      if (contains_call(sexpr::car(a))) {
+        failure_ = "recursive call nested inside another call's "
+                   "arguments";
+        return f;
+      }
+      out.push_back(sexpr::car(a));
+    }
+    return form(ctx_, out);
+  }
+
+  /// Wrap a non-call tail expression so the wrapper can return the
+  /// sequential result: (setq f$result EXPR).
+  Value capture(Value expr) {
+    if (!opts_.capture_result) return expr;
+    captured_ = true;
+    return form(ctx_, {Value::object(ctx_.s_setq), result_var_value(),
+                       expr});
+  }
+
+ public:
+  Value result_var_value() {
+    if (result_var_ == nullptr)
+      result_var_ = ctx_.symbols.intern(info_.name->name + "$result");
+    return Value::object(result_var_);
+  }
+  Symbol* result_var() const { return result_var_; }
+  bool captured() const { return captured_; }
+
+ private:
+  bool contains_call(Value f) const {
+    if (!f.is(Kind::Cons)) return false;
+    if (sexpr::car(f).is(Kind::Symbol)) {
+      Symbol* h = static_cast<Symbol*>(sexpr::car(f).obj());
+      if (h == info_.name) return true;
+      if (h->name == "quote") return false;
+    }
+    for (Value r = f; r.is(Kind::Cons); r = cdr(r))
+      if (contains_call(sexpr::car(r))) return true;
+    return false;
+  }
+
+  sexpr::Ctx& ctx_;
+  const analysis::FunctionInfo& info_;
+  const CriOptions& opts_;
+  int next_site_ = 0;
+  std::string failure_;
+  Symbol* result_var_ = nullptr;
+  bool captured_ = false;
+};
+
+}  // namespace
+
+CriResult make_cri(sexpr::Ctx& ctx, const analysis::FunctionInfo& info,
+                   const CriOptions& opts) {
+  CriResult result;
+  if (!info.is_recursive()) {
+    result.failure = "function is not self-recursive";
+    return result;
+  }
+  for (const analysis::RecCall& c : info.rec_calls) {
+    if (c.result_used) {
+      result.failure =
+          "recursive call " + sexpr::write_str(c.form) +
+          " uses its result; apply recursion→iteration or DPS first "
+          "(paper §5)";
+      return result;
+    }
+  }
+
+  CriGen gen(ctx, info, opts);
+  std::vector<Value> body = gen.rewrite_seq(info.body, true);
+  if (gen.failed()) {
+    result.failure = gen.failure();
+    return result;
+  }
+
+  Symbol* server_name = ctx.symbols.intern(info.name->name + "$cri");
+  Symbol* wrapper_name = ctx.symbols.intern(info.name->name + "$parallel");
+
+  std::vector<Value> params;
+  for (Symbol* p : info.params) params.push_back(Value::object(p));
+
+  std::vector<Value> server{Value::object(ctx.s_defun),
+                            Value::object(server_name),
+                            form(ctx, params)};
+  server.insert(server.end(), body.begin(), body.end());
+  result.server_defun = form(ctx, server);
+
+  // Wrapper: (defun f$parallel (%servers params…)
+  //            [(setq f$result nil)]
+  //            (%cri-run f$cri NSITES %servers params…)
+  //            [f$result])
+  Value servers_param = sym(ctx, "%servers");
+  std::vector<Value> wrapper_params{servers_param};
+  wrapper_params.insert(wrapper_params.end(), params.begin(),
+                        params.end());
+  std::vector<Value> run_call{
+      sym(ctx, "%cri-run"), Value::object(server_name),
+      Value::fixnum(static_cast<std::int64_t>(gen.sites())),
+      servers_param};
+  run_call.insert(run_call.end(), params.begin(), params.end());
+
+  std::vector<Value> wrapper{Value::object(ctx.s_defun),
+                             Value::object(wrapper_name),
+                             form(ctx, wrapper_params)};
+  if (opts.capture_result && gen.captured()) {
+    wrapper.push_back(form(ctx, {Value::object(ctx.s_setq),
+                                 gen.result_var_value(), Value::nil()}));
+    wrapper.push_back(form(ctx, run_call));
+    wrapper.push_back(gen.result_var_value());
+    result.result_var = gen.result_var();
+  } else {
+    wrapper.push_back(form(ctx, run_call));
+  }
+  result.wrapper_defun = form(ctx, wrapper);
+
+  result.ok = true;
+  result.server_name = server_name;
+  result.wrapper_name = wrapper_name;
+  result.num_sites = gen.sites();
+  result.notes.push_back(
+      "recursive calls became %cri-enqueue at " +
+      std::to_string(gen.sites()) + " site(s); servers execute the body "
+      "repeatedly without context switches (paper §4)");
+  return result;
+}
+
+}  // namespace curare::transform

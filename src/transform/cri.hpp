@@ -1,0 +1,52 @@
+// CRI code generation (paper §3.1 / §4).
+//
+// Turns a (possibly lock-inserted / delayed / reordered) recursive
+// function into the server-body form the runtime's pool executes:
+// every self-recursive call (f ARGS…) becomes (%cri-enqueue SITE ARGS…) —
+// "a recursive call is the creation of a new process to execute the
+// subsequent invocation asynchronously" — and a wrapper starts the pool:
+//
+//   (defun f$cri (params…) BODY-with-enqueues)
+//   (defun f$parallel (%servers params…)
+//     [(setq f$result nil)]
+//     (%cri-run f$cri NSITES %servers params…)
+//     [f$result])
+//
+// Functions that use a recursive call's result in an embedded position
+// are rejected here (the §5 enabling transformations — rec2iter, DPS —
+// must run first); tail-position results are captured by assigning the
+// base case's value to a result variable, the paper's "changing the
+// single return that produces a value into an assignment".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/extract.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+struct CriResult {
+  bool ok = false;
+  std::string failure;  ///< §6 feedback when not transformable
+  sexpr::Value server_defun;
+  sexpr::Value wrapper_defun;
+  sexpr::Symbol* server_name = nullptr;
+  sexpr::Symbol* wrapper_name = nullptr;
+  sexpr::Symbol* result_var = nullptr;  ///< null when capture disabled
+  std::size_t num_sites = 0;
+  std::vector<std::string> notes;
+};
+
+struct CriOptions {
+  /// Capture the base case's value in a result variable so the wrapper
+  /// can return it (valid for linear recursions whose base case runs
+  /// once). When false the wrapper returns nil — call-for-effect.
+  bool capture_result = true;
+};
+
+CriResult make_cri(sexpr::Ctx& ctx, const analysis::FunctionInfo& info,
+                   const CriOptions& opts = {});
+
+}  // namespace curare::transform

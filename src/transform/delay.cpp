@@ -1,0 +1,242 @@
+#include "transform/delay.hpp"
+
+#include "analysis/headtail.hpp"
+#include "sexpr/equal.hpp"
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "transform/build.hpp"
+
+namespace curare::transform {
+
+using analysis::FieldPath;
+using analysis::FunctionInfo;
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::cddr;
+using sexpr::cdr;
+using sexpr::Kind;
+using sexpr::Symbol;
+
+namespace {
+
+class Delayer {
+ public:
+  Delayer(sexpr::Ctx& ctx, const decl::Declarations& decls,
+          const FunctionInfo& info,
+          const analysis::ConflictReport& report)
+      : ctx_(ctx), decls_(decls), info_(info) {
+    for (const analysis::Conflict& c : report.conflicts) {
+      if (c.is_variable_conflict()) {
+        if (c.var_earlier.is_write) conflict_vars_.push_back(c.var);
+        if (c.var_later.is_write) conflict_vars_.push_back(c.var);
+      } else {
+        if (c.earlier.is_write) conflict_writes_.push_back(c.earlier.path);
+        if (c.later.is_write) conflict_writes_.push_back(c.later.path);
+      }
+    }
+  }
+
+  Value rewrite_defun(Value defun) {
+    Value name = cadr(defun);
+    Value params = caddr(defun);
+    Value body = cdr(cddr(defun));
+    std::vector<Value> out{Value::object(ctx_.s_defun), name, params};
+    for (Value f : rewrite_seq(sexpr::list_to_vector(body)))
+      out.push_back(f);
+    return form(ctx_, out);
+  }
+
+  int moved() const { return moved_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+ private:
+  /// Rewrite one statement sequence: hoist eligible conflicting writes
+  /// above the recursive-call statements they follow, then recurse into
+  /// control forms.
+  std::vector<Value> rewrite_seq(std::vector<Value> stmts) {
+    // First recurse into nested control structure.
+    for (Value& s : stmts) s = rewrite_form(s);
+
+    // Hoisting pass: repeatedly look for [call..., write] adjacencies.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i + 1 < stmts.size(); ++i) {
+        if (!is_rec_call_stmt(stmts[i])) continue;
+        // Find the first non-call statement after a run of calls.
+        std::size_t j = i;
+        while (j < stmts.size() && is_rec_call_stmt(stmts[j])) ++j;
+        if (j >= stmts.size()) break;
+        Value candidate = stmts[j];
+        if (!is_conflicting_write(candidate)) continue;
+        if (!motion_legal(candidate, stmts, i, j)) continue;
+        // Hoist: move stmts[j] to position i.
+        stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(j));
+        stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(i),
+                     candidate);
+        ++moved_;
+        notes_.push_back("delayed conflict: hoisted " +
+                         sexpr::write_str(candidate) +
+                         " into the head");
+        changed = true;
+        break;
+      }
+    }
+    return stmts;
+  }
+
+  Value rewrite_form(Value f) {
+    if (!f.is(Kind::Cons) || !sexpr::car(f).is(Kind::Symbol)) return f;
+    const std::string& op = as_symbol(sexpr::car(f))->name;
+
+    auto rebuild_tail_seq = [&](Value head_part, Value seq) {
+      std::vector<Value> out = sexpr::list_to_vector(head_part);
+      for (Value s : rewrite_seq(sexpr::list_to_vector(seq)))
+        out.push_back(s);
+      return form(ctx_, out);
+    };
+
+    if (op == "progn") {
+      return rebuild_tail_seq(ctx_.make_list(sym(ctx_, "progn")), cdr(f));
+    }
+    if (op == "when" || op == "unless") {
+      return rebuild_tail_seq(
+          ctx_.make_list(sym(ctx_, op), cadr(f)), cddr(f));
+    }
+    if (op == "let" || op == "let*") {
+      return rebuild_tail_seq(
+          ctx_.make_list(sym(ctx_, op), cadr(f)), cddr(f));
+    }
+    if (op == "cond") {
+      std::vector<Value> out{sym(ctx_, "cond")};
+      for (Value cl = cdr(f); !cl.is_nil(); cl = cdr(cl)) {
+        Value clause = sexpr::car(cl);
+        std::vector<Value> nc{sexpr::car(clause)};
+        for (Value s : rewrite_seq(sexpr::list_to_vector(cdr(clause))))
+          nc.push_back(s);
+        out.push_back(form(ctx_, nc));
+      }
+      return form(ctx_, out);
+    }
+    if (op == "if") {
+      std::vector<Value> out{sym(ctx_, "if"), cadr(f),
+                             rewrite_form(caddr(f))};
+      if (!sexpr::cdddr(f).is_nil())
+        out.push_back(rewrite_form(sexpr::cadddr(f)));
+      return form(ctx_, out);
+    }
+    return f;
+  }
+
+  bool is_rec_call_stmt(Value f) const {
+    return f.is(Kind::Cons) && sexpr::car(f).is(Kind::Symbol) &&
+           static_cast<Symbol*>(sexpr::car(f).obj()) == info_.name;
+  }
+
+  /// Is this statement a write whose location participates in a
+  /// conflict? (setq of a conflicting variable, or setf/rplac whose
+  /// place resolves to a conflicting path.)
+  bool is_conflicting_write(Value f) const {
+    if (!f.is(Kind::Cons) || !sexpr::car(f).is(Kind::Symbol)) return false;
+    const std::string& op = as_symbol(sexpr::car(f))->name;
+    if (op == "setq") {
+      Symbol* var = sexpr::cadr(f).is(Kind::Symbol)
+                        ? static_cast<Symbol*>(cadr(f).obj())
+                        : nullptr;
+      for (Symbol* v : conflict_vars_)
+        if (v == var) return true;
+      return false;
+    }
+    auto loc = write_location(f);
+    if (!loc) return false;
+    for (const FieldPath& p : conflict_writes_)
+      if (p == loc->path) return true;
+    return false;
+  }
+
+  /// The (root, path) a write statement stores through, if resolvable.
+  std::optional<analysis::ResolvedPath> write_location(Value f) const {
+    if (!f.is(Kind::Cons) || !sexpr::car(f).is(Kind::Symbol))
+      return std::nullopt;
+    const std::string& op = as_symbol(sexpr::car(f))->name;
+    if (op == "setf") {
+      return analysis::resolve_accessor(ctx_, cadr(f));
+    }
+    if (op == "rplaca" || op == "rplacd") {
+      auto base = analysis::resolve_accessor(ctx_, cadr(f));
+      if (!base) return std::nullopt;
+      base->path = base->path.then(op == "rplaca"
+                                       ? static_cast<analysis::Field>(
+                                             ctx_.s_car)
+                                       : static_cast<analysis::Field>(
+                                             ctx_.s_cdr));
+      return base;
+    }
+    return std::nullopt;
+  }
+
+  /// Legality: the hoisted write must not alter anything the skipped
+  /// calls' arguments read. W ≤ A for an argument read path A means the
+  /// argument value would change.
+  bool motion_legal(Value write_stmt, const std::vector<Value>& stmts,
+                    std::size_t call_begin, std::size_t write_pos) const {
+    // setq of a variable: legal iff no skipped call argument mentions
+    // the variable.
+    if (sexpr::car(write_stmt).is(Kind::Symbol) &&
+        as_symbol(sexpr::car(write_stmt))->name == "setq") {
+      Symbol* var = static_cast<Symbol*>(cadr(write_stmt).obj());
+      for (std::size_t k = call_begin; k < write_pos; ++k)
+        if (mentions_symbol(cdr(stmts[k]), var)) return false;
+      return true;
+    }
+
+    auto loc = write_location(write_stmt);
+    if (!loc) return false;
+    for (std::size_t k = call_begin; k < write_pos; ++k) {
+      for (Value a = cdr(stmts[k]); !a.is_nil(); a = cdr(a)) {
+        auto arg = analysis::resolve_accessor(ctx_, sexpr::car(a));
+        if (!arg) {
+          // Unresolvable argument: cannot prove independence.
+          if (sexpr::car(a).is(Kind::Cons)) return false;
+          continue;  // constants/variables are unaffected
+        }
+        if (arg->root == loc->root && loc->path.prefix_of(arg->path))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  static bool mentions_symbol(Value f, Symbol* s) {
+    if (f.is(Kind::Symbol)) return f.obj() == s;
+    while (f.is(Kind::Cons)) {
+      if (mentions_symbol(sexpr::car(f), s)) return true;
+      f = cdr(f);
+    }
+    return false;
+  }
+
+  sexpr::Ctx& ctx_;
+  const decl::Declarations& decls_;
+  const FunctionInfo& info_;
+  std::vector<FieldPath> conflict_writes_;
+  std::vector<Symbol*> conflict_vars_;
+  int moved_ = 0;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace
+
+DelayResult apply_delay(sexpr::Ctx& ctx, const decl::Declarations& decls,
+                        const analysis::FunctionInfo& info,
+                        const analysis::ConflictReport& report) {
+  Delayer d(ctx, decls, info, report);
+  DelayResult result;
+  result.defun = d.rewrite_defun(info.defun_form);
+  result.moved = d.moved();
+  result.notes = d.notes();
+  return result;
+}
+
+}  // namespace curare::transform

@@ -1,0 +1,45 @@
+// The delay transformation (paper §3.2.2).
+//
+// "Moving conflicting statements into the head of a function ensures
+// their correct execution order. … By moving S_i to the head of f — also
+// moving any statements upon which it depends — the conflict between S_i
+// and S_j is always resolved in accordance with sequential execution."
+//
+// In the CRI model the head executes before the next invocation starts,
+// so hoisting a conflicting write above the recursive call serializes
+// the conflict for free — at the price of a bigger head (lower
+// concurrency), which the strategy benchmarks quantify.
+//
+// Scope of the motion (checked, not assumed):
+//  * the statement moves only above recursive-call statements in its own
+//    sequence (same control region, so control dependencies hold);
+//  * the hoisted statement must not write any location the skipped
+//    calls' argument expressions traverse (W ≤ A for any argument read
+//    path A means the motion would change the spawned arguments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+struct DelayResult {
+  sexpr::Value defun;  ///< rewritten defun (same name)
+  int moved = 0;       ///< statements hoisted into the head
+  std::vector<std::string> notes;
+};
+
+/// Hoist conflicting tail statements above the recursive calls they
+/// follow, where legal. Conflicting statements are identified by
+/// re-resolving each candidate's write location against the conflict
+/// report's written paths.
+DelayResult apply_delay(sexpr::Ctx& ctx,
+                        const decl::Declarations& decls,
+                        const analysis::FunctionInfo& info,
+                        const analysis::ConflictReport& report);
+
+}  // namespace curare::transform

@@ -1,0 +1,165 @@
+#include "transform/dps.hpp"
+
+#include <functional>
+
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "transform/build.hpp"
+
+namespace curare::transform {
+
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::cdr;
+using sexpr::Kind;
+using sexpr::Symbol;
+
+namespace {
+
+bool is_call_to(Value v, Symbol* fname) {
+  return v.is(Kind::Cons) && sexpr::car(v).is(Kind::Symbol) &&
+         static_cast<Symbol*>(sexpr::car(v).obj()) == fname;
+}
+
+/// Rewrite one clause-result expression into its DPS statement, or
+/// return nil on pattern failure.
+Value rewrite_result(sexpr::Ctx& ctx, Value expr, Symbol* fname,
+                     Symbol* dps_name, Value dest, std::string* failure) {
+  // (f ARGS…): pass the destination through.
+  if (is_call_to(expr, fname)) {
+    std::vector<Value> call{Value::object(dps_name), dest};
+    for (Value a = cdr(expr); !a.is_nil(); a = cdr(a))
+      call.push_back(sexpr::car(a));
+    return form(ctx, call);
+  }
+  // (cons E (f ARGS…)): fresh cell, recurse into it, then link.
+  if (expr.is(Kind::Cons) && sexpr::car(expr).is(Kind::Symbol) &&
+      as_symbol(sexpr::car(expr))->name == "cons" &&
+      sexpr::list_length(expr) == 3 && is_call_to(caddr(expr), fname)) {
+    Value element = cadr(expr);
+    Value rec = caddr(expr);
+    Value cell = sym(ctx, "%cell");
+    std::vector<Value> call{Value::object(dps_name), cell};
+    for (Value a = cdr(rec); !a.is_nil(); a = cdr(a))
+      call.push_back(sexpr::car(a));
+    Value link = form(
+        ctx, {Value::object(ctx.s_setf),
+              form(ctx, {Value::object(ctx.s_cdr), dest}), cell});
+    return form(ctx,
+                {Value::object(ctx.s_let),
+                 ctx.make_list(ctx.make_list(
+                     cell, form(ctx, {sym(ctx, "cons"), element,
+                                      Value::nil()}))),
+                 form(ctx, call), link});
+  }
+  // Anything containing a recursive call in another position is out of
+  // the handled class.
+  bool has_call = false;
+  std::function<void(Value)> scan = [&](Value v) {
+    if (is_call_to(v, fname)) has_call = true;
+    if (v.is(Kind::Cons)) {
+      for (Value r = v; r.is(Kind::Cons); r = cdr(r))
+        scan(sexpr::car(r));
+    }
+  };
+  scan(expr);
+  if (has_call) {
+    *failure = "clause " + sexpr::write_str(expr) +
+               " uses the recursive result other than as a cons cdr";
+    return Value::nil();
+  }
+  // BASE: store directly.
+  return form(ctx, {Value::object(ctx.s_setf),
+                    form(ctx, {Value::object(ctx.s_cdr), dest}), expr});
+}
+
+}  // namespace
+
+DpsResult apply_dps(sexpr::Ctx& ctx, const analysis::FunctionInfo& info) {
+  DpsResult result;
+
+  // Body must be a single cond (the Fig 12 shape) or a single if.
+  if (sexpr::list_length(info.body) != 1) {
+    result.failure = "body is not a single cond/if expression";
+    return result;
+  }
+  Value top = sexpr::car(info.body);
+  if (!top.is(Kind::Cons) || !sexpr::car(top).is(Kind::Symbol)) {
+    result.failure = "body is not a cond/if expression";
+    return result;
+  }
+  const std::string& op = as_symbol(sexpr::car(top))->name;
+
+  Symbol* dps_name =
+      ctx.symbols.intern(info.name->name + "$dps");
+  Value dest = sym(ctx, "%dest");
+
+  std::vector<std::pair<Value, Value>> clauses;  // (test, result-expr)
+  if (op == "cond") {
+    for (Value cl = cdr(top); !cl.is_nil(); cl = cdr(cl)) {
+      Value clause = sexpr::car(cl);
+      if (sexpr::list_length(clause) != 2) {
+        result.failure = "cond clause with more than one body form: " +
+                         sexpr::write_str(clause);
+        return result;
+      }
+      clauses.emplace_back(sexpr::car(clause), cadr(clause));
+    }
+  } else if (op == "if" && sexpr::list_length(top) == 4) {
+    clauses.emplace_back(cadr(top), caddr(top));
+    clauses.emplace_back(Value::object(ctx.s_t), sexpr::cadddr(top));
+  } else {
+    result.failure = "body is not a cond or two-armed if";
+    return result;
+  }
+
+  std::vector<Value> out_clauses{sym(ctx, "cond")};
+  for (auto& [test, expr] : clauses) {
+    std::string failure;
+    Value stmt = rewrite_result(ctx, expr, info.name, dps_name, dest,
+                                &failure);
+    if (stmt.is_nil() && !failure.empty()) {
+      result.failure = failure;
+      return result;
+    }
+    out_clauses.push_back(ctx.make_list(test, stmt));
+  }
+
+  // (defun f$dps (%dest params…) (cond …))
+  std::vector<Value> dps_params{dest};
+  for (Symbol* p : info.params) dps_params.push_back(Value::object(p));
+  result.dps_defun =
+      form(ctx, {Value::object(ctx.s_defun), Value::object(dps_name),
+                 form(ctx, dps_params), form(ctx, out_clauses)});
+
+  // (defun f (params…)
+  //   (let ((%d (cons nil nil))) (f$dps %d params…) (cdr %d)))
+  Value d = sym(ctx, "%d");
+  std::vector<Value> call{Value::object(dps_name), d};
+  std::vector<Value> params;
+  for (Symbol* p : info.params) {
+    call.push_back(Value::object(p));
+    params.push_back(Value::object(p));
+  }
+  Value wrapper_body = form(
+      ctx, {Value::object(ctx.s_let),
+            ctx.make_list(ctx.make_list(
+                d, form(ctx, {sym(ctx, "cons"), Value::nil(),
+                              Value::nil()}))),
+            form(ctx, call),
+            form(ctx, {Value::object(ctx.s_cdr), d})});
+  result.wrapper_defun =
+      form(ctx, {Value::object(ctx.s_defun), Value::object(info.name),
+                 form(ctx, params), wrapper_body});
+
+  result.ok = true;
+  result.dps_name = dps_name;
+  result.notes.push_back(
+      "rewritten in destination-passing style (paper §5, Fig 13); "
+      "stores land in unique fresh cells, so no synchronization is "
+      "required (provenance argument)");
+  return result;
+}
+
+}  // namespace curare::transform

@@ -1,0 +1,45 @@
+// Destination-passing style (paper §5, second transformation; Figs 12–13).
+//
+// "Instead of returning a result that is immediately stored in a
+// structure, a function is passed the structure as an argument and
+// stores the value directly."
+//
+// Handled class: list-building recursions whose body is a cond (or if
+// chain) where every clause returns exactly one of
+//
+//   BASE                         — no recursive call        → (setf (cdr dest) BASE)
+//   (f ARGS…)                    — pass-through             → (f$dps dest ARGS…)
+//   (cons E (f ARGS…))           — prepend-and-recur        → (let ((%cell (cons E nil)))
+//                                                               (f$dps %cell ARGS…)
+//                                                               (setf (cdr dest) %cell))
+//
+// plus a wrapper (defun f (args…) (let ((%dest (cons nil nil)))
+// (f$dps %dest args…) (cdr %dest))).
+//
+// The result carries `dps_safe = true`: Curare generated these stores
+// itself, so it KNOWS each lands in a unique fresh cell and skips the
+// synchronization its flow-insensitive detector would otherwise demand —
+// the provenance argument of §5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/extract.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+struct DpsResult {
+  bool ok = false;
+  std::string failure;
+  sexpr::Value dps_defun;      ///< (defun f$dps (%dest params…) …)
+  sexpr::Value wrapper_defun;  ///< (defun f (params…) … (cdr %dest))
+  sexpr::Symbol* dps_name = nullptr;
+  bool dps_safe = true;  ///< stores provably hit unique fresh cells
+  std::vector<std::string> notes;
+};
+
+DpsResult apply_dps(sexpr::Ctx& ctx, const analysis::FunctionInfo& info);
+
+}  // namespace curare::transform

@@ -1,0 +1,71 @@
+// Lock insertion (paper §3.2.1).
+//
+// "To ensure that I_i has exclusive use of M before I_j, Curare inserts a
+// lock statement Lock(M) in the head of f and an unlock statement
+// Unlock(M) in the body of f."
+//
+// Planning applies the paper's coalescing improvement: "if invocations
+// conflict over a set of locations M1, M2, … Mm and all such sets are
+// disjoint, then replace the m locks by a single lock" — realized here
+// as: among the conflicting location paths of one root, a path that is a
+// prefix of another subsumes it (the paper's l.car / l.car.cdr /
+// l.car.cdr.car → lock l.car example).
+//
+// Code generation prepends the (%lock …) statements — in a fixed sorted
+// order, giving two-phase acquisition — and appends the matching
+// (%unlock …) statements to the function body. Unlocks at body end are
+// conservative (the paper suggests moving them earlier; see the ablation
+// benchmark for the cost).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/conflict.hpp"
+#include "analysis/function_info.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+using analysis::Conflict;
+using analysis::ConflictReport;
+using analysis::FieldPath;
+using analysis::FunctionInfo;
+using sexpr::Symbol;
+using sexpr::Value;
+
+struct LockSpec {
+  Symbol* root = nullptr;  ///< parameter (structure lock) or variable
+  FieldPath path;          ///< empty for variable locks
+  bool variable = false;
+  /// §3.2.1: "replace exclusive locks by read-write locks in cases in
+  /// which more than one invocation reads M". A lock is exclusive only
+  /// when the body writes at (or below) the location; read-only
+  /// endpoints take shared locks.
+  bool exclusive = true;
+
+  std::string to_string() const {
+    std::string s = variable ? "var " + root->name
+                             : root->name + "." + path.to_string();
+    return s + (exclusive ? " [write]" : " [read]");
+  }
+};
+
+struct LockPlan {
+  std::vector<LockSpec> locks;
+  std::vector<std::string> notes;
+
+  bool empty() const { return locks.empty(); }
+};
+
+/// Derive the lock set from a conflict report (conflicts the caller
+/// still wants protected — reordered/delayed ones should be gone).
+LockPlan plan_locks(sexpr::Ctx& ctx, const FunctionInfo& info,
+                    const ConflictReport& report);
+
+/// Rewrite the defun to acquire every planned lock at the top of its
+/// body and release at the bottom. Returns the new defun form.
+Value apply_lock_plan(sexpr::Ctx& ctx, Value defun_form,
+                      const LockPlan& plan);
+
+}  // namespace curare::transform

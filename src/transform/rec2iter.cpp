@@ -1,0 +1,177 @@
+#include "transform/rec2iter.hpp"
+
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "transform/build.hpp"
+
+namespace curare::transform {
+
+using sexpr::as_symbol;
+using sexpr::cadr;
+using sexpr::caddr;
+using sexpr::cadddr;
+using sexpr::cddr;
+using sexpr::cdr;
+using sexpr::Kind;
+using sexpr::Symbol;
+
+namespace {
+
+struct ReductionPattern {
+  Value test;                 // base-case predicate
+  Value base;                 // base-case value
+  Symbol* op;                 // (op E (f STEP…))
+  Value element;              // E
+  std::vector<Value> steps;   // STEP… aligned with params
+};
+
+/// Match (op E (f STEP…)) or (op (f STEP…) E).
+std::optional<ReductionPattern> match_step(Value expr, Symbol* fname,
+                                           std::size_t nparams) {
+  if (!expr.is(Kind::Cons) || !sexpr::car(expr).is(Kind::Symbol))
+    return std::nullopt;
+  Symbol* op = as_symbol(sexpr::car(expr));
+  std::vector<Value> args = sexpr::list_to_vector(cdr(expr));
+  if (args.size() != 2) return std::nullopt;
+
+  auto is_rec = [&](Value v) {
+    return v.is(Kind::Cons) && sexpr::car(v).is(Kind::Symbol) &&
+           static_cast<Symbol*>(sexpr::car(v).obj()) == fname;
+  };
+  Value rec;
+  Value element;
+  if (is_rec(args[1]) && !is_rec(args[0])) {
+    rec = args[1];
+    element = args[0];
+  } else if (is_rec(args[0]) && !is_rec(args[1])) {
+    rec = args[0];
+    element = args[1];
+  } else {
+    return std::nullopt;
+  }
+  std::vector<Value> steps = sexpr::list_to_vector(cdr(rec));
+  if (steps.size() != nparams) return std::nullopt;
+
+  ReductionPattern p;
+  p.op = op;
+  p.element = element;
+  p.steps = std::move(steps);
+  return p;
+}
+
+std::optional<ReductionPattern> match_body(Value body, Symbol* fname,
+                                           std::size_t nparams) {
+  if (sexpr::list_length(body) != 1) return std::nullopt;
+  Value f = sexpr::car(body);
+  if (!f.is(Kind::Cons) || !sexpr::car(f).is(Kind::Symbol))
+    return std::nullopt;
+  const std::string& op = as_symbol(sexpr::car(f))->name;
+
+  Value test, base, step_expr;
+  if (op == "if" && sexpr::list_length(f) == 4) {
+    test = cadr(f);
+    base = caddr(f);
+    step_expr = cadddr(f);
+  } else if (op == "cond" && sexpr::list_length(f) == 3) {
+    Value c1 = cadr(f);
+    Value c2 = caddr(f);
+    if (sexpr::list_length(c1) != 2 || sexpr::list_length(c2) != 2)
+      return std::nullopt;
+    if (!(sexpr::car(c2).is(Kind::Symbol) &&
+          as_symbol(sexpr::car(c2))->name == "t"))
+      return std::nullopt;
+    test = sexpr::car(c1);
+    base = cadr(c1);
+    step_expr = cadr(c2);
+  } else {
+    return std::nullopt;
+  }
+
+  auto p = match_step(step_expr, fname, nparams);
+  if (!p) return std::nullopt;
+  p->test = test;
+  p->base = base;
+  return p;
+}
+
+}  // namespace
+
+Rec2IterResult apply_rec2iter(sexpr::Ctx& ctx,
+                              const decl::Declarations& decls,
+                              const analysis::FunctionInfo& info) {
+  Rec2IterResult result;
+
+  auto p = match_body(info.body, info.name, info.params.size());
+  if (!p) {
+    result.failure =
+        "body is not a single (if TEST BASE (op E (f STEP…))) reduction";
+    return result;
+  }
+  if (!decls.is_associative(p->op) || !decls.is_commutative(p->op)) {
+    result.failure = "operator " + p->op->name +
+                     " lacks (commutative …)/(associative …) "
+                     "declarations, which this transformation depends on";
+    return result;
+  }
+
+  // Generated shape:
+  // (defun f (params…)
+  //   (let ((%acc nil) (%have nil))
+  //     (while (not TEST)
+  //       (if %have (setq %acc (op %acc E))
+  //           (progn (setq %acc E) (setq %have t)))
+  //       (let ((%s1 STEP1) …) (setq p1 %s1) … ))
+  //     (if %have (op %acc BASE) BASE)))
+  Value acc = sym(ctx, "%acc");
+  Value have = sym(ctx, "%have");
+  Value opv = Value::object(p->op);
+
+  Value update = form(
+      ctx, {Value::object(ctx.s_if), have,
+            form(ctx, {Value::object(ctx.s_setq), acc,
+                       form(ctx, {opv, acc, p->element})}),
+            form(ctx, {Value::object(ctx.s_progn),
+                       form(ctx, {Value::object(ctx.s_setq), acc,
+                                  p->element}),
+                       form(ctx, {Value::object(ctx.s_setq), have,
+                                  Value::object(ctx.s_t)})})});
+
+  // Simultaneous parameter stepping through temporaries.
+  std::vector<Value> bindings;
+  std::vector<Value> assigns{Value::object(ctx.s_progn)};
+  for (std::size_t i = 0; i < info.params.size(); ++i) {
+    Value tmp = sym(ctx, "%s" + std::to_string(i));
+    bindings.push_back(ctx.make_list(tmp, p->steps[i]));
+    assigns.push_back(form(ctx, {Value::object(ctx.s_setq),
+                                 Value::object(info.params[i]), tmp}));
+  }
+  Value step = form(ctx, {Value::object(ctx.s_let),
+                          form(ctx, bindings), form(ctx, assigns)});
+
+  Value loop = form(ctx, {Value::object(ctx.s_while),
+                          form(ctx, {sym(ctx, "not"), p->test}), update,
+                          step});
+
+  Value final_val =
+      form(ctx, {Value::object(ctx.s_if), have,
+                 form(ctx, {opv, acc, p->base}), p->base});
+
+  Value let_body = form(
+      ctx, {Value::object(ctx.s_let),
+            ctx.make_list(ctx.make_list(acc, Value::nil()),
+                          ctx.make_list(have, Value::nil())),
+            loop, final_val});
+
+  std::vector<Value> params;
+  for (Symbol* s : info.params) params.push_back(Value::object(s));
+  result.defun = form(ctx, {Value::object(ctx.s_defun),
+                            Value::object(info.name), form(ctx, params),
+                            let_body});
+  result.ok = true;
+  result.op = p->op;
+  result.notes.push_back("recursion→iteration: reduction over " +
+                         p->op->name + " became a loop (paper §5)");
+  return result;
+}
+
+}  // namespace curare::transform

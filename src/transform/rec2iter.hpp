@@ -1,0 +1,47 @@
+// Recursion → iteration (paper §5, first transformation).
+//
+// "Restricted classes of recursive functions can be transformed into
+// iterative functions by a set of well-known transformations. Some of
+// these transformations … depend on subtle properties of a function's
+// operations, such as commutativity and associativity, and so require
+// information like that provided by Curare's declarative model."
+//
+// The class handled here is the classic accumulating reduction:
+//
+//   (defun f (params…) (if TEST BASE (op E (f STEP…))))
+//
+// (also the 2-clause cond spelling) with `op` declared commutative AND
+// associative. The result is an equivalent tail-recursive function with
+// an accumulator — which Curare's CRI transform can then parallelize,
+// because the accumulator update is a reorderable operation.
+//
+//   (defun f (params…)
+//     (f$iter params… BASE-IDENTITY-HANDLING))
+//
+// realized concretely as a loop (while) to keep the output independent
+// of further analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/extract.hpp"
+#include "decl/declarations.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::transform {
+
+struct Rec2IterResult {
+  bool ok = false;
+  std::string failure;   ///< why the pattern did not match (§6 feedback)
+  sexpr::Value defun;    ///< the iterative replacement (same name)
+  sexpr::Symbol* op = nullptr;  ///< the reduction operator
+  std::vector<std::string> notes;
+};
+
+Rec2IterResult apply_rec2iter(sexpr::Ctx& ctx,
+                              const decl::Declarations& decls,
+                              const analysis::FunctionInfo& info);
+
+}  // namespace curare::transform

@@ -1,0 +1,206 @@
+// FieldPath and path-regex tests, including the paper's canonicalization
+// example (E14: doubly-linked succ/pred) and the τ machinery of §2.
+#include <gtest/gtest.h>
+
+#include "analysis/field_path.hpp"
+#include "analysis/path_regex.hpp"
+#include "decl/declarations.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::analysis {
+namespace {
+
+class AccessorTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  Field f(const char* name) { return ctx.symbols.intern(name); }
+  FieldPath path(std::initializer_list<const char*> names) {
+    std::vector<Field> v;
+    for (const char* n : names) v.push_back(f(n));
+    return FieldPath(std::move(v));
+  }
+};
+
+TEST_F(AccessorTest, ToStringUsesDotNotation) {
+  EXPECT_EQ(path({"cdr", "car"}).to_string(), "cdr.car");
+  EXPECT_EQ(path({}).to_string(), "ε");
+}
+
+TEST_F(AccessorTest, PrefixOperator) {
+  // The paper's ≤: a ≤ b iff a is a prefix of b.
+  EXPECT_TRUE(path({"cdr"}).prefix_of(path({"cdr", "car"})));
+  EXPECT_TRUE(path({"cdr", "car"}).prefix_of(path({"cdr", "car"})));
+  EXPECT_FALSE(path({"car"}).prefix_of(path({"cdr", "car"})));
+  EXPECT_FALSE(path({"cdr", "car"}).prefix_of(path({"cdr"})));
+  EXPECT_TRUE(path({}).prefix_of(path({"car"})));
+}
+
+TEST_F(AccessorTest, ThenExtends) {
+  FieldPath p = path({"cdr"}).then(f("car"));
+  EXPECT_EQ(p.to_string(), "cdr.car");
+  EXPECT_EQ(path({"a"}).then(path({"b", "c"})).to_string(), "a.b.c");
+}
+
+TEST_F(AccessorTest, Repeated) {
+  EXPECT_EQ(path({"cdr"}).repeated(3).to_string(), "cdr.cdr.cdr");
+  EXPECT_EQ(path({"cdr"}).repeated(0).to_string(), "ε");
+}
+
+TEST_F(AccessorTest, CanonDoublyLinked) {
+  // E14: succ.pred collapses under the declared inverse (paper §2.1):
+  // C(..., (Ix succ Iy), (Iy pred Ix), ...) => C(..., ...)
+  decls.declare_inverse(f("succ"), f("pred"));
+  EXPECT_EQ(path({"succ", "pred"}).canonicalize(decls).to_string(), "ε");
+  EXPECT_EQ(path({"pred", "succ"}).canonicalize(decls).to_string(), "ε");
+  EXPECT_EQ(
+      path({"succ", "succ", "pred", "val"}).canonicalize(decls).to_string(),
+      "succ.val");
+  // Nested cancellation: succ succ pred pred -> ε.
+  EXPECT_EQ(
+      path({"succ", "succ", "pred", "pred"}).canonicalize(decls).to_string(),
+      "ε");
+}
+
+TEST_F(AccessorTest, CanonWithoutDeclarationIsIdentity) {
+  EXPECT_EQ(path({"succ", "pred"}).canonicalize(decls).to_string(),
+            "succ.pred");
+}
+
+// ---- regex -----------------------------------------------------------
+
+TEST_F(AccessorTest, RegexToString) {
+  RegexPtr cdr_plus = PathRegex::plus(PathRegex::literal(f("cdr")));
+  EXPECT_EQ(cdr_plus->to_string(), "cdr.cdr*");
+  EXPECT_EQ(PathRegex::any_star()->to_string(), "Σ*");
+  RegexPtr alt = PathRegex::alt(
+      {PathRegex::literal(f("car")), PathRegex::literal(f("cdr"))});
+  EXPECT_EQ(alt->to_string(), "car|cdr");
+}
+
+TEST_F(AccessorTest, NfaMatchesWord) {
+  Nfa nfa(PathRegex::word(path({"cdr", "car"})));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "car"})));
+  EXPECT_FALSE(nfa.matches(path({"cdr"})));
+  EXPECT_FALSE(nfa.matches(path({"cdr", "car", "car"})));
+  EXPECT_FALSE(nfa.matches(path({"car", "cdr"})));
+}
+
+TEST_F(AccessorTest, NfaMatchesStar) {
+  Nfa nfa(PathRegex::star(PathRegex::literal(f("cdr"))));
+  EXPECT_TRUE(nfa.matches(path({})));
+  EXPECT_TRUE(nfa.matches(path({"cdr"})));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "cdr", "cdr"})));
+  EXPECT_FALSE(nfa.matches(path({"car"})));
+}
+
+TEST_F(AccessorTest, NfaMatchesPlus) {
+  Nfa nfa(PathRegex::plus(PathRegex::literal(f("cdr"))));
+  EXPECT_FALSE(nfa.matches(path({}))) << "plus requires one occurrence";
+  EXPECT_TRUE(nfa.matches(path({"cdr"})));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "cdr"})));
+}
+
+TEST_F(AccessorTest, NfaMatchesAlternation) {
+  Nfa nfa(PathRegex::concat(
+      PathRegex::alt(
+          {PathRegex::literal(f("car")), PathRegex::literal(f("cdr"))}),
+      PathRegex::literal(f("val"))));
+  EXPECT_TRUE(nfa.matches(path({"car", "val"})));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "val"})));
+  EXPECT_FALSE(nfa.matches(path({"val"})));
+}
+
+TEST_F(AccessorTest, NfaAnyWildcard) {
+  Nfa nfa(PathRegex::concat(PathRegex::any(),
+                            PathRegex::literal(f("car"))));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "car"})));
+  EXPECT_TRUE(nfa.matches(path({"zork", "car"})));
+  EXPECT_FALSE(nfa.matches(path({"car"})));
+}
+
+TEST_F(AccessorTest, Power) {
+  Nfa nfa(PathRegex::power(PathRegex::literal(f("cdr")), 3));
+  EXPECT_TRUE(nfa.matches(path({"cdr", "cdr", "cdr"})));
+  EXPECT_FALSE(nfa.matches(path({"cdr", "cdr"})));
+  Nfa zero(PathRegex::power(PathRegex::literal(f("cdr")), 0));
+  EXPECT_TRUE(zero.matches(path({})));
+}
+
+TEST_F(AccessorTest, WordIsPrefixOfLanguage) {
+  // The paper's conflict test direction: A1 ≤ some word of L(τ·A2).
+  // τ·A2 = cdr⁺ · car; is "cdr.car" a prefix of some word? It IS a word.
+  RegexPtr r = PathRegex::concat(
+      PathRegex::plus(PathRegex::literal(f("cdr"))),
+      PathRegex::literal(f("car")));
+  Nfa nfa(r);
+  EXPECT_TRUE(nfa.word_is_prefix_of_language(path({"cdr", "car"})));
+  EXPECT_TRUE(nfa.word_is_prefix_of_language(path({"cdr"})));
+  EXPECT_TRUE(nfa.word_is_prefix_of_language(path({"cdr", "cdr"})));
+  EXPECT_FALSE(nfa.word_is_prefix_of_language(path({"car"})));
+  EXPECT_FALSE(nfa.word_is_prefix_of_language(path({"cdr", "car", "x"})));
+}
+
+TEST_F(AccessorTest, LanguageHasPrefixOfWord) {
+  RegexPtr r = PathRegex::plus(PathRegex::literal(f("cdr")));
+  Nfa nfa(r);
+  EXPECT_TRUE(nfa.language_has_prefix_of_word(path({"cdr", "car"})))
+      << "'cdr' ∈ L is a prefix of cdr.car";
+  EXPECT_FALSE(nfa.language_has_prefix_of_word(path({"car", "cdr"})));
+  EXPECT_TRUE(nfa.language_has_prefix_of_word(path({"cdr"})))
+      << "equality counts as prefix";
+}
+
+TEST_F(AccessorTest, EpsilonInLanguageIsPrefixOfEverything) {
+  Nfa nfa(PathRegex::star(PathRegex::literal(f("cdr"))));
+  EXPECT_TRUE(nfa.language_has_prefix_of_word(path({"car"})))
+      << "ε ∈ cdr* and ε ≤ any word";
+}
+
+TEST_F(AccessorTest, PaperSection22NoConflictExample) {
+  // §2.2: "A2 does not conflict with A1 since cdr⁺.car can never be a
+  // prefix of cdr" — the write cdr.car against read cdr at any distance:
+  // is some word of cdr^d·cdr a prefix-or-extension of cdr.car? We check
+  // the exact direction the paper states: cdr.car ≤ word of cdr⁺·cdr?
+  RegexPtr r = PathRegex::concat(
+      PathRegex::plus(PathRegex::literal(f("cdr"))),
+      PathRegex::literal(f("cdr")));
+  Nfa nfa(r);
+  EXPECT_FALSE(nfa.word_is_prefix_of_language(path({"cdr", "car"})));
+  EXPECT_FALSE(nfa.language_has_prefix_of_word(path({"cdr", "car"})))
+      << "all words of cdr⁺·cdr diverge from cdr.car at position 2";
+}
+
+// Parameterized sweep: τ = cdr, write at cdr^k·car conflicts with read
+// `car` exactly at distance k (property of the distance machinery).
+class DistanceSweep : public ::testing::TestWithParam<int> {
+ protected:
+  sexpr::Ctx ctx;
+};
+
+TEST_P(DistanceSweep, WriteAtDepthKConflictsAtDistanceK) {
+  const int k = GetParam();
+  Field fcdr = ctx.symbols.intern("cdr");
+  Field fcar = ctx.symbols.intern("car");
+  std::vector<Field> wfields(static_cast<std::size_t>(k), fcdr);
+  wfields.push_back(fcar);
+  FieldPath write_path{std::move(wfields)};
+  RegexPtr step = PathRegex::literal(fcdr);
+
+  for (int d = 1; d <= k + 2; ++d) {
+    RegexPtr rd = PathRegex::concat(
+        PathRegex::power(step, static_cast<std::size_t>(d)),
+        PathRegex::word(FieldPath({fcar})));
+    Nfa nfa(rd);
+    const bool conflict = nfa.word_is_prefix_of_language(write_path);
+    EXPECT_EQ(conflict, d == k)
+        << "write cdr^" << k << ".car vs read car at distance " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DistanceSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace curare::analysis

@@ -1,0 +1,107 @@
+// Canonicalization applied during extraction (paper §2.1): accessor
+// paths that traverse declared inverse pairs collapse before conflict
+// matching, so the doubly-linked idiom analyzes like its canonical form.
+#include <gtest/gtest.h>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::analysis {
+namespace {
+
+class CanonExtractTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  void SetUp() override {
+    decls.load(sexpr::read_one(
+        ctx,
+        "(curare-declare (structure dnode (pointers succ pred)"
+        " (data item)) (inverse succ pred))"));
+  }
+
+  FunctionInfo extract(std::string_view src) {
+    return extract_function(ctx, decls, sexpr::read_one(ctx, src));
+  }
+};
+
+TEST_F(CanonExtractTest, BacktrackingPathCollapses) {
+  // (item (pred (succ n))) is just (item n) after canonicalization.
+  FunctionInfo info = extract(
+      "(defun f (n) (when n (setf (item (pred (succ n))) 0)"
+      " (f (succ n))))");
+  bool found = false;
+  for (const auto& r : info.refs) {
+    if (r.is_write) {
+      found = true;
+      EXPECT_EQ(r.path.to_string(), "item")
+          << "succ.pred must cancel in the recorded path";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CanonExtractTest, CanonicalizedSelfWriteHasNoConflict) {
+  // After collapsing, each invocation writes only its own node's item:
+  // τ = succ, write at `item`, read at `item` — item vs succ^d·item
+  // never align, exactly like (setf (car l)…) under τ=cdr.
+  FunctionInfo info = extract(
+      "(defun f (n) (when n (setf (item (pred (succ n))) 0)"
+      " (f (succ n))))");
+  auto report = detect_conflicts(ctx, decls, info);
+  for (const auto& c : report.conflicts)
+    EXPECT_TRUE(c.is_variable_conflict()) << c.describe();
+}
+
+TEST_F(CanonExtractTest, ForwardWriteStillConflicts) {
+  // Writing the successor's item conflicts with the next invocation's
+  // read — canonicalization must not erase REAL forward motion.
+  FunctionInfo info = extract(
+      "(defun f (n)"
+      "  (when (succ n)"
+      "    (setf (item (succ n)) (item n))"
+      "    (f (succ n))))");
+  auto report = detect_conflicts(ctx, decls, info);
+  bool hit = false;
+  for (const auto& c : report.conflicts) {
+    if (!c.is_variable_conflict()) {
+      hit = true;
+      EXPECT_EQ(c.distance, 1);
+    }
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST_F(CanonExtractTest, TransferFunctionCanonicalizesToo) {
+  // Stepping (pred (succ (succ n))) is one canonical succ step.
+  FunctionInfo info = extract(
+      "(defun f (n) (when n (f (pred (succ (succ n))))))");
+  ASSERT_EQ(info.rec_calls.size(), 1u);
+  ASSERT_TRUE(info.rec_calls[0].arg_paths[0].has_value());
+  EXPECT_EQ(info.rec_calls[0].arg_paths[0]->to_string(), "succ");
+}
+
+TEST_F(CanonExtractTest, UndeclaredInversePairDoesNotCollapse) {
+  decl::Declarations bare(ctx);
+  bare.load(sexpr::read_one(
+      ctx, "(curare-declare (structure dnode (pointers succ pred)"
+           " (data item)))"));  // no (inverse …)
+  FunctionInfo info = extract_function(
+      ctx, bare,
+      sexpr::read_one(ctx,
+                      "(defun f (n) (when n (setf (item (pred (succ n)))"
+                      " 0) (f (succ n))))"));
+  bool found = false;
+  for (const auto& r : info.refs) {
+    if (r.is_write) {
+      found = true;
+      EXPECT_EQ(r.path.to_string(), "succ.pred.item");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace curare::analysis

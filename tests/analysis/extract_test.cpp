@@ -1,0 +1,272 @@
+// Extractor tests: accessor/transfer extraction from the paper's figures.
+#include "analysis/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/reader.hpp"
+
+namespace curare::analysis {
+namespace {
+
+class ExtractTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  FunctionInfo extract(std::string_view src) {
+    return extract_function(ctx, decls, sexpr::read_one(ctx, src));
+  }
+
+  static const StructRef* find_ref(const FunctionInfo& info,
+                                   const std::string& path,
+                                   bool is_write) {
+    for (const StructRef& r : info.refs) {
+      if (r.path.to_string() == path && r.is_write == is_write) return &r;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ExtractTest, RejectsNonDefun) {
+  EXPECT_THROW(extract("(+ 1 2)"), sexpr::LispError);
+}
+
+TEST_F(ExtractTest, ParamsAndName) {
+  FunctionInfo info = extract("(defun f (a b) a)");
+  EXPECT_EQ(info.name->name, "f");
+  ASSERT_EQ(info.params.size(), 2u);
+  EXPECT_EQ(info.params[0]->name, "a");
+  EXPECT_EQ(info.params[1]->name, "b");
+  EXPECT_FALSE(info.is_recursive());
+}
+
+TEST_F(ExtractTest, Figure3TransferIsCdrPlus) {
+  // (defun f (l) (when l (print (car l)) (f (cdr l))))
+  FunctionInfo info =
+      extract("(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  ASSERT_TRUE(info.is_recursive());
+  ASSERT_EQ(info.rec_calls.size(), 1u);
+  const RecCall& call = info.rec_calls[0];
+  ASSERT_TRUE(call.arg_paths[0].has_value());
+  EXPECT_EQ(call.arg_paths[0]->to_string(), "cdr");
+  EXPECT_FALSE(call.result_used) << "call for effect is a free call";
+
+  RegexPtr tau = info.transfer_closure(info.params[0]);
+  ASSERT_NE(tau, nullptr);
+  EXPECT_EQ(tau->to_string(), "cdr.cdr*");  // cdr⁺, as the paper writes
+}
+
+TEST_F(ExtractTest, Figure3RefsArePrintDeepReadAndCdrRead) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  // (print (car l)) → deep read of l.car; (cdr l) in the call → read.
+  const StructRef* car_read = find_ref(info, "car", false);
+  ASSERT_NE(car_read, nullptr);
+  EXPECT_TRUE(car_read->deep) << "print traverses its argument";
+  EXPECT_NE(find_ref(info, "cdr", false), nullptr);
+  for (const StructRef& r : info.refs) EXPECT_FALSE(r.is_write);
+}
+
+TEST_F(ExtractTest, Figure4WriteAndRead) {
+  // (defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))
+  FunctionInfo info =
+      extract("(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+  const StructRef* w = find_ref(info, "cdr.car", true);
+  ASSERT_NE(w, nullptr) << "A1 = cdr.car (modify)";
+  EXPECT_FALSE(w->deep);
+  EXPECT_NE(find_ref(info, "car", false), nullptr) << "A2 = car";
+}
+
+TEST_F(ExtractTest, Figure5AccessorInventory) {
+  // §2.2 lists A1=cdr, A2=cdr.car (modify), A3=car, τ=cdr.
+  FunctionInfo info = extract(
+      "(defun f (l)"
+      "  (cond ((null l) nil)"
+      "        ((null (cdr l)) (f (cdr l)))"
+      "        (t (setf (cadr l) (+ (car l) (cadr l)))"
+      "           (f (cdr l)))))");
+  EXPECT_NE(find_ref(info, "cdr", false), nullptr) << "A1";
+  const StructRef* a2 = find_ref(info, "cdr.car", true);
+  ASSERT_NE(a2, nullptr) << "A2 (modify)";
+  EXPECT_NE(find_ref(info, "car", false), nullptr) << "A3";
+  ASSERT_EQ(info.rec_calls.size(), 2u);
+  EXPECT_EQ(info.step_transfer(info.params[0])->to_string(), "cdr|cdr");
+}
+
+TEST_F(ExtractTest, Figure5UpdateOperatorDetected) {
+  FunctionInfo info = extract(
+      "(defun f (l)"
+      "  (when l (setf (cadr l) (+ (car l) (cadr l))) (f (cdr l))))");
+  const StructRef* w = find_ref(info, "cdr.car", true);
+  ASSERT_NE(w, nullptr);
+  ASSERT_NE(w->update_op, nullptr);
+  EXPECT_EQ(w->update_op->name, "+");
+}
+
+TEST_F(ExtractTest, RemqResultUsedInConsPosition) {
+  FunctionInfo info = extract(
+      "(defun remq (obj lst)"
+      "  (cond ((null lst) nil)"
+      "        ((eq obj (car lst)) (remq obj (cdr lst)))"
+      "        (t (cons (car lst) (remq obj (cdr lst))))))");
+  ASSERT_EQ(info.rec_calls.size(), 2u);
+  EXPECT_FALSE(info.rec_calls[0].result_used)
+      << "tail call in clause 2 does not embed its result";
+  EXPECT_TRUE(info.rec_calls[1].result_used)
+      << "(cons x (remq ...)) uses the result";
+  // obj never changes: τ_obj = ε per call site.
+  ASSERT_TRUE(info.rec_calls[0].arg_paths[0].has_value());
+  EXPECT_TRUE(info.rec_calls[0].arg_paths[0]->is_empty());
+  // lst steps by cdr at both sites.
+  EXPECT_EQ(info.rec_calls[0].arg_paths[1]->to_string(), "cdr");
+  EXPECT_EQ(info.rec_calls[1].arg_paths[1]->to_string(), "cdr");
+}
+
+TEST_F(ExtractTest, RemqDFreshCellPromotion) {
+  // remq-d (Fig. 13): the fresh `cell` is stored at (cdr dest) and then
+  // passed as the next dest — flow-insensitive analysis must see
+  // τ_dest = cdr⁺ and the (setf (cdr dest) ...) writes, so remq-d is NOT
+  // provably conflict-free from scratch (paper §5 says exactly this).
+  FunctionInfo info = extract(
+      "(defun remq-d (dest obj lst)"
+      "  (cond ((null lst) (setf (cdr dest) nil))"
+      "        ((eq obj (car lst)) (remq-d dest obj (cdr lst)))"
+      "        (t (let ((cell (cons (car lst) nil)))"
+      "             (remq-d cell obj (cdr lst))"
+      "             (setf (cdr dest) cell)))))");
+  ASSERT_EQ(info.rec_calls.size(), 2u);
+  // Site 0 passes dest through unchanged; site 1 passes the promoted
+  // fresh cell = dest.cdr.
+  EXPECT_EQ(info.rec_calls[0].arg_paths[0]->to_string(), "ε");
+  ASSERT_TRUE(info.rec_calls[1].arg_paths[0].has_value())
+      << "fresh-cell promotion must make `cell` an accessor of dest";
+  EXPECT_EQ(info.rec_calls[1].arg_paths[0]->to_string(), "cdr");
+  EXPECT_NE(find_ref(info, "cdr", true), nullptr)
+      << "(setf (cdr dest) ...) is a write at dest.cdr";
+}
+
+TEST_F(ExtractTest, UnanalyzableArgGivesNulloptPath) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (f (reverse l))))");
+  ASSERT_EQ(info.rec_calls.size(), 1u);
+  EXPECT_FALSE(info.rec_calls[0].arg_paths[0].has_value());
+  EXPECT_EQ(info.step_transfer(info.params[0])->to_string(), "Σ*");
+}
+
+TEST_F(ExtractTest, SetqOfParameterMakesItDirty) {
+  FunctionInfo info = extract(
+      "(defun f (l) (setq l (cdr l)) (when l (f (cdr l))))");
+  EXPECT_TRUE(info.is_dirty(info.params[0]));
+  EXPECT_EQ(info.step_transfer(info.params[0])->to_string(), "Σ*");
+  EXPECT_FALSE(info.warnings.empty());
+}
+
+TEST_F(ExtractTest, EvalDefeatsAnalysis) {
+  FunctionInfo info =
+      extract("(defun f (l) (eval (car l)) (when l (f (cdr l))))");
+  EXPECT_FALSE(info.analyzable);
+}
+
+TEST_F(ExtractTest, SetDefeatsAnalysis) {
+  FunctionInfo info =
+      extract("(defun f (l) (set (car l) 1) (when l (f (cdr l))))");
+  EXPECT_FALSE(info.analyzable);
+}
+
+TEST_F(ExtractTest, LetAliasExtendsPath) {
+  FunctionInfo info = extract(
+      "(defun f (l) (let ((x (cdr l))) (setf (car x) 1)) (f (cdr l)))");
+  EXPECT_NE(find_ref(info, "cdr.car", true), nullptr)
+      << "write through the alias x = (cdr l) is a write at l.cdr.car";
+}
+
+TEST_F(ExtractTest, FreshConsWriteIsSilent) {
+  FunctionInfo info = extract(
+      "(defun f (l)"
+      "  (let ((c (cons 1 2))) (setf (car c) 3))"
+      "  (when l (f (cdr l))))");
+  EXPECT_TRUE(info.analyzable);
+  for (const StructRef& r : info.refs)
+    EXPECT_FALSE(r.is_write) << "write to a fresh cons is invisible";
+}
+
+TEST_F(ExtractTest, RplacaIsWriteOfCarField) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (rplaca (cdr l) 0) (f (cdr l))))");
+  EXPECT_NE(find_ref(info, "cdr.car", true), nullptr);
+}
+
+TEST_F(ExtractTest, RplacdIsWriteOfCdrField) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (rplacd l nil) (f (cdr l))))");
+  EXPECT_NE(find_ref(info, "cdr", true), nullptr);
+}
+
+TEST_F(ExtractTest, NreverseIsDeepWrite) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (nreverse (cdr l)) (f (cdr l))))");
+  const StructRef* w = find_ref(info, "cdr", true);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->deep);
+}
+
+TEST_F(ExtractTest, UnknownFunctionIsDeepReadWrite) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (mystery (car l)) (f (cdr l))))");
+  EXPECT_NE(find_ref(info, "car", true), nullptr);
+  EXPECT_NE(find_ref(info, "car", false), nullptr);
+  EXPECT_FALSE(info.warnings.empty());
+}
+
+TEST_F(ExtractTest, FreeVariableReadAndWrite) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (setq total (+ total (car l))) (f (cdr l))))");
+  bool saw_write = false;
+  bool saw_read = false;
+  for (const VarRef& r : info.var_refs) {
+    if (r.var->name == "total") {
+      saw_write |= r.is_write;
+      saw_read |= !r.is_write;
+      if (r.is_write) {
+        ASSERT_NE(r.update_op, nullptr);
+        EXPECT_EQ(r.update_op->name, "+");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_read);
+}
+
+TEST_F(ExtractTest, NthAccessorResolves) {
+  FunctionInfo info =
+      extract("(defun f (l) (when l (setf (nth 2 l) 0) (f (cdr l))))");
+  EXPECT_NE(find_ref(info, "cdr.cdr.car", true), nullptr);
+}
+
+TEST_F(ExtractTest, DeclaredStructureAccessorResolves) {
+  decls.load(sexpr::read_one(
+      ctx, "(curare-declare (structure node (pointers next) (data val)))"));
+  FunctionInfo info =
+      extract("(defun walk (n) (when n (print (val n)) (walk (next n))))");
+  ASSERT_EQ(info.rec_calls.size(), 1u);
+  ASSERT_TRUE(info.rec_calls[0].arg_paths[0].has_value());
+  EXPECT_EQ(info.rec_calls[0].arg_paths[0]->to_string(), "next");
+}
+
+TEST_F(ExtractTest, DeclareFormsSkippedInBody) {
+  FunctionInfo info = extract(
+      "(defun f (l) (declare (curare (sapp l))) (when l (f (cdr l))))");
+  EXPECT_TRUE(info.is_recursive());
+}
+
+TEST_F(ExtractTest, ResolveAccessorPublicHelper) {
+  auto rp = resolve_accessor(ctx, sexpr::read_one(ctx, "(cadr x)"));
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ(rp->root->name, "x");
+  EXPECT_EQ(rp->path.to_string(), "cdr.car");
+  EXPECT_FALSE(
+      resolve_accessor(ctx, sexpr::read_one(ctx, "(car (g x))")).has_value());
+}
+
+}  // namespace
+}  // namespace curare::analysis

@@ -1,0 +1,148 @@
+// Head/tail partition tests (paper §3.1): the split that determines
+// concurrency (|H|+|T|)/|H| and where locks/delays may be placed.
+#include "analysis/headtail.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/extract.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::analysis {
+namespace {
+
+class HeadTailTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  HeadTail partition(std::string_view src) {
+    FunctionInfo info =
+        extract_function(ctx, decls, sexpr::read_one(ctx, src));
+    return partition_head_tail(ctx, info);
+  }
+
+  static bool stmt_in_tail(const HeadTail& ht, const std::string& text) {
+    for (const StmtClass& s : ht.stmts) {
+      if (sexpr::write_str(s.form) == text) return s.in_tail;
+    }
+    ADD_FAILURE() << "statement not found: " << text;
+    return false;
+  }
+};
+
+TEST_F(HeadTailTest, TailRecursiveFunctionIsAllHead) {
+  // Fig 3: everything runs before the recursive call → all head.
+  HeadTail ht = partition(
+      "(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  EXPECT_EQ(ht.tail_size, 0u);
+  EXPECT_GT(ht.head_size, 0u);
+  EXPECT_DOUBLE_EQ(ht.concurrency(), 1.0)
+      << "tail-recursive: no overlap possible without restructuring";
+}
+
+TEST_F(HeadTailTest, HeadRecursiveFunctionHasTail) {
+  // Recursive call first, then work → work is in the tail.
+  HeadTail ht = partition(
+      "(defun f (l) (when l (f (cdr l)) (print (car l))))");
+  EXPECT_GT(ht.tail_size, 0u);
+  EXPECT_TRUE(stmt_in_tail(ht, "(print (car l))"));
+  EXPECT_FALSE(stmt_in_tail(ht, "(f (cdr l))"))
+      << "recursive calls are head by definition";
+  EXPECT_GT(ht.concurrency(), 1.0);
+}
+
+TEST_F(HeadTailTest, RemqDTailStatement) {
+  // Fig 13's t-clause: the rec call precedes (setf (cdr dest) cell),
+  // which therefore lands in the tail — that is exactly why DPS makes
+  // remq concurrent.
+  HeadTail ht = partition(
+      "(defun remq-d (dest obj lst)"
+      "  (cond ((null lst) (setf (cdr dest) nil))"
+      "        ((eq obj (car lst)) (remq-d dest obj (cdr lst)))"
+      "        (t (let ((cell (cons (car lst) nil)))"
+      "             (remq-d cell obj (cdr lst))"
+      "             (setf (cdr dest) cell)))))");
+  EXPECT_TRUE(stmt_in_tail(ht, "(setf (cdr dest) cell)"));
+  EXPECT_FALSE(stmt_in_tail(ht, "(setf (cdr dest) nil)"))
+      << "the base-case setf is not dominated by a recursive call";
+  EXPECT_GT(ht.concurrency(), 1.0);
+}
+
+TEST_F(HeadTailTest, StatementsAfterConditionalCallAreNotDominated) {
+  // (when p (f ...)) may skip the call, so the next statement is head.
+  HeadTail ht = partition(
+      "(defun f (l)"
+      "  (progn (when (car l) (f (cdr l))) (print (car l))))");
+  EXPECT_FALSE(stmt_in_tail(ht, "(print (car l))"));
+}
+
+TEST_F(HeadTailTest, IfWithCallsInBothArmsDominates) {
+  HeadTail ht = partition(
+      "(defun f (l)"
+      "  (progn (if (car l) (f (cdr l)) (f (cddr l)))"
+      "         (print (car l))))");
+  EXPECT_TRUE(stmt_in_tail(ht, "(print (car l))"));
+}
+
+TEST_F(HeadTailTest, IfWithoutElseDoesNotDominate) {
+  HeadTail ht = partition(
+      "(defun f (l)"
+      "  (progn (if (car l) (f (cdr l))) (print (car l))))");
+  EXPECT_FALSE(stmt_in_tail(ht, "(print (car l))"));
+}
+
+TEST_F(HeadTailTest, CondWithDefaultAndAllCallsDominates) {
+  HeadTail ht = partition(
+      "(defun f (l)"
+      "  (progn (cond ((null l) (f nil)) (t (f (cdr l))))"
+      "         (print 1)))");
+  EXPECT_TRUE(stmt_in_tail(ht, "(print 1)"));
+}
+
+TEST_F(HeadTailTest, CondWithoutDefaultDoesNotDominate) {
+  HeadTail ht = partition(
+      "(defun f (l)"
+      "  (progn (cond ((null l) (f nil)) ((car l) (f (cdr l))))"
+      "         (print 1)))");
+  EXPECT_FALSE(stmt_in_tail(ht, "(print 1)"));
+}
+
+TEST_F(HeadTailTest, EmbeddedCallStatementStaysInHead) {
+  // (setf (cdr dest) (f ...)) contains the call: head, and it dominates
+  // what follows.
+  HeadTail ht = partition(
+      "(defun f (dest l)"
+      "  (progn (setf (cdr dest) (f dest (cdr l))) (print 1)))");
+  EXPECT_FALSE(stmt_in_tail(ht, "(setf (cdr dest) (f dest (cdr l)))"));
+  EXPECT_TRUE(stmt_in_tail(ht, "(print 1)"));
+}
+
+TEST_F(HeadTailTest, ConcurrencyGrowsAsHeadShrinks) {
+  // E5's static shape: more post-call work → higher (h+t)/h.
+  HeadTail small_tail = partition(
+      "(defun f (l) (when l (f (cdr l)) (print (car l))))");
+  HeadTail big_tail = partition(
+      "(defun f (l) (when l (f (cdr l))"
+      " (print (car l)) (print (car l)) (print (car l))"
+      " (print (car l)) (print (car l)) (print (car l))))");
+  EXPECT_GT(big_tail.concurrency(), small_tail.concurrency());
+}
+
+TEST_F(HeadTailTest, FormSizeCountsNodes) {
+  EXPECT_EQ(form_size(sexpr::read_one(ctx, "x")), 1u);
+  EXPECT_GT(form_size(sexpr::read_one(ctx, "(print (car l))")),
+            form_size(sexpr::read_one(ctx, "(print l)")));
+}
+
+TEST_F(HeadTailTest, ContainsRecCallIgnoresQuote) {
+  FunctionInfo info = extract_function(
+      ctx, decls, sexpr::read_one(ctx, "(defun f (l) (print '(f x)))"));
+  EXPECT_FALSE(contains_rec_call(ctx, sexpr::read_one(ctx, "(print '(f x))"),
+                                 info.name));
+  EXPECT_TRUE(contains_rec_call(ctx, sexpr::read_one(ctx, "(g (f x))"),
+                                info.name));
+}
+
+}  // namespace
+}  // namespace curare::analysis

@@ -1,0 +1,68 @@
+// SAPP verifier tests (paper §2.1): trees pass, shared substructure and
+// cycles fail.
+#include "analysis/sapp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/ctx.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::analysis {
+namespace {
+
+using sexpr::Value;
+
+class SappTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+};
+
+TEST_F(SappTest, AtomsHold) {
+  EXPECT_TRUE(check_sapp(Value::nil()));
+  EXPECT_TRUE(check_sapp(Value::fixnum(7)));
+  EXPECT_TRUE(check_sapp(ctx.sym("x")));
+}
+
+TEST_F(SappTest, ProperListHolds) {
+  SappResult r = check_sapp(sexpr::read_one(ctx, "(1 2 3 (4 5) 6)"));
+  EXPECT_TRUE(r);
+  EXPECT_EQ(r.cells, 7u);
+}
+
+TEST_F(SappTest, SharedAtomsAreFine) {
+  Value a = ctx.sym("a");
+  Value l = ctx.make_list(a, a, a);
+  EXPECT_TRUE(check_sapp(l)) << "interned atoms are shared by design";
+}
+
+TEST_F(SappTest, SharedSubstructureFails) {
+  Value shared = sexpr::read_one(ctx, "(x)");
+  Value l = ctx.make_list(shared, shared);
+  SappResult r = check_sapp(l);
+  EXPECT_FALSE(r);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+TEST_F(SappTest, CycleFails) {
+  Value a = ctx.cons(Value::fixnum(1), Value::nil());
+  sexpr::as_cons(a)->set_cdr(a);
+  EXPECT_FALSE(check_sapp(a));
+}
+
+TEST_F(SappTest, DiamondViaCarAndCdrFails) {
+  Value shared = ctx.cons(Value::fixnum(9), Value::nil());
+  Value both = ctx.cons(shared, shared);
+  EXPECT_FALSE(check_sapp(both));
+}
+
+TEST_F(SappTest, LargeListIterative) {
+  std::string src = "(";
+  for (int i = 0; i < 200000; ++i) src += "1 ";
+  src += ")";
+  SappResult r = check_sapp(sexpr::read_one(ctx, src));
+  EXPECT_TRUE(r);
+  EXPECT_EQ(r.cells, 200000u);
+}
+
+}  // namespace
+}  // namespace curare::analysis

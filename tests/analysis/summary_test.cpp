@@ -1,0 +1,188 @@
+// Interprocedural effect summary tests: the fixpoint classification and
+// its payoff in the extractor/driver (helpers no longer worst-cased).
+#include "analysis/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "curare/curare.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::analysis {
+namespace {
+
+class SummaryTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  SummaryMap compute(std::string_view src) {
+    std::vector<Value> defuns;
+    for (Value f : sexpr::read_all(ctx, src)) defuns.push_back(f);
+    return compute_summaries(ctx, decls, defuns);
+  }
+
+  FnEffect effect_of_fn(const SummaryMap& m, const char* name) {
+    const FnSummary* s = m.lookup(ctx.symbols.intern(name));
+    EXPECT_NE(s, nullptr) << name;
+    return s ? s->effect : FnEffect::Opaque;
+  }
+};
+
+TEST_F(SummaryTest, PureArithmetic) {
+  auto m = compute("(defun sq (x) (* x x))");
+  EXPECT_EQ(effect_of_fn(m, "sq"), FnEffect::Pure);
+}
+
+TEST_F(SummaryTest, AccessorsAreReadOnly) {
+  // A summary cannot carry the precise accessor path, so a function
+  // that dereferences its argument is abstracted as "reads somewhere
+  // below it" — DeepRead, the sound over-approximation.
+  auto m = compute("(defun get-val (x) (car x))");
+  EXPECT_EQ(effect_of_fn(m, "get-val"), FnEffect::DeepRead);
+}
+
+TEST_F(SummaryTest, PrintMakesDeepRead) {
+  auto m = compute("(defun show (x) (print x))");
+  EXPECT_EQ(effect_of_fn(m, "show"), FnEffect::DeepRead);
+}
+
+TEST_F(SummaryTest, SetfThroughPlaceIsDeepWrite) {
+  auto m = compute("(defun clobber (x) (setf (car x) 0))");
+  EXPECT_EQ(effect_of_fn(m, "clobber"), FnEffect::DeepWrite);
+}
+
+TEST_F(SummaryTest, EvalIsOpaque) {
+  auto m = compute("(defun danger (x) (eval x))");
+  EXPECT_EQ(effect_of_fn(m, "danger"), FnEffect::Opaque);
+}
+
+TEST_F(SummaryTest, EffectsPropagateThroughCalls) {
+  auto m = compute(
+      "(defun leaf (x) (rplaca x 1))"
+      "(defun mid (x) (leaf x))"
+      "(defun top (x) (mid x))");
+  EXPECT_EQ(effect_of_fn(m, "leaf"), FnEffect::DeepWrite);
+  EXPECT_EQ(effect_of_fn(m, "mid"), FnEffect::DeepWrite);
+  EXPECT_EQ(effect_of_fn(m, "top"), FnEffect::DeepWrite);
+}
+
+TEST_F(SummaryTest, MutualRecursionConverges) {
+  auto m = compute(
+      "(defun even? (n) (if (= n 0) t (odd? (- n 1))))"
+      "(defun odd? (n) (if (= n 0) nil (even? (- n 1))))");
+  EXPECT_EQ(effect_of_fn(m, "even?"), FnEffect::Pure);
+  EXPECT_EQ(effect_of_fn(m, "odd?"), FnEffect::Pure);
+}
+
+TEST_F(SummaryTest, MutualRecursionWithWriteInfectsBoth) {
+  auto m = compute(
+      "(defun a1 (x) (b1 x))"
+      "(defun b1 (x) (when x (setf (car x) 0) (a1 (cdr x))))");
+  EXPECT_EQ(effect_of_fn(m, "a1"), FnEffect::DeepWrite);
+  EXPECT_EQ(effect_of_fn(m, "b1"), FnEffect::DeepWrite);
+}
+
+TEST_F(SummaryTest, GlobalTrafficCollected) {
+  auto m = compute(
+      "(defun bump () (setq counter (+ counter 1)))"
+      "(defun caller (x) (bump) x)");
+  const FnSummary* s = m.lookup(ctx.symbols.intern("caller"));
+  ASSERT_NE(s, nullptr);
+  Symbol* counter = ctx.symbols.intern("counter");
+  EXPECT_TRUE(s->global_writes.contains(counter));
+  EXPECT_TRUE(s->global_reads.contains(counter));
+}
+
+TEST_F(SummaryTest, LocalsAreNotGlobals) {
+  auto m = compute(
+      "(defun f (x) (let ((y 1)) (setq y 2) (+ x y)))");
+  const FnSummary* s = m.lookup(ctx.symbols.intern("f"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->global_writes.empty());
+  EXPECT_TRUE(s->global_reads.empty());
+  EXPECT_EQ(s->effect, FnEffect::Pure);
+}
+
+TEST_F(SummaryTest, ExtractorUsesSummaries) {
+  auto program =
+      "(defun get-val (x) (car x))"
+      "(defun walk (l) (when l (print (get-val l)) (walk (cdr l))))";
+  auto m = compute(program);
+  std::vector<Value> forms = sexpr::read_all(ctx, program);
+  FunctionInfo with =
+      extract_function(ctx, decls, forms[1], &m);
+  FunctionInfo without = extract_function(ctx, decls, forms[1], nullptr);
+
+  auto has_write = [](const FunctionInfo& i) {
+    for (const auto& r : i.refs)
+      if (r.is_write) return true;
+    return false;
+  };
+  EXPECT_FALSE(has_write(with))
+      << "summarized get-val is pure: no writes through l";
+  EXPECT_TRUE(has_write(without))
+      << "without summaries, the helper call is worst-cased";
+}
+
+TEST_F(SummaryTest, ToStringMentionsEverything) {
+  auto m = compute("(defun f (x) (setq g (+ g 1)) (print x))");
+  const FnSummary* s = m.lookup(ctx.symbols.intern("f"));
+  ASSERT_NE(s, nullptr);
+  std::string text = s->to_string();
+  EXPECT_NE(text.find("read"), std::string::npos);
+  EXPECT_NE(text.find("g"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace curare::analysis
+
+namespace curare {
+namespace {
+
+TEST(SummaryEndToEnd, HelperCallsNoLongerBlockTransformation) {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 4);
+  cur.load_program(
+      "(setq seen 0)"
+      "(defun observe (x) (%atomic-incf-var 'seen 1) x)"
+      "(defun visit (l) (when l (observe (car l)) (visit (cdr l))))");
+  TransformPlan plan = cur.transform("visit");
+  ASSERT_TRUE(plan.ok) << plan.failure
+                       << " — the pure-ish helper must not block CRI";
+  const Value args[] = {sexpr::read_one(ctx, "(a b c d e)")};
+  cur.run_parallel("visit", args, 3);
+  EXPECT_EQ(cur.interp().eval_program("seen").as_fixnum(), 5);
+}
+
+TEST(SummaryEndToEnd, HelperGlobalWritesStillConflict) {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 4);
+  cur.load_program(
+      "(setq log nil)"
+      "(defun note (x) (setq log (cons x log)))"
+      "(defun visit (l) (when l (note (car l)) (visit (cdr l))))");
+  AnalysisReport report = cur.analyze("visit");
+  bool log_conflict = false;
+  for (const auto& c : report.conflicts.conflicts) {
+    if (c.is_variable_conflict() && c.var->name == "log")
+      log_conflict = true;
+  }
+  EXPECT_TRUE(log_conflict)
+      << "the callee's global write must surface in the caller";
+}
+
+TEST(SummaryEndToEnd, WriterHelperStillGetsConflicts) {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 4);
+  cur.load_program(
+      "(defun smash (x) (rplaca x 0))"
+      "(defun visit (l) (when l (smash (cdr l)) (visit (cdr l))))");
+  AnalysisReport report = cur.analyze("visit");
+  EXPECT_FALSE(report.conflicts.conflicts.empty())
+      << "deep-write helper keeps its conflicts";
+}
+
+}  // namespace
+}  // namespace curare

@@ -1,0 +1,237 @@
+// Builtin library tests.
+#include <gtest/gtest.h>
+
+#include "lisp/interp.hpp"
+#include "sexpr/printer.hpp"
+
+namespace curare::lisp {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  Interp in{ctx};
+
+  std::string run(std::string_view src) {
+    return sexpr::write_str(in.eval_program(src));
+  }
+};
+
+TEST_F(BuiltinsTest, ConsCarCdr) {
+  EXPECT_EQ(run("(cons 1 2)"), "(1 . 2)");
+  EXPECT_EQ(run("(car '(1 2))"), "1");
+  EXPECT_EQ(run("(cdr '(1 2))"), "(2)");
+  EXPECT_EQ(run("(car nil)"), "nil");
+  EXPECT_EQ(run("(cdr nil)"), "nil");
+}
+
+TEST_F(BuiltinsTest, CxrFamily) {
+  EXPECT_EQ(run("(cadr '(1 2 3))"), "2");
+  EXPECT_EQ(run("(caddr '(1 2 3))"), "3");
+  EXPECT_EQ(run("(cddr '(1 2 3))"), "(3)");
+  EXPECT_EQ(run("(caar '((9)))"), "9");
+  EXPECT_EQ(run("(cdar '((9 8)))"), "(8)");
+  EXPECT_EQ(run("(cadddr '(1 2 3 4))"), "4");
+}
+
+TEST_F(BuiltinsTest, RplacaRplacd) {
+  EXPECT_EQ(run("(let ((x (cons 1 2))) (rplaca x 9) x)"), "(9 . 2)");
+  EXPECT_EQ(run("(let ((x (cons 1 2))) (rplacd x 9) x)"), "(1 . 9)");
+}
+
+TEST_F(BuiltinsTest, ListBuilders) {
+  EXPECT_EQ(run("(list 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(run("(list)"), "nil");
+  EXPECT_EQ(run("(list* 1 2 '(3 4))"), "(1 2 3 4)");
+  EXPECT_EQ(run("(append '(1 2) '(3) '(4 5))"), "(1 2 3 4 5)");
+  EXPECT_EQ(run("(append)"), "nil");
+  EXPECT_EQ(run("(append nil '(1))"), "(1)");
+}
+
+TEST_F(BuiltinsTest, ReverseAndNreverse) {
+  EXPECT_EQ(run("(reverse '(1 2 3))"), "(3 2 1)");
+  EXPECT_EQ(run("(nreverse (list 1 2 3))"), "(3 2 1)");
+  EXPECT_EQ(run("(reverse nil)"), "nil");
+}
+
+TEST_F(BuiltinsTest, LengthNthLast) {
+  EXPECT_EQ(run("(length '(a b c))"), "3");
+  EXPECT_EQ(run("(length nil)"), "0");
+  EXPECT_EQ(run("(nth 0 '(a b))"), "a");
+  EXPECT_EQ(run("(nth 5 '(a b))"), "nil");
+  EXPECT_EQ(run("(nthcdr 1 '(a b c))"), "(b c)");
+  EXPECT_EQ(run("(last '(1 2 3))"), "(3)");
+}
+
+TEST_F(BuiltinsTest, MemberAssoc) {
+  EXPECT_EQ(run("(member 'b '(a b c))"), "(b c)");
+  EXPECT_EQ(run("(member 'z '(a b))"), "nil");
+  EXPECT_EQ(run("(assoc 'b '((a . 1) (b . 2)))"), "(b . 2)");
+}
+
+TEST_F(BuiltinsTest, Predicates) {
+  EXPECT_EQ(run("(null nil)"), "t");
+  EXPECT_EQ(run("(null 0)"), "nil");
+  EXPECT_EQ(run("(atom 'x)"), "t");
+  EXPECT_EQ(run("(atom '(1))"), "nil");
+  EXPECT_EQ(run("(consp '(1))"), "t");
+  EXPECT_EQ(run("(listp nil)"), "t");
+  EXPECT_EQ(run("(symbolp 'x)"), "t");
+  EXPECT_EQ(run("(numberp 3)"), "t");
+  EXPECT_EQ(run("(numberp 2.5)"), "t");
+  EXPECT_EQ(run("(stringp \"s\")"), "t");
+  EXPECT_EQ(run("(functionp (lambda (x) x))"), "t");
+  EXPECT_EQ(run("(functionp 'car)"), "nil") << "symbol is not a function";
+}
+
+TEST_F(BuiltinsTest, EqualityPredicates) {
+  EXPECT_EQ(run("(eq 'a 'a)"), "t");
+  EXPECT_EQ(run("(eq '(1) '(1))"), "nil");
+  EXPECT_EQ(run("(eql 3 3)"), "t");
+  EXPECT_EQ(run("(equal '(1 (2)) '(1 (2)))"), "t");
+}
+
+TEST_F(BuiltinsTest, Arithmetic) {
+  EXPECT_EQ(run("(+ 1 2 3)"), "6");
+  EXPECT_EQ(run("(+)"), "0");
+  EXPECT_EQ(run("(- 10 3 2)"), "5");
+  EXPECT_EQ(run("(- 4)"), "-4");
+  EXPECT_EQ(run("(* 2 3 4)"), "24");
+  EXPECT_EQ(run("(/ 7 2)"), "3");
+  EXPECT_EQ(run("(/ 2.0)"), "0.5");
+  EXPECT_EQ(run("(mod 7 3)"), "1");
+  EXPECT_EQ(run("(mod -7 3)"), "2") << "mod follows the divisor's sign";
+  EXPECT_EQ(run("(rem -7 3)"), "-1");
+  EXPECT_EQ(run("(1+ 4)"), "5");
+  EXPECT_EQ(run("(1- 4)"), "3");
+  EXPECT_EQ(run("(min 3 1 2)"), "1");
+  EXPECT_EQ(run("(max 3 1 2)"), "3");
+  EXPECT_EQ(run("(abs -4)"), "4");
+  EXPECT_EQ(run("(expt 2 10)"), "1024");
+  EXPECT_EQ(run("(floor 2.7)"), "2");
+  EXPECT_EQ(run("(truncate 2.7)"), "2");
+}
+
+TEST_F(BuiltinsTest, FloatContagion) {
+  EXPECT_EQ(run("(+ 1 0.5)"), "1.5");
+  EXPECT_EQ(run("(* 2 2.5)"), "5.0");
+}
+
+TEST_F(BuiltinsTest, DivisionByZeroThrows) {
+  EXPECT_THROW(run("(/ 1 0)"), sexpr::LispError);
+  EXPECT_THROW(run("(mod 1 0)"), sexpr::LispError);
+}
+
+TEST_F(BuiltinsTest, Comparisons) {
+  EXPECT_EQ(run("(= 2 2 2)"), "t");
+  EXPECT_EQ(run("(= 2 3)"), "nil");
+  EXPECT_EQ(run("(= 2 2.0)"), "t") << "numeric = compares across types";
+  EXPECT_EQ(run("(< 1 2 3)"), "t");
+  EXPECT_EQ(run("(< 1 3 2)"), "nil");
+  EXPECT_EQ(run("(> 3 2 1)"), "t");
+  EXPECT_EQ(run("(<= 1 1 2)"), "t");
+  EXPECT_EQ(run("(>= 2 2 1)"), "t");
+  EXPECT_EQ(run("(/= 1 2)"), "t");
+}
+
+TEST_F(BuiltinsTest, ApplyLeadingArgsThenList) {
+  // (apply f x y list) — leading args precede the spread list. Functions
+  // are values in this Lisp-1, so pass the function itself, not a symbol.
+  EXPECT_EQ(run("(apply (lambda (a b c d) (+ a b c d)) 1 2 '(3 4))"), "10");
+}
+
+TEST_F(BuiltinsTest, ApplyFuncallMapcar) {
+  EXPECT_EQ(run("(apply (lambda (a b) (+ a b)) '(1 2))"), "3");
+  EXPECT_EQ(run("(funcall (lambda (a) (* a 2)) 21)"), "42");
+  EXPECT_EQ(run("(mapcar (lambda (x) (* x x)) '(1 2 3))"), "(1 4 9)");
+  EXPECT_EQ(run("(mapcar (lambda (a b) (+ a b)) '(1 2) '(10 20))"),
+            "(11 22)");
+  EXPECT_EQ(run("(let ((acc nil))"
+                "  (mapc (lambda (x) (setq acc (cons x acc))) '(1 2 3))"
+                "  acc)"),
+            "(3 2 1)");
+}
+
+TEST_F(BuiltinsTest, Reduce) {
+  EXPECT_EQ(run("(reduce (lambda (a b) (+ a b)) '(1 2 3 4))"), "10");
+  EXPECT_EQ(run("(reduce (lambda (a b) (+ a b)) '(1 2) 100)"), "103");
+  EXPECT_EQ(run("(reduce (lambda (a b) (+ a b)) nil 5)"), "5");
+}
+
+TEST_F(BuiltinsTest, Sort) {
+  EXPECT_EQ(run("(sort '(3 1 2) (lambda (a b) (< a b)))"), "(1 2 3)");
+  EXPECT_EQ(run("(sort nil (lambda (a b) (< a b)))"), "nil");
+}
+
+TEST_F(BuiltinsTest, HashTables) {
+  EXPECT_EQ(run("(let ((h (make-hash-table)))"
+                "  (puthash 'k 1 h)"
+                "  (gethash 'k h))"),
+            "1");
+  EXPECT_EQ(run("(gethash 'missing (make-hash-table))"), "nil");
+  EXPECT_EQ(run("(gethash 'missing (make-hash-table) 'dflt)"), "dflt");
+  EXPECT_EQ(run("(let ((h (make-hash-table)))"
+                "  (puthash 1 'a h) (puthash 2 'b h) (remhash 1 h)"
+                "  (hash-table-count h))"),
+            "1");
+}
+
+TEST_F(BuiltinsTest, Vectors) {
+  EXPECT_EQ(run("(length (make-array 5))"), "5");
+  EXPECT_EQ(run("(aref (make-array 3 7) 1)"), "7");
+  EXPECT_THROW(run("(aref (make-array 2) 5)"), sexpr::LispError);
+  EXPECT_THROW(run("(make-array -1)"), sexpr::LispError);
+}
+
+TEST_F(BuiltinsTest, SymbolsAndStrings) {
+  EXPECT_EQ(run("(symbol-name 'abc)"), "\"abc\"");
+  EXPECT_EQ(run("(eq (intern \"zz\") 'zz)"), "t");
+  EXPECT_EQ(run("(string= \"a\" \"a\")"), "t");
+  EXPECT_EQ(run("(concat \"a\" \"b\" \"c\")"), "\"abc\"");
+  EXPECT_EQ(run("(eq (gensym) (gensym))"), "nil");
+}
+
+TEST_F(BuiltinsTest, CopyListIndependent) {
+  EXPECT_EQ(run("(let* ((a (list 1 2)) (b (copy-list a)))"
+                "  (rplaca a 9) (car b))"),
+            "1");
+}
+
+TEST_F(BuiltinsTest, RandomIsDeterministicUnderSeed) {
+  in.seed_rng(7);
+  std::string first = run("(list (random 100) (random 100) (random 100))");
+  in.seed_rng(7);
+  EXPECT_EQ(run("(list (random 100) (random 100) (random 100))"), first);
+  EXPECT_THROW(run("(random 0)"), sexpr::LispError);
+}
+
+TEST_F(BuiltinsTest, ErrorBuiltinThrows) {
+  EXPECT_THROW(run("(error \"boom\")"), sexpr::LispError);
+}
+
+TEST_F(BuiltinsTest, FormatToString) {
+  EXPECT_EQ(run("(format nil \"x=~d y=~a\" 3 'sym)"), "\"x=3 y=sym\"");
+  EXPECT_EQ(run("(format nil \"~s\" \"quoted\")"), "\"\\\"quoted\\\"\"");
+  EXPECT_EQ(run("(format nil \"~a~%~a\" 1 2)"), "\"1\\n2\"");
+  EXPECT_EQ(run("(format nil \"100~~\")"), "\"100~\"");
+}
+
+TEST_F(BuiltinsTest, FormatToOutput) {
+  EXPECT_EQ(run("(format t \"n=~d~%\" 7)"), "nil");
+  EXPECT_EQ(in.take_output(), "n=7\n");
+}
+
+TEST_F(BuiltinsTest, FormatErrors) {
+  EXPECT_THROW(run("(format nil \"~d\")"), sexpr::LispError);
+  EXPECT_THROW(run("(format nil \"~q\" 1)"), sexpr::LispError);
+  EXPECT_THROW(run("(format nil \"end~\")"), sexpr::LispError);
+}
+
+TEST_F(BuiltinsTest, GetInternalRealTimeAdvances) {
+  EXPECT_EQ(run("(let ((t0 (get-internal-real-time)))"
+                "  (if (<= t0 (get-internal-real-time)) 'ok 'bad))"),
+            "ok");
+}
+
+}  // namespace
+}  // namespace curare::lisp

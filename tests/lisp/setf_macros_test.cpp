@@ -1,0 +1,251 @@
+// incf/decf/push/pop across interpreter, analysis, reorder transform,
+// and the full driver pipeline (paper §3.2.3's two reorderable classes).
+#include <gtest/gtest.h>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "curare/curare.hpp"
+#include "lisp/interp.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+#include "transform/reorder.hpp"
+
+namespace curare {
+namespace {
+
+class SetfMacrosTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  lisp::Interp in{ctx};
+
+  std::string run(std::string_view src) {
+    return sexpr::write_str(in.eval_program(src));
+  }
+};
+
+TEST_F(SetfMacrosTest, IncfVariable) {
+  EXPECT_EQ(run("(let ((x 5)) (incf x) x)"), "6");
+  EXPECT_EQ(run("(let ((x 5)) (incf x 10) x)"), "15");
+  EXPECT_EQ(run("(setq g1 0) (incf g1 3) g1"), "3");
+}
+
+TEST_F(SetfMacrosTest, DecfVariable) {
+  EXPECT_EQ(run("(let ((x 5)) (decf x) x)"), "4");
+  EXPECT_EQ(run("(let ((x 5)) (decf x 2) x)"), "3");
+}
+
+TEST_F(SetfMacrosTest, IncfReturnsNewValue) {
+  EXPECT_EQ(run("(let ((x 1)) (incf x 4))"), "5");
+}
+
+TEST_F(SetfMacrosTest, IncfStructurePlace) {
+  EXPECT_EQ(run("(let ((l (list 1 2 3))) (incf (cadr l) 10) l)"),
+            "(1 12 3)");
+}
+
+TEST_F(SetfMacrosTest, PushOntoVariable) {
+  EXPECT_EQ(run("(let ((stack nil)) (push 1 stack) (push 2 stack) stack)"),
+            "(2 1)");
+}
+
+TEST_F(SetfMacrosTest, PushOntoPlace) {
+  EXPECT_EQ(run("(let ((l (list nil 9))) (push 'x (car l)) l)"),
+            "((x) 9)");
+}
+
+TEST_F(SetfMacrosTest, PopReturnsHeadAndShortens) {
+  EXPECT_EQ(run("(let ((s '(a b c))) (list (pop s) s))"), "(a (b c))");
+  EXPECT_EQ(run("(let ((s nil)) (list (pop s) s))"), "(nil nil)");
+}
+
+TEST_F(SetfMacrosTest, PushPopRoundTrip) {
+  EXPECT_EQ(run("(let ((s nil))"
+                "  (push 1 s) (push 2 s) (push 3 s)"
+                "  (list (pop s) (pop s) (pop s)))"),
+            "(3 2 1)");
+}
+
+// ---- analysis --------------------------------------------------------
+
+class SetfMacrosAnalysisTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  analysis::FunctionInfo extract(std::string_view src) {
+    return analysis::extract_function(ctx, decls,
+                                      sexpr::read_one(ctx, src));
+  }
+};
+
+TEST_F(SetfMacrosAnalysisTest, IncfGlobalGivesPlusUpdateOp) {
+  auto info = extract(
+      "(defun f (l) (when l (incf total) (f (cdr l))))");
+  bool found = false;
+  for (const auto& v : info.var_refs) {
+    if (v.is_write && v.var->name == "total") {
+      found = true;
+      ASSERT_NE(v.update_op, nullptr);
+      EXPECT_EQ(v.update_op->name, "+");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SetfMacrosAnalysisTest, DecfAlsoCountsAsAdditive) {
+  auto info = extract(
+      "(defun f (l) (when l (decf total 2) (f (cdr l))))");
+  for (const auto& v : info.var_refs) {
+    if (v.is_write) {
+      EXPECT_EQ(v.update_op->name, "+");
+    }
+  }
+}
+
+TEST_F(SetfMacrosAnalysisTest, IncfOfStructurePlaceIsWrite) {
+  auto info = extract(
+      "(defun f (l) (when l (incf (cadr l)) (f (cdr l))))");
+  bool w = false;
+  for (const auto& r : info.refs) {
+    if (r.is_write && r.path.to_string() == "cdr.car") {
+      w = true;
+      ASSERT_NE(r.update_op, nullptr);
+      EXPECT_EQ(r.update_op->name, "+");
+    }
+  }
+  EXPECT_TRUE(w);
+}
+
+TEST_F(SetfMacrosAnalysisTest, IncfOfParameterDirtiesIt) {
+  auto info = extract("(defun f (n) (when (> n 0) (incf n -1) (f n)))");
+  EXPECT_TRUE(info.is_dirty(info.params[0]));
+}
+
+TEST_F(SetfMacrosAnalysisTest, PushOnUnorderedVarIsReorderable) {
+  decls.load(sexpr::read_one(ctx, "(curare-declare (unordered results))"));
+  auto info = extract(
+      "(defun f (l) (when l (push (car l) results) (f (cdr l))))");
+  auto report = analysis::detect_conflicts(ctx, decls, info);
+  bool push_ww = false;
+  for (const auto& c : report.conflicts) {
+    if (c.is_variable_conflict() && c.var_earlier.is_write &&
+        c.var_later.is_write) {
+      push_ww = true;
+      EXPECT_NE(c.reorderable_op, nullptr)
+          << "declared-unordered push must be reorderable";
+    }
+  }
+  EXPECT_TRUE(push_ww);
+}
+
+TEST_F(SetfMacrosAnalysisTest, PushWithoutDeclarationIsNotReorderable) {
+  auto info = extract(
+      "(defun f (l) (when l (push (car l) results) (f (cdr l))))");
+  auto report = analysis::detect_conflicts(ctx, decls, info);
+  for (const auto& c : report.conflicts) {
+    if (c.is_variable_conflict() && c.var_earlier.is_write &&
+        c.var_later.is_write) {
+      EXPECT_EQ(c.reorderable_op, nullptr);
+    }
+  }
+}
+
+// ---- reorder transform -------------------------------------------------
+
+TEST_F(SetfMacrosAnalysisTest, ReorderRewritesIncf) {
+  auto info = extract(
+      "(defun f (l) (when l (incf total 2) (f (cdr l))))");
+  auto r = transform::apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun)
+                .find("(%atomic-incf-var (quote total) 2)"),
+            std::string::npos)
+      << sexpr::write_str(r.defun);
+}
+
+TEST_F(SetfMacrosAnalysisTest, ReorderRewritesDecfWithNegation) {
+  auto info = extract(
+      "(defun f (l) (when l (decf total 2) (f (cdr l))))");
+  auto r = transform::apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun)
+                .find("(%atomic-incf-var (quote total) -2)"),
+            std::string::npos)
+      << sexpr::write_str(r.defun);
+}
+
+TEST_F(SetfMacrosAnalysisTest, ReorderRewritesIncfOnStructure) {
+  auto info = extract(
+      "(defun f (l) (when l (incf (cadr l) 5) (f (cdr l))))");
+  auto r = transform::apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun)
+                .find("(%atomic-add (cdr l) (quote car) 5)"),
+            std::string::npos);
+}
+
+TEST_F(SetfMacrosAnalysisTest, ReorderRewritesDeclaredUnorderedPush) {
+  decls.load(sexpr::read_one(ctx, "(curare-declare (unordered results))"));
+  auto info = extract(
+      "(defun f (l) (when l (push (car l) results) (f (cdr l))))");
+  auto r = transform::apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun).find("%locked-update-var"),
+            std::string::npos);
+}
+
+TEST_F(SetfMacrosAnalysisTest, ReorderLeavesUndeclaredPushAlone) {
+  auto info = extract(
+      "(defun f (l) (when l (push (car l) results) (f (cdr l))))");
+  auto r = transform::apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 0);
+}
+
+// ---- end-to-end ------------------------------------------------------------
+
+TEST(SetfMacrosEndToEnd, UnorderedCollectorRunsParallel) {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 4);
+  cur.load_program(
+      "(curare-declare (unordered bag))"
+      "(setq bag nil)"
+      "(defun collect (l)"
+      "  (when l (push (car l) bag) (collect (cdr l))))");
+  TransformPlan plan = cur.transform("collect");
+  ASSERT_TRUE(plan.ok) << plan.failure;
+  EXPECT_GT(plan.reordered, 0);
+  EXPECT_EQ(plan.locks_inserted, 0);
+
+  std::string src = "(";
+  for (int i = 1; i <= 100; ++i) src += std::to_string(i) + " ";
+  src += ")";
+  const Value args[] = {sexpr::read_one(ctx, src)};
+  cur.run_parallel("collect", args, 4);
+  // Unordered: the SET of elements must match, order may not.
+  Value bag = cur.interp().eval_program(
+      "(sort bag (lambda (a b) (< a b)))");
+  EXPECT_EQ(sexpr::list_length(bag), 100u);
+  EXPECT_EQ(sexpr::car(bag).as_fixnum(), 1);
+  std::int64_t sum = 0;
+  for (Value v = bag; !v.is_nil(); v = sexpr::cdr(v))
+    sum += sexpr::car(v).as_fixnum();
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(SetfMacrosEndToEnd, IncfCounterParallel) {
+  sexpr::Ctx ctx;
+  Curare cur(ctx, 4);
+  cur.load_program(
+      "(setq hits 0)"
+      "(defun count-down (n)"
+      "  (when (> n 0) (incf hits) (count-down (- n 1))))");
+  TransformPlan plan = cur.transform("count-down");
+  ASSERT_TRUE(plan.ok) << plan.failure;
+  EXPECT_GT(plan.reordered, 0);
+  const Value args[] = {Value::fixnum(500)};
+  cur.run_parallel("count-down", args, 4);
+  EXPECT_EQ(cur.interp().eval_program("hits").as_fixnum(), 500);
+}
+
+}  // namespace
+}  // namespace curare

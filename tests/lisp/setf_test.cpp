@@ -1,0 +1,105 @@
+// setf-place tests. The paper's transformations pivot on `setf` of
+// accessor places — (setf (cadr l) ...) is the canonical conflicting
+// modification (Figs. 4 and 5) — so place handling must be exact.
+#include <gtest/gtest.h>
+
+#include "lisp/interp.hpp"
+#include "sexpr/printer.hpp"
+
+namespace curare::lisp {
+namespace {
+
+class SetfTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  Interp in{ctx};
+
+  std::string run(std::string_view src) {
+    return sexpr::write_str(in.eval_program(src));
+  }
+};
+
+TEST_F(SetfTest, VariablePlace) {
+  EXPECT_EQ(run("(let ((x 1)) (setf x 2) x)"), "2");
+}
+
+TEST_F(SetfTest, CarPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2))) (setf (car x) 9) x)"), "(9 2)");
+}
+
+TEST_F(SetfTest, CdrPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2))) (setf (cdr x) '(8)) x)"), "(1 8)");
+}
+
+TEST_F(SetfTest, CadrPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2 3))) (setf (cadr x) 9) x)"), "(1 9 3)");
+}
+
+TEST_F(SetfTest, CaddrPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2 3))) (setf (caddr x) 9) x)"),
+            "(1 2 9)");
+}
+
+TEST_F(SetfTest, CddrPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2 3))) (setf (cddr x) nil) x)"), "(1 2)");
+}
+
+TEST_F(SetfTest, CaarPlace) {
+  EXPECT_EQ(run("(let ((x (list (list 1) 2))) (setf (caar x) 9) x)"),
+            "((9) 2)");
+}
+
+TEST_F(SetfTest, SetfReturnsValue) {
+  EXPECT_EQ(run("(let ((x (list 1))) (setf (car x) 5))"), "5");
+}
+
+TEST_F(SetfTest, MultiplePlacePairs) {
+  EXPECT_EQ(run("(let ((x (list 1 2))) (setf (car x) 9 (cadr x) 8) x)"),
+            "(9 8)");
+}
+
+TEST_F(SetfTest, NthPlace) {
+  EXPECT_EQ(run("(let ((x (list 1 2 3))) (setf (nth 1 x) 9) x)"),
+            "(1 9 3)");
+}
+
+TEST_F(SetfTest, GethashPlace) {
+  EXPECT_EQ(run("(let ((h (make-hash-table)))"
+                "  (setf (gethash 'k h) 42)"
+                "  (gethash 'k h))"),
+            "42");
+}
+
+TEST_F(SetfTest, ArefPlace) {
+  EXPECT_EQ(run("(let ((v (make-array 3 0))) (setf (aref v 2) 9)"
+                " (aref v 2))"),
+            "9");
+}
+
+TEST_F(SetfTest, SetfOfNilCarThrows) {
+  EXPECT_THROW(run("(setf (car nil) 1)"), sexpr::LispError);
+}
+
+TEST_F(SetfTest, UnsupportedPlaceThrows) {
+  EXPECT_THROW(run("(setf (length '(1 2)) 5)"), sexpr::LispError);
+}
+
+TEST_F(SetfTest, PaperFigure5Increment) {
+  // Fig. 5 body: (setf (cadr l) (+ (car l) (cadr l))) — prefix-sum step.
+  EXPECT_EQ(run("(defun f (l)"
+                "  (cond ((null l) nil)"
+                "        ((null (cdr l)) nil)"
+                "        (t (setf (cadr l) (+ (car l) (cadr l)))"
+                "           (f (cdr l)))))"
+                "(let ((x (list 1 2 3 4))) (f x) x)"),
+            "(1 3 6 10)");
+}
+
+TEST_F(SetfTest, SetfDeepChainViaLetAlias) {
+  EXPECT_EQ(run("(let* ((x (list (list 1 2) 3)) (y (car x)))"
+                "  (setf (cadr y) 9) x)"),
+            "((1 9) 3)");
+}
+
+}  // namespace
+}  // namespace curare::lisp

@@ -1,0 +1,101 @@
+// FuturePool tests: spawn/touch, error propagation, help-first waiting.
+#include "runtime/future_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sexpr/value.hpp"
+
+namespace curare::runtime {
+namespace {
+
+using sexpr::Value;
+
+TEST(FuturePool, SpawnAndTouch) {
+  FuturePool pool(2);
+  auto f = pool.spawn([] { return Value::fixnum(42); });
+  EXPECT_EQ(pool.touch(f).as_fixnum(), 42);
+}
+
+TEST(FuturePool, TouchIsIdempotent) {
+  FuturePool pool(2);
+  auto f = pool.spawn([] { return Value::fixnum(7); });
+  EXPECT_EQ(pool.touch(f).as_fixnum(), 7);
+  EXPECT_EQ(pool.touch(f).as_fixnum(), 7);
+}
+
+TEST(FuturePool, ManyFuturesAllResolve) {
+  FuturePool pool(4);
+  std::vector<std::shared_ptr<FutureState>> fs;
+  for (int i = 0; i < 500; ++i)
+    fs.push_back(pool.spawn([i] { return Value::fixnum(i); }));
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(pool.touch(fs[static_cast<std::size_t>(i)]).as_fixnum(), i);
+}
+
+TEST(FuturePool, ErrorsPropagateOnTouch) {
+  FuturePool pool(2);
+  auto f = pool.spawn([]() -> Value {
+    throw sexpr::LispError("task failed");
+  });
+  EXPECT_THROW(pool.touch(f), sexpr::LispError);
+}
+
+TEST(FuturePool, HelpFirstTouchAvoidsDeadlockOnSingleWorker) {
+  // One worker, and the worker's task spawns+touches a child future. A
+  // blocking touch would deadlock; help-first touch must complete.
+  FuturePool pool(1);
+  auto parent = pool.spawn([&pool]() -> Value {
+    auto child = pool.spawn([] { return Value::fixnum(5); });
+    return Value::fixnum(pool.touch(child).as_fixnum() + 1);
+  });
+  EXPECT_EQ(pool.touch(parent).as_fixnum(), 6);
+}
+
+TEST(FuturePool, DeepFutureChainCompletes) {
+  FuturePool pool(2);
+  std::function<Value(int)> chain = [&](int n) -> Value {
+    if (n == 0) return Value::fixnum(0);
+    auto f = pool.spawn([&chain, n] { return chain(n - 1); });
+    return Value::fixnum(pool.touch(f).as_fixnum() + 1);
+  };
+  EXPECT_EQ(chain(100).as_fixnum(), 100);
+}
+
+TEST(FuturePool, WorkerCountDefaultsPositive) {
+  FuturePool pool;
+  EXPECT_GE(pool.workers(), 2u);
+}
+
+TEST(FuturePool, SpawnCountTracks) {
+  FuturePool pool(2);
+  auto a = pool.spawn([] { return Value::nil(); });
+  auto b = pool.spawn([] { return Value::nil(); });
+  pool.touch(a);
+  pool.touch(b);
+  EXPECT_EQ(pool.spawned(), 2u);
+}
+
+TEST(FuturePool, ParallelExecutionActuallyOverlaps) {
+  FuturePool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::shared_ptr<FutureState>> fs;
+  for (int i = 0; i < 4; ++i) {
+    fs.push_back(pool.spawn([&]() -> Value {
+      int now = running.fetch_add(1) + 1;
+      int old = peak.load();
+      while (now > old && !peak.compare_exchange_weak(old, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      running.fetch_sub(1);
+      return Value::nil();
+    }));
+  }
+  for (auto& f : fs) pool.touch(f);
+  EXPECT_GT(peak.load(), 1) << "tasks must overlap on a 4-worker pool";
+}
+
+}  // namespace
+}  // namespace curare::runtime

@@ -1,0 +1,148 @@
+// LockManager tests: exclusion, read sharing, reentrancy, error cases.
+#include "runtime/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sexpr/ctx.hpp"
+
+namespace curare::runtime {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  LockManager lm;
+
+  LocKey key(const char* field = "car") {
+    return LocKey{cell_, ctx.symbols.intern(field)};
+  }
+
+  sexpr::Cons* cell_ = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::nil(),
+                                                   sexpr::Value::nil());
+};
+
+TEST_F(LockManagerTest, ExclusiveLockUnlock) {
+  lm.lock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 1u);
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, DistinctFieldsAreDistinctLocations) {
+  lm.lock(key("car"), true);
+  lm.lock(key("cdr"), true);  // must not self-deadlock
+  EXPECT_EQ(lm.live_entries(), 2u);
+  lm.unlock(key("cdr"), true);
+  lm.unlock(key("car"), true);
+}
+
+TEST_F(LockManagerTest, WriterReentrancy) {
+  lm.lock(key(), true);
+  lm.lock(key(), true);  // same thread, same location
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 1u) << "still held once";
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, WriterMayAlsoTakeReadLock) {
+  lm.lock(key(), true);
+  lm.lock(key(), false);  // read inside write: counts as reentrant hold
+  lm.unlock(key(), false);
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, SharedReadersCoexist) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&] {
+      lm.lock(key(), false);
+      int now = concurrent.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+      lm.unlock(key(), false);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_GT(peak.load(), 1) << "read locks must admit multiple readers";
+}
+
+TEST_F(LockManagerTest, WriterExcludesWriter) {
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&] {
+      for (int k = 0; k < 50; ++k) {
+        lm.lock(key(), true);
+        if (inside.fetch_add(1) != 0) overlap = true;
+        std::this_thread::yield();
+        inside.fetch_sub(1);
+        lm.unlock(key(), true);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST_F(LockManagerTest, WriterWaitsForReaders) {
+  lm.lock(key(), false);  // this thread reads
+  std::atomic<bool> writer_done{false};
+  std::thread w([&] {
+    lm.lock(key(), true);
+    writer_done = true;
+    lm.unlock(key(), true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(writer_done.load()) << "writer must wait for the reader";
+  lm.unlock(key(), false);
+  w.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST_F(LockManagerTest, UnlockWithoutLockThrows) {
+  EXPECT_THROW(lm.unlock(key(), true), sexpr::LispError);
+}
+
+TEST_F(LockManagerTest, UnlockByNonOwnerThrows) {
+  lm.lock(key(), true);
+  std::exception_ptr err;
+  std::thread t([&] {
+    try {
+      lm.unlock(key(), true);
+    } catch (...) {
+      err = std::current_exception();
+    }
+  });
+  t.join();
+  EXPECT_NE(err, nullptr);
+  lm.unlock(key(), true);
+}
+
+TEST_F(LockManagerTest, OperationCountAdvances) {
+  const auto before = lm.operations();
+  lm.lock(key(), true);
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.operations(), before + 2);
+}
+
+TEST_F(LockManagerTest, VariableLocationKeys) {
+  LocKey var_key{ctx.symbols.intern("total"), nullptr};
+  lm.lock(var_key, true);
+  lm.unlock(var_key, true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace curare::runtime

@@ -1,0 +1,137 @@
+// CRI server-pool tests: the §4 execution model end-to-end on hand-
+// transformed functions (the transform module's output shape).
+#include "runtime/server_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::runtime {
+namespace {
+
+using sexpr::Value;
+
+class ServerPoolTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  lisp::Interp in{ctx};
+  Runtime rt{in, 4};
+
+  void SetUp() override { rt.install(); }
+
+  Value run_src(std::string_view src) { return in.eval_program(src); }
+};
+
+TEST_F(ServerPoolTest, SingleSiteTraversalVisitsEveryElement) {
+  // Hand-transformed Fig 3: the recursive call became %cri-enqueue.
+  run_src(
+      "(setq visited 0)"
+      "(defun f-cri (l)"
+      "  (when l"
+      "    (%atomic-incf-var 'visited 1)"
+      "    (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("f-cri");
+  std::string list_src = "(";
+  for (int i = 0; i < 500; ++i) list_src += std::to_string(i) + " ";
+  list_src += ")";
+  Value list = sexpr::read_one(ctx, list_src);
+
+  CriStats stats = rt.run_cri(fn, 1, 4, {list});
+  EXPECT_EQ(stats.invocations, 501u) << "500 elements + the nil base case";
+  EXPECT_EQ(run_src("visited").as_fixnum(), 500);
+}
+
+TEST_F(ServerPoolTest, SingleSiteQueueNeverGrows) {
+  // §4.1: with one call site the queue never exceeds its initial length
+  // (1): each task adds at most one successor.
+  run_src("(defun g-cri (l) (when l (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("g-cri");
+  Value list = sexpr::read_one(ctx, "(1 2 3 4 5 6 7 8)");
+  CriStats stats = rt.run_cri(fn, 1, 3, {list});
+  EXPECT_LE(stats.max_queue_length, 1u + stats.servers)
+      << "single-site queues stay near their initial size";
+}
+
+TEST_F(ServerPoolTest, MultiSiteTreeRecursionCountsAllNodes) {
+  // Binary-tree walk: two call sites, one queue each.
+  run_src(
+      "(setq nodes 0)"
+      "(defun walk-cri (x)"
+      "  (when (consp x)"
+      "    (%atomic-incf-var 'nodes 1)"
+      "    (%cri-enqueue 0 (car x))"
+      "    (%cri-enqueue 1 (cdr x))))");
+  Value fn = in.global("walk-cri");
+  Value tree = sexpr::read_one(ctx, "((1 2) (3 (4 5)) 6)");
+  rt.run_cri(fn, 2, 4, {tree});
+  // Cons count of the tree: ((1 2)(3 (4 5)) 6) has 9 conses.
+  EXPECT_EQ(run_src("nodes").as_fixnum(), 9);
+}
+
+TEST_F(ServerPoolTest, ServerCountOneIsSequential) {
+  run_src(
+      "(setq acc nil)"
+      "(defun collect-cri (l)"
+      "  (when l (setq acc (cons (car l) acc)) (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("collect-cri");
+  Value list = sexpr::read_one(ctx, "(1 2 3 4 5)");
+  rt.run_cri(fn, 1, 1, {list});
+  EXPECT_EQ(sexpr::write_str(in.eval_program("acc")), "(5 4 3 2 1)")
+      << "one server preserves sequential order exactly";
+}
+
+TEST_F(ServerPoolTest, ErrorsInBodyPropagate) {
+  run_src("(defun bad-cri (l) (error \"boom\"))");
+  Value fn = in.global("bad-cri");
+  EXPECT_THROW(rt.run_cri(fn, 1, 3, {Value::nil()}), sexpr::LispError);
+}
+
+TEST_F(ServerPoolTest, EnqueueOutsideRunThrows) {
+  EXPECT_THROW(run_src("(%cri-enqueue 0 nil)"), sexpr::LispError);
+}
+
+TEST_F(ServerPoolTest, CriRunBuiltinFromLisp) {
+  run_src(
+      "(setq n 0)"
+      "(defun h-cri (l)"
+      "  (when l (%atomic-incf-var 'n 1) (%cri-enqueue 0 (cdr l))))"
+      "(%cri-run h-cri 1 4 '(a b c d e f))");
+  EXPECT_EQ(run_src("n").as_fixnum(), 6);
+}
+
+TEST_F(ServerPoolTest, BadSiteIndexSurfaces) {
+  run_src("(defun s-cri (l) (when l (%cri-enqueue 7 (cdr l))))");
+  Value fn = in.global("s-cri");
+  EXPECT_THROW(rt.run_cri(fn, 1, 2, {sexpr::read_one(ctx, "(1 2)")}),
+               sexpr::LispError);
+}
+
+// Parameterized: invocation counting is exact for every server count.
+class ServerSweep : public ::testing::TestWithParam<int> {
+ protected:
+  sexpr::Ctx ctx;
+  lisp::Interp in{ctx};
+  Runtime rt{in, 2};
+};
+
+TEST_P(ServerSweep, InvocationCountIndependentOfS) {
+  rt.install();
+  in.eval_program(
+      "(defun c-cri (l) (when l (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("c-cri");
+  std::string list_src = "(";
+  for (int i = 0; i < 100; ++i) list_src += "x ";
+  list_src += ")";
+  CriStats stats = rt.run_cri(fn, 1, static_cast<std::size_t>(GetParam()),
+                              {sexpr::read_one(ctx, list_src)});
+  EXPECT_EQ(stats.invocations, 101u);
+  EXPECT_EQ(stats.servers, static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, ServerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace curare::runtime

@@ -1,0 +1,202 @@
+// Simulator tests: agreement with the paper's closed-form model and its
+// qualitative laws (Figure 10, §3.2.1, §4.1).
+#include "runtime/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+
+namespace curare::runtime {
+namespace {
+
+TEST(Sim, OneServerIsSerial) {
+  SimParams p;
+  p.head_cost = 2;
+  p.tail_cost = 3;
+  p.depth = 10;
+  p.servers = 1;
+  SimResult r = simulate_cri(p);
+  EXPECT_DOUBLE_EQ(r.total_time, 10 * 5.0);
+  EXPECT_DOUBLE_EQ(r.avg_concurrency, 1.0);
+}
+
+TEST(Sim, HeadsSerializeEvenWithManyServers) {
+  // Pure head (tail 0): invocation i+1 is ready only when i's head is
+  // done, so infinite servers cannot beat serial execution.
+  SimParams p;
+  p.head_cost = 1;
+  p.tail_cost = 0;
+  p.depth = 100;
+  p.servers = 64;
+  SimResult r = simulate_cri(p);
+  EXPECT_DOUBLE_EQ(r.total_time, 100.0);
+}
+
+TEST(Sim, PureTailOverlapsFully) {
+  // Tiny head, big tail: near-perfect overlap until servers run out.
+  SimParams p;
+  p.head_cost = 1;
+  p.tail_cost = 99;
+  p.depth = 64;
+  p.servers = 64;
+  SimResult r = simulate_cri(p);
+  // Heads serialize: 64 time units; last tail: +99.
+  EXPECT_DOUBLE_EQ(r.total_time, 64.0 + 99.0);
+  EXPECT_GT(r.avg_concurrency, 30.0);
+}
+
+TEST(Sim, SpeedupBoundedByConcurrencyFormula) {
+  // §3.1: concurrency ≤ (h+t)/h.
+  SimParams p;
+  p.head_cost = 10;
+  p.tail_cost = 90;
+  p.depth = 200;
+  p.servers = 64;
+  SimResult r = simulate_cri(p);
+  const double bound = max_concurrency(10, 90, std::nullopt);
+  EXPECT_LE(r.speedup_vs_one(p), bound + 1e-9);
+  EXPECT_GT(r.speedup_vs_one(p), bound * 0.9)
+      << "with plenty of servers, speedup approaches (h+t)/h";
+}
+
+TEST(Sim, MatchesPaperFormulaWithinConcurrencyCap) {
+  // Figure 10's T(S) group model assumes a new group can start every
+  // h+t — feasible only while S·h ≤ h+t, i.e. S ≤ c_f = (h+t)/h (the
+  // paper clamps S* by c_f for exactly this reason, §4.1). Within that
+  // regime the simulator and the formula agree tightly; at S = c_f they
+  // coincide exactly.
+  const double h = 2;
+  const double t = 30;
+  const std::size_t d = 256;
+  for (std::size_t S : {1u, 2u, 4u, 8u, 16u}) {  // c_f = 16
+    SimParams p;
+    p.head_cost = h;
+    p.tail_cost = t;
+    p.depth = d;
+    p.servers = S;
+    const double sim = simulate_cri(p).total_time;
+    const double model =
+        predicted_time(static_cast<double>(S), static_cast<double>(d), h,
+                       t);
+    EXPECT_NEAR(sim / model, 1.0, 0.20)
+        << "S=" << S << " sim=" << sim << " model=" << model;
+  }
+  // Exact coincidence at the cap.
+  SimParams cap;
+  cap.head_cost = h;
+  cap.tail_cost = t;
+  cap.depth = d;
+  cap.servers = 16;
+  EXPECT_DOUBLE_EQ(simulate_cri(cap).total_time,
+                   predicted_time(16, 256, h, t));
+}
+
+TEST(Sim, BeyondConcurrencyCapExtraServersAreWasted) {
+  // Past c_f the chain of spawns gates everything: adding servers buys
+  // nothing, which is why the paper clamps S* by c_f.
+  const double h = 2;
+  const double t = 30;  // c_f = 16
+  SimParams p;
+  p.head_cost = h;
+  p.tail_cost = t;
+  p.depth = 256;
+  p.servers = 16;
+  const double at_cap = simulate_cri(p).total_time;
+  p.servers = 64;
+  EXPECT_DOUBLE_EQ(simulate_cri(p).total_time, at_cap);
+}
+
+TEST(Sim, OptimalServersIsTheClampedSStar) {
+  const double h = 1;
+  const double t = 15;
+  const std::size_t d = 1024;
+  double best_time = 1e18;
+  std::size_t best_s = 1;
+  for (std::size_t S = 1; S <= 256; ++S) {
+    SimParams p;
+    p.head_cost = h;
+    p.tail_cost = t;
+    p.depth = d;
+    p.servers = S;
+    const double tt = simulate_cri(p).total_time;
+    if (tt < best_time) {
+      best_time = tt;
+      best_s = S;
+    }
+  }
+  // choose_servers = min(S*, c_f, …) — with d ≫ c_f the binding
+  // constraint is c_f = (h+t)/h = 16, and the simulator's argmin lands
+  // there.
+  EXPECT_EQ(best_s, 16u);
+  EXPECT_EQ(choose_servers(static_cast<double>(d), h, t, std::nullopt,
+                           256),
+            16u);
+}
+
+TEST(Sim, ConflictDistanceCapsConcurrency) {
+  // §3.2.1: max concurrency ≤ min conflict distance.
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    SimParams p;
+    p.head_cost = 1;
+    p.tail_cost = 63;
+    p.depth = 256;
+    p.servers = 64;
+    p.conflict_distance = k;
+    SimResult r = simulate_cri(p);
+    EXPECT_LE(r.speedup_vs_one(p), static_cast<double>(k) + 1e-9)
+        << "distance " << k;
+    if (k > 1) {
+      EXPECT_GT(r.speedup_vs_one(p), static_cast<double>(k) * 0.8)
+          << "the cap should be nearly achieved with ample servers";
+    }
+  }
+}
+
+TEST(Sim, DistanceOneIsSerial) {
+  SimParams p;
+  p.head_cost = 1;
+  p.tail_cost = 9;
+  p.depth = 100;
+  p.servers = 16;
+  p.conflict_distance = 1;
+  SimResult r = simulate_cri(p);
+  EXPECT_DOUBLE_EQ(r.total_time, 100.0 * 10.0);
+}
+
+TEST(Sim, QueueBottleneckLimitsThroughput) {
+  // §4.1: when dequeue cost rivals invocation cost, the central queue
+  // serializes everything.
+  SimParams fast;
+  fast.head_cost = 1;
+  fast.tail_cost = 15;
+  fast.depth = 512;
+  fast.servers = 16;
+  fast.dequeue_cost = 0.01;
+  SimParams slow = fast;
+  slow.dequeue_cost = 8.0;  // half an invocation per pop
+  const double sp_fast = simulate_cri(fast).speedup_vs_one(fast);
+  const double sp_slow = simulate_cri(slow).speedup_vs_one(slow);
+  EXPECT_GT(sp_fast, sp_slow * 2)
+      << "queue cost must visibly erode parallel efficiency";
+  EXPECT_LE(sp_slow, (slow.head_cost + slow.tail_cost + slow.dequeue_cost) /
+                          slow.dequeue_cost +
+                      1e-9)
+      << "throughput ≤ one dequeue per dequeue_cost";
+}
+
+TEST(Sim, MoreServersNeverHurtWithFreeQueue) {
+  SimParams p;
+  p.head_cost = 1;
+  p.tail_cost = 31;
+  p.depth = 256;
+  double prev = 1e18;
+  for (std::size_t S : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    p.servers = S;
+    const double tt = simulate_cri(p).total_time;
+    EXPECT_LE(tt, prev + 1e-9) << "S=" << S;
+    prev = tt;
+  }
+}
+
+}  // namespace
+}  // namespace curare::runtime

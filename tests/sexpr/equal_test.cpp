@@ -1,0 +1,78 @@
+#include "sexpr/equal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/ctx.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::sexpr {
+namespace {
+
+class EqualTest : public ::testing::Test {
+ protected:
+  Ctx ctx;
+};
+
+TEST_F(EqualTest, EqIsIdentity) {
+  Value a = ctx.cons(Value::fixnum(1), Value::nil());
+  Value b = ctx.cons(Value::fixnum(1), Value::nil());
+  EXPECT_TRUE(eq(a, a));
+  EXPECT_FALSE(eq(a, b)) << "distinct conses are not eq";
+  EXPECT_TRUE(eq(ctx.sym("s"), ctx.sym("s"))) << "interned symbols are eq";
+}
+
+TEST_F(EqualTest, EqlOnNumbers) {
+  EXPECT_TRUE(eql(Value::fixnum(3), Value::fixnum(3)));
+  EXPECT_FALSE(eql(Value::fixnum(3), Value::fixnum(4)));
+  EXPECT_TRUE(eql(ctx.real(2.5), ctx.real(2.5)));
+  EXPECT_FALSE(eql(Value::fixnum(2), ctx.real(2.0)))
+      << "eql distinguishes fixnum from float, like Common Lisp";
+}
+
+TEST_F(EqualTest, EqualOnLists) {
+  Value a = read_one(ctx, "(1 (2 3) 4)");
+  Value b = read_one(ctx, "(1 (2 3) 4)");
+  Value c = read_one(ctx, "(1 (2 9) 4)");
+  EXPECT_TRUE(equal_values(a, b));
+  EXPECT_FALSE(equal_values(a, c));
+}
+
+TEST_F(EqualTest, EqualOnDottedPairs) {
+  EXPECT_TRUE(equal_values(read_one(ctx, "(a . b)"),
+                           read_one(ctx, "(a . b)")));
+  EXPECT_FALSE(equal_values(read_one(ctx, "(a . b)"),
+                            read_one(ctx, "(a b)")));
+}
+
+TEST_F(EqualTest, EqualOnStrings) {
+  EXPECT_TRUE(equal_values(ctx.str("hi"), ctx.str("hi")));
+  EXPECT_FALSE(equal_values(ctx.str("hi"), ctx.str("ho")));
+}
+
+TEST_F(EqualTest, EqualDifferentLengths) {
+  EXPECT_FALSE(equal_values(read_one(ctx, "(1 2)"),
+                            read_one(ctx, "(1 2 3)")));
+}
+
+TEST_F(EqualTest, EqualLongListIterative) {
+  // 100k-long lists must not blow the C++ stack.
+  std::string src = "(";
+  for (int i = 0; i < 100000; ++i) src += "1 ";
+  src += ")";
+  Value a = read_one(ctx, src);
+  Value b = read_one(ctx, src);
+  EXPECT_TRUE(equal_values(a, b, 1u << 20));
+}
+
+TEST_F(EqualTest, CyclicStructureTerminates) {
+  Value a = ctx.cons(Value::fixnum(1), Value::nil());
+  as_cons(a)->set_cdr(a);
+  Value b = ctx.cons(Value::fixnum(1), Value::nil());
+  as_cons(b)->set_cdr(b);
+  // Bounded comparison: must terminate (result is unspecified-but-false
+  // once the budget is exhausted).
+  EXPECT_FALSE(equal_values(a, b, 1000));
+}
+
+}  // namespace
+}  // namespace curare::sexpr

@@ -1,0 +1,122 @@
+// Heap and symbol-table concurrency tests: the CRI server pool allocates
+// and interns from many threads, so these exercise the sharded heap and
+// shared-lock interning under contention.
+#include "sexpr/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sexpr/ctx.hpp"
+#include "sexpr/list_ops.hpp"
+
+namespace curare::sexpr {
+namespace {
+
+TEST(Heap, ListBuilder) {
+  Heap heap;
+  Value l = heap.list({Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+  EXPECT_EQ(list_length(l), 3u);
+  EXPECT_EQ(car(l).as_fixnum(), 1);
+  EXPECT_EQ(caddr(l).as_fixnum(), 3);
+}
+
+TEST(Heap, EmptyListIsNil) {
+  Heap heap;
+  EXPECT_TRUE(heap.list({}).is_nil());
+}
+
+TEST(Heap, LiveObjectCount) {
+  Heap heap;
+  const std::size_t before = heap.live_objects();
+  heap.cons(Value::nil(), Value::nil());
+  heap.cons(Value::nil(), Value::nil());
+  EXPECT_EQ(heap.live_objects(), before + 2);
+}
+
+TEST(Heap, ConcurrentAllocationIsSafe) {
+  Heap heap;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  std::vector<Value> heads(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&heap, &heads, t] {
+      Value acc = Value::nil();
+      for (int i = 0; i < kPerThread; ++i)
+        acc = heap.cons(Value::fixnum(i), acc);
+      heads[static_cast<std::size_t>(t)] = acc;
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(heap.live_objects(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (Value h : heads)
+    EXPECT_EQ(list_length(h), static_cast<std::size_t>(kPerThread));
+}
+
+TEST(SymbolTable, ConcurrentInterningGivesOneIdentity) {
+  Heap heap;
+  SymbolTable syms(heap);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  std::vector<Symbol*> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&syms, &results, t] {
+      for (int i = 0; i < 1000; ++i)
+        results[static_cast<std::size_t>(t)] = syms.intern("shared-name");
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+}
+
+TEST(ListOps, AppendSharesTail) {
+  Heap heap;
+  Value b = heap.list({Value::fixnum(3), Value::fixnum(4)});
+  Value a = heap.list({Value::fixnum(1), Value::fixnum(2)});
+  Value ab = append2(heap, a, b);
+  EXPECT_EQ(list_length(ab), 4u);
+  EXPECT_EQ(cdr(cdr(ab)), b) << "append shares the second list";
+}
+
+TEST(ListOps, Reverse) {
+  Heap heap;
+  Value l = heap.list({Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+  Value r = reverse_list(heap, l);
+  EXPECT_EQ(car(r).as_fixnum(), 3);
+  EXPECT_EQ(caddr(r).as_fixnum(), 1);
+  EXPECT_EQ(car(l).as_fixnum(), 1) << "reverse is non-destructive";
+}
+
+TEST(ListOps, MemberAndAssoc) {
+  Heap heap;
+  SymbolTable syms(heap);
+  Value a = syms.intern_value("a");
+  Value b = syms.intern_value("b");
+  Value l = heap.list({a, b});
+  EXPECT_FALSE(member_eq(b, l).is_nil());
+  EXPECT_TRUE(member_eq(syms.intern_value("c"), l).is_nil());
+
+  Value alist = heap.list({heap.cons(a, Value::fixnum(1)),
+                           heap.cons(b, Value::fixnum(2))});
+  Value hit = assoc_eq(b, alist);
+  EXPECT_EQ(cdr(hit).as_fixnum(), 2);
+  EXPECT_TRUE(assoc_eq(syms.intern_value("z"), alist).is_nil());
+}
+
+TEST(ListOps, CopyTreeIsDeep) {
+  Heap heap;
+  Value inner = heap.cons(Value::fixnum(1), Value::nil());
+  Value outer = heap.cons(inner, Value::nil());
+  Value copy = copy_tree(heap, outer);
+  EXPECT_NE(copy, outer);
+  EXPECT_NE(car(copy), inner);
+  as_cons(inner)->set_car(Value::fixnum(99));
+  EXPECT_EQ(car(car(copy)).as_fixnum(), 1) << "copy unaffected by mutation";
+}
+
+}  // namespace
+}  // namespace curare::sexpr

@@ -1,0 +1,95 @@
+#include "sexpr/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/ctx.hpp"
+#include "sexpr/reader.hpp"
+
+namespace curare::sexpr {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  Ctx ctx;
+};
+
+TEST_F(PrinterTest, Atoms) {
+  EXPECT_EQ(write_str(Value::nil()), "nil");
+  EXPECT_EQ(write_str(Value::fixnum(5)), "5");
+  EXPECT_EQ(write_str(Value::fixnum(-5)), "-5");
+  EXPECT_EQ(write_str(ctx.sym("abc")), "abc");
+}
+
+TEST_F(PrinterTest, FloatAlwaysReadsBackAsFloat) {
+  EXPECT_EQ(write_str(ctx.real(2.0)), "2.0");
+  EXPECT_EQ(write_str(ctx.real(2.5)), "2.5");
+}
+
+TEST_F(PrinterTest, StringReadablyVsDisplay) {
+  Value s = ctx.str("a\"b");
+  EXPECT_EQ(write_str(s), "\"a\\\"b\"");
+  EXPECT_EQ(display_str(s), "a\"b");
+}
+
+TEST_F(PrinterTest, ProperList) {
+  Value l = ctx.make_list(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(write_str(l), "(1 2)");
+}
+
+TEST_F(PrinterTest, DottedPair) {
+  EXPECT_EQ(write_str(ctx.cons(Value::fixnum(1), Value::fixnum(2))),
+            "(1 . 2)");
+}
+
+TEST_F(PrinterTest, CyclicListTerminates) {
+  Value a = ctx.cons(Value::fixnum(1), Value::nil());
+  as_cons(a)->set_cdr(a);
+  PrintOptions opts;
+  opts.max_length = 16;
+  std::string out = print_str(a, opts);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST_F(PrinterTest, DeepNestingTerminates) {
+  Value v = Value::fixnum(0);
+  for (int i = 0; i < 2000; ++i) v = ctx.cons(v, Value::nil());
+  PrintOptions opts;
+  opts.max_depth = 64;
+  std::string out = print_str(v, opts);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST_F(PrinterTest, Vector) {
+  auto* vec = ctx.heap.alloc<Vector>(
+      std::vector<Value>{Value::fixnum(1), Value::fixnum(2)});
+  EXPECT_EQ(write_str(Value::object(vec)), "#(1 2)");
+}
+
+// Property: for a corpus of representative sources, read ∘ print ∘ read
+// is identity on the printed form.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Ctx ctx;
+};
+
+TEST_P(RoundTripTest, PrintReadPrintIsStable) {
+  Value v1 = read_one(ctx, GetParam());
+  std::string p1 = write_str(v1);
+  Value v2 = read_one(ctx, p1);
+  EXPECT_EQ(write_str(v2), p1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "x", "42", "-1", "2.5", "\"str\\n\"", "(a)", "(a b c)", "(a . b)",
+        "(a (b (c (d))))", "'(quote x)",
+        "(defun remq (obj lst) (cond ((null lst) nil) ((eq obj (car lst)) "
+        "(remq obj (cdr lst))) (t (cons (car lst) (remq obj (cdr lst))))))",
+        "(defun remq-d (dest obj lst) (cond ((null lst) (setf (cdr dest) "
+        "nil)) ((eq obj (car lst)) (remq-d dest obj (cdr lst))) (t (let "
+        "((cell (cons (car lst) nil))) (remq-d cell obj (cdr lst)) (setf "
+        "(cdr dest) cell)))))"));
+
+}  // namespace
+}  // namespace curare::sexpr

@@ -1,0 +1,151 @@
+// Reader tests: the analyzer consumes program text through this path, so
+// every syntactic form the paper's examples use is covered.
+#include "sexpr/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/printer.hpp"
+
+namespace curare::sexpr {
+namespace {
+
+class ReaderTest : public ::testing::Test {
+ protected:
+  Ctx ctx;
+
+  Value one(std::string_view src) { return read_one(ctx, src); }
+  std::string round_trip(std::string_view src) {
+    return write_str(one(src));
+  }
+};
+
+TEST_F(ReaderTest, Fixnum) {
+  Value v = one("42");
+  ASSERT_TRUE(v.is_fixnum());
+  EXPECT_EQ(v.as_fixnum(), 42);
+}
+
+TEST_F(ReaderTest, NegativeFixnum) {
+  EXPECT_EQ(one("-17").as_fixnum(), -17);
+}
+
+TEST_F(ReaderTest, Float) {
+  Value v = one("3.5");
+  ASSERT_TRUE(v.is(Kind::Float));
+  EXPECT_DOUBLE_EQ(static_cast<Float*>(v.obj())->value, 3.5);
+}
+
+TEST_F(ReaderTest, SymbolBasic) {
+  Value v = one("foo");
+  ASSERT_TRUE(v.is(Kind::Symbol));
+  EXPECT_EQ(as_symbol(v)->name, "foo");
+}
+
+TEST_F(ReaderTest, SymbolWithSpecialChars) {
+  EXPECT_EQ(as_symbol(one("list*"))->name, "list*");
+  EXPECT_EQ(as_symbol(one("1+"))->name, "1+");
+  EXPECT_EQ(as_symbol(one("remq-d"))->name, "remq-d");
+  EXPECT_EQ(as_symbol(one("&rest"))->name, "&rest");
+  EXPECT_EQ(as_symbol(one("%cri-enqueue"))->name, "%cri-enqueue");
+}
+
+TEST_F(ReaderTest, NilReadsAsNil) {
+  EXPECT_TRUE(one("nil").is_nil());
+  EXPECT_TRUE(one("()").is_nil());
+}
+
+TEST_F(ReaderTest, SimpleList) {
+  EXPECT_EQ(round_trip("(a b c)"), "(a b c)");
+}
+
+TEST_F(ReaderTest, NestedList) {
+  EXPECT_EQ(round_trip("(defun f (l) (when l (print (car l)) (f (cdr l))))"),
+            "(defun f (l) (when l (print (car l)) (f (cdr l))))");
+}
+
+TEST_F(ReaderTest, DottedPair) {
+  EXPECT_EQ(round_trip("(a . b)"), "(a . b)");
+  EXPECT_EQ(round_trip("(a b . c)"), "(a b . c)");
+}
+
+TEST_F(ReaderTest, DotInFloatIsNotDottedPair) {
+  EXPECT_EQ(round_trip("(1.5 2.5)"), "(1.5 2.5)");
+}
+
+TEST_F(ReaderTest, QuoteShorthand) {
+  EXPECT_EQ(round_trip("'x"), "(quote x)");
+  EXPECT_EQ(round_trip("'(a b)"), "(quote (a b))");
+}
+
+TEST_F(ReaderTest, StringLiteral) {
+  Value v = one("\"hello\"");
+  ASSERT_TRUE(v.is(Kind::String));
+  EXPECT_EQ(as_string(v)->text, "hello");
+}
+
+TEST_F(ReaderTest, StringEscapes) {
+  EXPECT_EQ(as_string(one(R"("a\nb\t\"c\\")"))->text, "a\nb\t\"c\\");
+}
+
+TEST_F(ReaderTest, CommentsSkipped) {
+  EXPECT_EQ(round_trip("; header\n(a ; mid\n b)"), "(a b)");
+}
+
+TEST_F(ReaderTest, MultipleFormsReadAll) {
+  auto forms = read_all(ctx, "(a) (b) 3");
+  ASSERT_EQ(forms.size(), 3u);
+  EXPECT_EQ(write_str(forms[0]), "(a)");
+  EXPECT_EQ(write_str(forms[1]), "(b)");
+  EXPECT_EQ(forms[2].as_fixnum(), 3);
+}
+
+TEST_F(ReaderTest, EmptyInputGivesNoForms) {
+  EXPECT_TRUE(read_all(ctx, "  ; just a comment\n").empty());
+}
+
+TEST_F(ReaderTest, ErrorUnmatchedClose) {
+  EXPECT_THROW(one(")"), ReadError);
+}
+
+TEST_F(ReaderTest, ErrorUnterminatedList) {
+  EXPECT_THROW(one("(a b"), ReadError);
+}
+
+TEST_F(ReaderTest, ErrorUnterminatedString) {
+  EXPECT_THROW(one("\"abc"), ReadError);
+}
+
+TEST_F(ReaderTest, ErrorDottedNoHead) {
+  EXPECT_THROW(one("( . b)"), ReadError);
+}
+
+TEST_F(ReaderTest, ErrorMalformedDotted) {
+  EXPECT_THROW(one("(a . b c)"), ReadError);
+}
+
+TEST_F(ReaderTest, ErrorPositionReported) {
+  try {
+    one("(a\n  b");
+    FAIL() << "expected ReadError";
+  } catch (const ReadError& e) {
+    EXPECT_GE(e.line(), 2u) << "error should point past line 1";
+  }
+}
+
+TEST_F(ReaderTest, ReadOneRejectsTrailing) {
+  EXPECT_THROW(read_one(ctx, "(a) (b)"), LispError);
+}
+
+TEST_F(ReaderTest, PaperFigure4ReadsCleanly) {
+  // The Fig. 4 function with a distance-1 conflict.
+  const char* src =
+      "(defun f (l)"
+      "  (when l"
+      "    (setf (cadr l) (car l))"
+      "    (f (cdr l))))";
+  EXPECT_EQ(round_trip(src),
+            "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+}
+
+}  // namespace
+}  // namespace curare::sexpr

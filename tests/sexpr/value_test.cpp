@@ -1,0 +1,143 @@
+// Unit tests for the tagged Value representation and checked accessors.
+#include "sexpr/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sexpr/ctx.hpp"
+
+namespace curare::sexpr {
+namespace {
+
+TEST(Value, NilIsFalsyAndUnique) {
+  Value n = Value::nil();
+  EXPECT_TRUE(n.is_nil());
+  EXPECT_FALSE(n.truthy());
+  EXPECT_FALSE(n.is_fixnum());
+  EXPECT_FALSE(n.is_object());
+  EXPECT_EQ(n, Value::nil());
+}
+
+TEST(Value, FixnumRoundTrip) {
+  for (std::int64_t n : {0LL, 1LL, -1LL, 42LL, -123456789LL,
+                         (1LL << 60), -(1LL << 60)}) {
+    Value v = Value::fixnum(n);
+    EXPECT_TRUE(v.is_fixnum());
+    EXPECT_FALSE(v.is_object());
+    EXPECT_EQ(v.as_fixnum(), n);
+  }
+}
+
+TEST(Value, FixnumZeroIsNotNil) {
+  // fixnum 0 must be distinguishable from nil (the tag bit is set).
+  Value zero = Value::fixnum(0);
+  EXPECT_TRUE(zero.is_fixnum());
+  EXPECT_FALSE(zero.is_nil());
+  EXPECT_TRUE(zero.truthy());
+}
+
+TEST(Value, NegativeFixnumPreservesSign) {
+  Value v = Value::fixnum(-7);
+  EXPECT_EQ(v.as_fixnum(), -7);
+}
+
+TEST(Value, ConsCellHoldsCarAndCdr) {
+  Ctx ctx;
+  Value c = ctx.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_TRUE(c.is(Kind::Cons));
+  EXPECT_EQ(car(c).as_fixnum(), 1);
+  EXPECT_EQ(cdr(c).as_fixnum(), 2);
+}
+
+TEST(Value, ConsMutation) {
+  Ctx ctx;
+  Value c = ctx.cons(Value::nil(), Value::nil());
+  as_cons(c)->set_car(Value::fixnum(10));
+  as_cons(c)->set_cdr(Value::fixnum(20));
+  EXPECT_EQ(car(c).as_fixnum(), 10);
+  EXPECT_EQ(cdr(c).as_fixnum(), 20);
+}
+
+TEST(Value, CarCdrOfNilIsNil) {
+  EXPECT_TRUE(car(Value::nil()).is_nil());
+  EXPECT_TRUE(cdr(Value::nil()).is_nil());
+}
+
+TEST(Value, CarOfFixnumThrows) {
+  EXPECT_THROW(car(Value::fixnum(3)), LispError);
+  EXPECT_THROW(cdr(Value::fixnum(3)), LispError);
+}
+
+TEST(Value, AsConsTypeError) {
+  Ctx ctx;
+  EXPECT_THROW(as_cons(ctx.sym("x")), LispError);
+  EXPECT_THROW(as_symbol(Value::fixnum(1)), LispError);
+  EXPECT_THROW(as_string(Value::nil()), LispError);
+}
+
+TEST(Value, CompositeAccessors) {
+  Ctx ctx;
+  // (1 2 3)
+  Value l = ctx.make_list(Value::fixnum(1), Value::fixnum(2),
+                          Value::fixnum(3));
+  EXPECT_EQ(car(l).as_fixnum(), 1);
+  EXPECT_EQ(cadr(l).as_fixnum(), 2);
+  EXPECT_EQ(caddr(l).as_fixnum(), 3);
+  EXPECT_TRUE(cdddr(l).is_nil());
+}
+
+TEST(Value, ListLength) {
+  Ctx ctx;
+  EXPECT_EQ(list_length(Value::nil()), 0u);
+  Value l = ctx.make_list(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(list_length(l), 2u);
+}
+
+TEST(Value, ListLengthImproperThrows) {
+  Ctx ctx;
+  Value dotted = ctx.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_THROW(list_length(dotted), LispError);
+}
+
+TEST(Value, IsProperList) {
+  Ctx ctx;
+  EXPECT_TRUE(is_proper_list(Value::nil()));
+  EXPECT_TRUE(is_proper_list(ctx.make_list(Value::fixnum(1))));
+  EXPECT_FALSE(is_proper_list(ctx.cons(Value::fixnum(1), Value::fixnum(2))));
+  EXPECT_FALSE(is_proper_list(Value::fixnum(5)));
+}
+
+TEST(Value, IsProperListHandlesCycle) {
+  Ctx ctx;
+  Value a = ctx.cons(Value::fixnum(1), Value::nil());
+  as_cons(a)->set_cdr(a);  // self-cycle
+  EXPECT_FALSE(is_proper_list(a, 1000));
+}
+
+TEST(Value, SymbolInterning) {
+  Ctx ctx;
+  Value a = ctx.sym("foo");
+  Value b = ctx.sym("foo");
+  Value c = ctx.sym("bar");
+  EXPECT_EQ(a, b) << "same spelling must intern to the same symbol";
+  EXPECT_NE(a, c);
+  EXPECT_EQ(as_symbol(a)->name, "foo");
+}
+
+TEST(Value, GensymIsFresh) {
+  Ctx ctx;
+  Value g1 = Value::object(ctx.symbols.gensym());
+  Value g2 = Value::object(ctx.symbols.gensym());
+  EXPECT_NE(g1, g2);
+}
+
+TEST(Value, GensymAvoidsExistingNames) {
+  Ctx ctx;
+  ctx.sym("g0");
+  ctx.sym("g1");
+  Value g = Value::object(ctx.symbols.gensym());
+  EXPECT_NE(as_symbol(g)->name, "g0");
+  EXPECT_NE(as_symbol(g)->name, "g1");
+}
+
+}  // namespace
+}  // namespace curare::sexpr

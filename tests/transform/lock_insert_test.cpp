@@ -1,0 +1,156 @@
+// Lock insertion tests (paper §3.2.1): planning, coalescing, codegen.
+#include "transform/lock_insert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/extract.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+#include "transform/build.hpp"
+
+namespace curare::transform {
+namespace {
+
+class LockInsertTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+
+  std::pair<FunctionInfo, ConflictReport> analyze(std::string_view src) {
+    FunctionInfo info =
+        analysis::extract_function(ctx, decls, sexpr::read_one(ctx, src));
+    auto report = analysis::detect_conflicts(ctx, decls, info);
+    return {info, report};
+  }
+};
+
+TEST_F(LockInsertTest, Fig4PlanLocksBothEndpoints) {
+  auto [info, report] = analyze(
+      "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  ASSERT_FALSE(plan.empty());
+  // Conflict endpoints: write cdr.car and read car → "car" is a prefix
+  // of nothing here (car vs cdr.car differ at position 0), so both
+  // locations are locked — the read endpoint with a shared lock, the
+  // written one exclusively (§3.2.1's read-write refinement).
+  std::vector<std::string> names;
+  for (const auto& s : plan.locks) names.push_back(s.to_string());
+  EXPECT_NE(std::find(names.begin(), names.end(), "l.car [read]"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "l.cdr.car [write]"),
+            names.end());
+}
+
+TEST_F(LockInsertTest, CoalescingPrefixSubsumes) {
+  // The paper's example: conflicts over l.car, l.car.cdr, l.car.cdr.car
+  // → a single lock on l.car. Synthesize the conflict set directly.
+  FunctionInfo info;
+  info.name = ctx.symbols.intern("f");
+  Symbol* l = ctx.symbols.intern("l");
+  info.params = {l};
+  auto mk = [&](std::initializer_list<const char*> fields, bool write) {
+    analysis::StructRef r;
+    r.root = l;
+    std::vector<analysis::Field> fs;
+    for (const char* f : fields) fs.push_back(ctx.symbols.intern(f));
+    r.path = FieldPath(fs);
+    r.is_write = write;
+    return r;
+  };
+  ConflictReport report;
+  Conflict c1;
+  c1.earlier = mk({"car"}, true);
+  c1.later = mk({"car", "cdr"}, false);
+  Conflict c2;
+  c2.earlier = mk({"car"}, true);
+  c2.later = mk({"car", "cdr", "car"}, false);
+  report.conflicts = {c1, c2};
+
+  LockPlan plan = plan_locks(ctx, info, report);
+  ASSERT_EQ(plan.locks.size(), 1u)
+      << "l.car must subsume l.car.cdr and l.car.cdr.car";
+  EXPECT_EQ(plan.locks[0].to_string(), "l.car [write]")
+      << "the synthesized info has a write at car, so the coalesced "
+         "lock stays exclusive";
+  EXPECT_GE(plan.notes.size(), 2u);
+}
+
+TEST_F(LockInsertTest, VariableConflictPlansVariableLock) {
+  auto [info, report] = analyze(
+      "(defun f (l) (when l (setq g (- g 1)) (f (cdr l))))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  bool has_var = false;
+  for (const auto& s : plan.locks) has_var |= s.variable;
+  EXPECT_TRUE(has_var);
+}
+
+TEST_F(LockInsertTest, ApplyGeneratesLockUnlockPair) {
+  auto [info, report] = analyze(
+      "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  Value out = apply_lock_plan(ctx, info.defun_form, plan);
+  std::string text = sexpr::write_str(out);
+  EXPECT_NE(text.find("(%lock l (quote car) (quote read))"), std::string::npos) << text;
+  EXPECT_NE(text.find("(%lock (cdr l) (quote car) (quote write))"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("%unlock"), std::string::npos);
+  // Locks precede the original body; unlocks follow it.
+  EXPECT_LT(text.find("%lock"), text.find("(when l"));
+  EXPECT_GT(text.find("%unlock"), text.find("(when l"));
+}
+
+TEST_F(LockInsertTest, UnlocksInReverseOrder) {
+  auto [info, report] = analyze(
+      "(defun f (l) (when l (setf (cadr l) (car l)) (f (cdr l))))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  ASSERT_EQ(plan.locks.size(), 2u);
+  Value out = apply_lock_plan(ctx, info.defun_form, plan);
+  std::string text = sexpr::write_str(out);
+  // First lock l.car, then l.cdr.car; unlock order reversed.
+  std::size_t lock1 = text.find("(%lock l (quote car) (quote read))");
+  std::size_t lock2 = text.find("(%lock (cdr l) (quote car) (quote write))");
+  std::size_t unlock2 = text.find("(%unlock (cdr l) (quote car) (quote write))");
+  std::size_t unlock1 = text.find("(%unlock l (quote car) (quote read))");
+  ASSERT_NE(lock1, std::string::npos);
+  ASSERT_NE(lock2, std::string::npos);
+  EXPECT_LT(lock1, lock2);
+  EXPECT_LT(unlock2, unlock1) << "two-phase: release in reverse order";
+}
+
+TEST_F(LockInsertTest, UnlocksPlacedAfterLastUseNotAtBodyEnd) {
+  // §3.2.1: "move unlock statements so that they execute as soon after
+  // their lock statements as possible". A trailing statement that never
+  // touches the locked structure must run after the release.
+  auto [info, report] = analyze(
+      "(defun f (l)"
+      "  (when l (setf (cadr l) (car l)) (f (cdr l)))"
+      "  (print 'done))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  ASSERT_FALSE(plan.empty());
+  Value out = apply_lock_plan(ctx, info.defun_form, plan);
+  std::string text = sexpr::write_str(out);
+  EXPECT_LT(text.rfind("%unlock"), text.find("(print (quote done))"))
+      << "unlocks must precede the l-free trailing statement: " << text;
+}
+
+TEST_F(LockInsertTest, EmptyPlanLeavesDefunUntouched) {
+  auto [info, report] =
+      analyze("(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  LockPlan plan = plan_locks(ctx, info, report);
+  EXPECT_TRUE(plan.empty());
+  Value out = apply_lock_plan(ctx, info.defun_form, plan);
+  EXPECT_EQ(out, info.defun_form);
+}
+
+TEST_F(LockInsertTest, LocationExprHelpers) {
+  Symbol* l = ctx.symbols.intern("l");
+  FieldPath p({ctx.symbols.intern("cdr"), ctx.symbols.intern("car")});
+  EXPECT_EQ(sexpr::write_str(path_expr(ctx, l, p)), "(car (cdr l))");
+  LocationExpr loc = location_expr(ctx, l, p);
+  EXPECT_EQ(sexpr::write_str(loc.cell), "(cdr l)");
+  EXPECT_EQ(loc.field->name, "car");
+  EXPECT_THROW(location_expr(ctx, l, FieldPath()), sexpr::LispError);
+}
+
+}  // namespace
+}  // namespace curare::transform

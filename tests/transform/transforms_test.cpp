@@ -1,0 +1,340 @@
+// Tests for delay (§3.2.2), reorder (§3.2.3), rec2iter and DPS (§5),
+// and CRI codegen (§3.1/§4) — each transformation's output is also
+// EXECUTED to confirm semantic equivalence with the original.
+#include <gtest/gtest.h>
+
+#include "analysis/conflict.hpp"
+#include "analysis/extract.hpp"
+#include "lisp/interp.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+#include "transform/cri.hpp"
+#include "transform/delay.hpp"
+#include "transform/dps.hpp"
+#include "transform/rec2iter.hpp"
+#include "transform/reorder.hpp"
+
+namespace curare::transform {
+namespace {
+
+using analysis::FunctionInfo;
+
+class TransformTest : public ::testing::Test {
+ protected:
+  sexpr::Ctx ctx;
+  decl::Declarations decls{ctx};
+  lisp::Interp in{ctx};
+
+  FunctionInfo extract(std::string_view src) {
+    return analysis::extract_function(ctx, decls,
+                                      sexpr::read_one(ctx, src));
+  }
+
+  std::string run(std::string_view src) {
+    return sexpr::write_str(in.eval_program(src));
+  }
+
+  std::string eval_form(sexpr::Value form) {
+    return sexpr::write_str(in.eval_top(form));
+  }
+};
+
+// ---- delay (§3.2.2) ----------------------------------------------------
+
+TEST_F(TransformTest, DelayHoistsTailWriteAboveCall) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (f (cdr l)) (setf (cadr l) (car l))))");
+  auto conflicts = analysis::detect_conflicts(ctx, decls, info);
+  ASSERT_FALSE(conflicts.conflicts.empty());
+  DelayResult r = apply_delay(ctx, decls, info, conflicts);
+  EXPECT_EQ(r.moved, 1);
+  std::string text = sexpr::write_str(r.defun);
+  EXPECT_LT(text.find("(setf (cadr l)"), text.find("(f (cdr l))"))
+      << "write must now precede the recursive call: " << text;
+}
+
+TEST_F(TransformTest, DelayedFunctionMatchesInvocationOrderSemantics) {
+  // §3.1.1: Curare's correctness criterion is final-state
+  // sequentializability — "the serial execution of the same set of
+  // transactions in their sequential [invocation] order". For side
+  // effects in the TAIL this differs from nested Lisp recursion (tails
+  // unwind in reverse); the delay transformation realizes the paper's
+  // invocation-order semantics. The reference below executes the
+  // invocations serially in order with a loop.
+  const char* original =
+      "(defun f (l) (when (cdr l) (f (cdr l)) (setf (cadr l) (car l))))";
+  FunctionInfo info = extract(original);
+  auto conflicts = analysis::detect_conflicts(ctx, decls, info);
+  DelayResult r = apply_delay(ctx, decls, info, conflicts);
+  ASSERT_EQ(r.moved, 1);
+
+  run("(defun serial-ref (l)"
+      "  (while (cdr l) (setf (cadr l) (car l)) (setq l (cdr l))))");
+  std::string reference =
+      run("(let ((x (list 1 2 3 4))) (serial-ref x) x)");
+  eval_form(r.defun);  // defines the delayed f
+  std::string delayed = run("(let ((x (list 1 2 3 4))) (f x) x)");
+  EXPECT_EQ(delayed, reference);
+  EXPECT_EQ(delayed, "(1 1 1 1)") << "serial invocation order propagates "
+                                     "the first car down the list";
+}
+
+TEST_F(TransformTest, DelayRefusesWhenWriteFeedsCallArguments) {
+  // The write clobbers (cdr l), which the call's argument reads:
+  // motion would change the spawned argument.
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (f (cdr l)) (setf (cdr l) nil)))");
+  auto conflicts = analysis::detect_conflicts(ctx, decls, info);
+  DelayResult r = apply_delay(ctx, decls, info, conflicts);
+  EXPECT_EQ(r.moved, 0) << "W=cdr is a prefix of the call's read cdr";
+}
+
+TEST_F(TransformTest, DelaySetqHoistsWhenIndependent) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (f (cdr l)) (setq total (- total 1))))");
+  auto conflicts = analysis::detect_conflicts(ctx, decls, info);
+  DelayResult r = apply_delay(ctx, decls, info, conflicts);
+  EXPECT_EQ(r.moved, 1);
+}
+
+TEST_F(TransformTest, DelaySetqRefusesWhenCallMentionsVariable) {
+  FunctionInfo info = extract(
+      "(defun f (n) (when (> n 0) (f (- n step)) (setq step (- step 1))))");
+  auto conflicts = analysis::detect_conflicts(ctx, decls, info);
+  DelayResult r = apply_delay(ctx, decls, info, conflicts);
+  EXPECT_EQ(r.moved, 0) << "the call argument reads `step`";
+}
+
+// ---- reorder (§3.2.3) -----------------------------------------------------
+
+TEST_F(TransformTest, ReorderRewritesGlobalIncrement) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (setq a (+ a 1)) (f (cdr l))))");
+  ReorderResult r = apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun).find("(%atomic-incf-var (quote a) 1)"),
+            std::string::npos)
+      << sexpr::write_str(r.defun);
+}
+
+TEST_F(TransformTest, ReorderRewritesStructureUpdate) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (setf (cadr l) (+ (cadr l) 5)) (f (cdr l))))");
+  ReorderResult r = apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun)
+                .find("(%atomic-add (cdr l) (quote car) 5)"),
+            std::string::npos)
+      << sexpr::write_str(r.defun);
+}
+
+TEST_F(TransformTest, ReorderUsesLockedUpdateForNonPlusOps) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (setq m (max m (car l))) (f (cdr l))))");
+  ReorderResult r = apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 1);
+  EXPECT_NE(sexpr::write_str(r.defun).find("%locked-update-var"),
+            std::string::npos);
+}
+
+TEST_F(TransformTest, ReorderLeavesNonCommutativeAlone) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (setq a (- a 1)) (f (cdr l))))");
+  ReorderResult r = apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 0);
+}
+
+TEST_F(TransformTest, ReorderLeavesParameterUpdatesAlone) {
+  FunctionInfo info = extract(
+      "(defun f (n) (when (> n 0) (setq n (+ n -1)) (f n)))");
+  ReorderResult r = apply_reorder(ctx, decls, info);
+  EXPECT_EQ(r.rewritten, 0) << "parameters are invocation-local";
+}
+
+// ---- recursion→iteration (§5) -----------------------------------------------
+
+TEST_F(TransformTest, Rec2IterSumList) {
+  FunctionInfo info = extract(
+      "(defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.op->name, "+");
+  eval_form(r.defun);
+  EXPECT_EQ(run("(sum '(1 2 3 4 5))"), "15");
+  EXPECT_EQ(run("(sum nil)"), "0");
+  EXPECT_EQ(run("(sum '(7))"), "7");
+}
+
+TEST_F(TransformTest, Rec2IterCondSpelling) {
+  FunctionInfo info = extract(
+      "(defun product (l) (cond ((null l) 1)"
+      " (t (* (car l) (product (cdr l))))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  eval_form(r.defun);
+  EXPECT_EQ(run("(product '(2 3 4))"), "24");
+}
+
+TEST_F(TransformTest, Rec2IterRecCallFirstArgument) {
+  FunctionInfo info = extract(
+      "(defun sum2 (l) (if (null l) 0 (+ (sum2 (cdr l)) (car l))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  eval_form(r.defun);
+  EXPECT_EQ(run("(sum2 '(10 20 30))"), "60");
+}
+
+TEST_F(TransformTest, Rec2IterMultiParameter) {
+  FunctionInfo info = extract(
+      "(defun countdown-sum (n acc-unused)"
+      "  (if (= n 0) 0 (+ n (countdown-sum (- n 1) acc-unused))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  eval_form(r.defun);
+  EXPECT_EQ(run("(countdown-sum 10 nil)"), "55");
+}
+
+TEST_F(TransformTest, Rec2IterDeepRecursionNoStackGrowth) {
+  FunctionInfo info = extract(
+      "(defun sumn (n) (if (= n 0) 0 (+ n (sumn (- n 1)))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  eval_form(r.defun);
+  // 5e5 would overflow the evaluator's non-tail depth limit; the
+  // iterative version must handle it.
+  EXPECT_EQ(run("(sumn 500000)"), "125000250000");
+}
+
+TEST_F(TransformTest, Rec2IterRejectsNonAssociativeOp) {
+  FunctionInfo info = extract(
+      "(defun sub (l) (if (null l) 0 (- (car l) (sub (cdr l)))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("declarations"), std::string::npos);
+}
+
+TEST_F(TransformTest, Rec2IterRejectsNonReductionShape) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  Rec2IterResult r = apply_rec2iter(ctx, decls, info);
+  EXPECT_FALSE(r.ok);
+}
+
+// ---- destination-passing style (§5, Figs 12–13) ----------------------------
+
+TEST_F(TransformTest, DpsRemqMatchesPaperShape) {
+  FunctionInfo info = extract(
+      "(defun remq (obj lst)"
+      "  (cond ((null lst) nil)"
+      "        ((eq obj (car lst)) (remq obj (cdr lst)))"
+      "        (t (cons (car lst) (remq obj (cdr lst))))))");
+  DpsResult r = apply_dps(ctx, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.dps_safe);
+  std::string dps = sexpr::write_str(r.dps_defun);
+  // The Fig 13 ingredients: destination parameter, base stores nil,
+  // pass-through, fresh cell + link.
+  EXPECT_NE(dps.find("remq$dps"), std::string::npos);
+  EXPECT_NE(dps.find("(setf (cdr %dest) nil)"), std::string::npos) << dps;
+  EXPECT_NE(dps.find("(remq$dps %dest obj (cdr lst))"), std::string::npos)
+      << dps;
+  EXPECT_NE(dps.find("(cons (car lst) nil)"), std::string::npos) << dps;
+  EXPECT_NE(dps.find("(setf (cdr %dest) %cell)"), std::string::npos)
+      << dps;
+}
+
+TEST_F(TransformTest, DpsRemqComputesSameResults) {
+  FunctionInfo info = extract(
+      "(defun remq (obj lst)"
+      "  (cond ((null lst) nil)"
+      "        ((eq obj (car lst)) (remq obj (cdr lst)))"
+      "        (t (cons (car lst) (remq obj (cdr lst))))))");
+  DpsResult r = apply_dps(ctx, info);
+  ASSERT_TRUE(r.ok);
+  eval_form(r.dps_defun);
+  eval_form(r.wrapper_defun);  // redefines remq via the DPS helper
+  EXPECT_EQ(run("(remq 'a '(a b a c a))"), "(b c)");
+  EXPECT_EQ(run("(remq 'a nil)"), "nil");
+  EXPECT_EQ(run("(remq 'z '(a b))"), "(a b)");
+  EXPECT_EQ(run("(remq 'a '(a a a))"), "nil");
+}
+
+TEST_F(TransformTest, DpsIfSpelling) {
+  FunctionInfo info = extract(
+      "(defun ident (l) (if (null l) nil (cons (car l) (ident (cdr l)))))");
+  DpsResult r = apply_dps(ctx, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  eval_form(r.dps_defun);
+  eval_form(r.wrapper_defun);
+  EXPECT_EQ(run("(ident '(1 2 3))"), "(1 2 3)");
+}
+
+TEST_F(TransformTest, DpsRejectsNonConsUse) {
+  FunctionInfo info = extract(
+      "(defun f (l) (if (null l) 0 (+ 1 (f (cdr l)))))");
+  DpsResult r = apply_dps(ctx, info);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("cons"), std::string::npos);
+}
+
+// ---- CRI codegen (§3.1/§4) ---------------------------------------------------
+
+TEST_F(TransformTest, CriRewritesCallToEnqueue) {
+  FunctionInfo info = extract(
+      "(defun f (l) (when l (print (car l)) (f (cdr l))))");
+  CriResult r = make_cri(ctx, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.num_sites, 1u);
+  std::string server = sexpr::write_str(r.server_defun);
+  EXPECT_NE(server.find("(%cri-enqueue 0 (cdr l))"), std::string::npos)
+      << server;
+  EXPECT_EQ(server.find("(f (cdr l))"), std::string::npos)
+      << "no direct recursive call may remain";
+  std::string wrapper = sexpr::write_str(r.wrapper_defun);
+  EXPECT_NE(wrapper.find("(%cri-run f$cri 1 %servers l)"),
+            std::string::npos)
+      << wrapper;
+}
+
+TEST_F(TransformTest, CriMultipleSitesNumbered) {
+  FunctionInfo info = extract(
+      "(defun walk (x) (when (consp x) (walk (car x)) (walk (cdr x))))");
+  CriResult r = make_cri(ctx, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.num_sites, 2u);
+  std::string server = sexpr::write_str(r.server_defun);
+  EXPECT_NE(server.find("(%cri-enqueue 0 (car x))"), std::string::npos);
+  EXPECT_NE(server.find("(%cri-enqueue 1 (cdr x))"), std::string::npos);
+}
+
+TEST_F(TransformTest, CriCapturesTailResult) {
+  FunctionInfo info = extract(
+      "(defun last-elt (l) (if (null (cdr l)) (car l)"
+      " (last-elt (cdr l))))");
+  CriResult r = make_cri(ctx, info);
+  ASSERT_TRUE(r.ok) << r.failure;
+  ASSERT_NE(r.result_var, nullptr);
+  EXPECT_EQ(r.result_var->name, "last-elt$result");
+  std::string server = sexpr::write_str(r.server_defun);
+  EXPECT_NE(server.find("(setq last-elt$result (car l))"),
+            std::string::npos)
+      << server;
+}
+
+TEST_F(TransformTest, CriRejectsEmbeddedResultUse) {
+  FunctionInfo info = extract(
+      "(defun f (l) (if (null l) 0 (+ 1 (f (cdr l)))))");
+  CriResult r = make_cri(ctx, info);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("§5"), std::string::npos)
+      << "feedback should point at the enabling transformations";
+}
+
+TEST_F(TransformTest, CriRejectsNonRecursive) {
+  FunctionInfo info = extract("(defun f (l) (car l))");
+  CriResult r = make_cri(ctx, info);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace curare::transform

@@ -1,0 +1,158 @@
+// curare — command-line front end to the restructurer.
+//
+//   curare program.lisp          batch: load, analyze & transform every
+//                                recursive defun, print the report and
+//                                the restructured program
+//   curare -e "(…)"              evaluate one form and print the result
+//   curare                       interactive REPL with commands:
+//                                  :analyze NAME     §2/§3 analysis report
+//                                  :transform NAME   restructure NAME
+//                                  :par S (NAME a…)  run transformed NAME
+//                                  :sapp EXPR        SAPP check a value
+//                                  :quit
+//                                anything else is evaluated as Lisp.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "curare/curare.hpp"
+#include "curare/struct_sapp.hpp"
+#include "sexpr/list_ops.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+
+namespace {
+
+using curare::Curare;
+using curare::Value;
+
+void batch_transform_all(Curare& cur, const std::string& source) {
+  cur.load_program(source);
+
+  // Find every defun in the program and try to restructure it.
+  curare::sexpr::Ctx& ctx = cur.interp().ctx();
+  for (Value form : curare::sexpr::read_all(ctx, source)) {
+    if (!form.is(curare::sexpr::Kind::Cons)) continue;
+    Value head = curare::sexpr::car(form);
+    if (!head.is(curare::sexpr::Kind::Symbol)) continue;
+    if (curare::sexpr::as_symbol(head)->name != "defun") continue;
+    const std::string name =
+        curare::sexpr::as_symbol(curare::sexpr::cadr(form))->name;
+
+    std::printf("────────────────────────────────────────────\n");
+    std::printf(";; %s\n", name.c_str());
+    curare::AnalysisReport report = cur.analyze(name);
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.info.is_recursive()) {
+      std::printf(";; not recursive — left unchanged\n\n");
+      continue;
+    }
+    curare::TransformPlan plan = cur.transform(name);
+    std::printf("%s\n", plan.to_string().c_str());
+    for (Value f : plan.forms)
+      std::printf("%s\n", curare::sexpr::write_str(f).c_str());
+    std::printf("\n");
+  }
+}
+
+int repl(Curare& cur) {
+  curare::sexpr::Ctx& ctx = cur.interp().ctx();
+  std::string line;
+  std::printf("curare> ");
+  while (std::getline(std::cin, line)) {
+    try {
+      if (line.empty()) {
+        // fallthrough to the prompt
+      } else if (line == ":quit" || line == ":q") {
+        return 0;
+      } else if (line.rfind(":analyze ", 0) == 0) {
+        std::printf("%s",
+                    cur.analyze(line.substr(9)).to_string().c_str());
+      } else if (line.rfind(":transform ", 0) == 0) {
+        curare::TransformPlan plan = cur.transform(line.substr(11));
+        std::printf("%s", plan.to_string().c_str());
+        for (Value f : plan.forms)
+          std::printf("%s\n", curare::sexpr::write_str(f).c_str());
+      } else if (line.rfind(":par ", 0) == 0) {
+        // :par S (fn arg...)
+        std::istringstream iss(line.substr(5));
+        std::size_t servers = 0;
+        iss >> servers;
+        std::string call;
+        std::getline(iss, call);
+        Value form = curare::sexpr::read_one(ctx, call);
+        const std::string fname =
+            curare::sexpr::as_symbol(curare::sexpr::car(form))->name;
+        std::vector<Value> args;
+        for (Value a = curare::sexpr::cdr(form); !a.is_nil();
+             a = curare::sexpr::cdr(a)) {
+          args.push_back(cur.interp().eval_top(curare::sexpr::car(a)));
+        }
+        Value out = cur.run_parallel(fname, args, servers);
+        std::printf("%s\n", curare::sexpr::write_str(out).c_str());
+      } else if (line.rfind(":sapp ", 0) == 0) {
+        Value v = cur.interp().eval_program(line.substr(6));
+        auto r = curare::check_struct_sapp(v, cur.declarations());
+        std::printf("%s (%zu instances)%s%s\n",
+                    r.holds ? "SAPP holds" : "SAPP violated",
+                    r.instances, r.violation.empty() ? "" : ": ",
+                    r.violation.c_str());
+      } else if (line[0] == ':') {
+        std::printf("unknown command; try :analyze :transform :par "
+                    ":sapp :quit\n");
+      } else {
+        // Plain Lisp. Loading through the driver keeps defuns known to
+        // the transformer.
+        cur.load_program(line);
+        std::string out = cur.interp().take_output();
+        if (!out.empty()) std::printf("%s", out.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::printf("curare> ");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  curare::sexpr::Ctx ctx;
+  Curare cur(ctx);
+  cur.interp().set_echo(false);
+
+  if (argc >= 3 && std::string(argv[1]) == "-e") {
+    try {
+      Value v = cur.interp().eval_program(argv[2]);
+      std::string out = cur.interp().take_output();
+      if (!out.empty()) std::printf("%s", out.c_str());
+      std::printf("%s\n", curare::sexpr::write_str(v).c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    try {
+      batch_transform_all(cur, ss.str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  return repl(cur);
+}

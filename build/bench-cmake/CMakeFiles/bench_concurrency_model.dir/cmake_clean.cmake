@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_concurrency_model"
+  "../bench/bench_concurrency_model.pdb"
+  "CMakeFiles/bench_concurrency_model.dir/bench_concurrency_model.cpp.o"
+  "CMakeFiles/bench_concurrency_model.dir/bench_concurrency_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conflict_detect"
+  "../bench/bench_conflict_detect.pdb"
+  "CMakeFiles/bench_conflict_detect.dir/bench_conflict_detect.cpp.o"
+  "CMakeFiles/bench_conflict_detect.dir/bench_conflict_detect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conflict_distance"
+  "../bench/bench_conflict_distance.pdb"
+  "CMakeFiles/bench_conflict_distance.dir/bench_conflict_distance.cpp.o"
+  "CMakeFiles/bench_conflict_distance.dir/bench_conflict_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

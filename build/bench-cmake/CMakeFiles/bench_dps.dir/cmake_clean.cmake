@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dps"
+  "../bench/bench_dps.pdb"
+  "CMakeFiles/bench_dps.dir/bench_dps.cpp.o"
+  "CMakeFiles/bench_dps.dir/bench_dps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lock_overhead"
+  "../bench/bench_lock_overhead.pdb"
+  "CMakeFiles/bench_lock_overhead.dir/bench_lock_overhead.cpp.o"
+  "CMakeFiles/bench_lock_overhead.dir/bench_lock_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

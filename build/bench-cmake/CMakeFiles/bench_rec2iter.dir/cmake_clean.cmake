@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rec2iter"
+  "../bench/bench_rec2iter.pdb"
+  "CMakeFiles/bench_rec2iter.dir/bench_rec2iter.cpp.o"
+  "CMakeFiles/bench_rec2iter.dir/bench_rec2iter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rec2iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_report.dir/conflict_report.cpp.o"
+  "CMakeFiles/conflict_report.dir/conflict_report.cpp.o.d"
+  "conflict_report"
+  "conflict_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cri_trace.dir/cri_trace.cpp.o"
+  "CMakeFiles/cri_trace.dir/cri_trace.cpp.o.d"
+  "cri_trace"
+  "cri_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cri_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_remq.dir/dps_remq.cpp.o"
+  "CMakeFiles/dps_remq.dir/dps_remq.cpp.o.d"
+  "dps_remq"
+  "dps_remq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_remq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

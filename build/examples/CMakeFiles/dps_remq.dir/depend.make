@@ -1,0 +1,2 @@
+# Empty dependencies file for dps_remq.
+# This may be replaced when dependencies are built.

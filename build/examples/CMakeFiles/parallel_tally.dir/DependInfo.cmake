@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_tally.cpp" "examples/CMakeFiles/parallel_tally.dir/parallel_tally.cpp.o" "gcc" "examples/CMakeFiles/parallel_tally.dir/parallel_tally.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/curare/CMakeFiles/curare_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/curare_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/curare_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/curare_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/curare_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/decl/CMakeFiles/curare_decl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/curare_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tally.dir/parallel_tally.cpp.o"
+  "CMakeFiles/parallel_tally.dir/parallel_tally.cpp.o.d"
+  "parallel_tally"
+  "parallel_tally.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tally.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

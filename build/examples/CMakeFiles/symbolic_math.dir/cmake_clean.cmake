@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_math.dir/symbolic_math.cpp.o"
+  "CMakeFiles/symbolic_math.dir/symbolic_math.cpp.o.d"
+  "symbolic_math"
+  "symbolic_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/array.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/array.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/array.cpp.o.d"
+  "/root/repo/src/analysis/conflict.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/conflict.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/conflict.cpp.o.d"
+  "/root/repo/src/analysis/effects.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/effects.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/effects.cpp.o.d"
+  "/root/repo/src/analysis/extract.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/extract.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/extract.cpp.o.d"
+  "/root/repo/src/analysis/headtail.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/headtail.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/headtail.cpp.o.d"
+  "/root/repo/src/analysis/path_regex.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/path_regex.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/path_regex.cpp.o.d"
+  "/root/repo/src/analysis/sapp.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/sapp.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/sapp.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/analysis/CMakeFiles/curare_analysis.dir/summary.cpp.o" "gcc" "src/analysis/CMakeFiles/curare_analysis.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sexpr/CMakeFiles/curare_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/decl/CMakeFiles/curare_decl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

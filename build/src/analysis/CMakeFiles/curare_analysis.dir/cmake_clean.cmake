@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_analysis.dir/array.cpp.o"
+  "CMakeFiles/curare_analysis.dir/array.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/conflict.cpp.o"
+  "CMakeFiles/curare_analysis.dir/conflict.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/effects.cpp.o"
+  "CMakeFiles/curare_analysis.dir/effects.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/extract.cpp.o"
+  "CMakeFiles/curare_analysis.dir/extract.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/headtail.cpp.o"
+  "CMakeFiles/curare_analysis.dir/headtail.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/path_regex.cpp.o"
+  "CMakeFiles/curare_analysis.dir/path_regex.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/sapp.cpp.o"
+  "CMakeFiles/curare_analysis.dir/sapp.cpp.o.d"
+  "CMakeFiles/curare_analysis.dir/summary.cpp.o"
+  "CMakeFiles/curare_analysis.dir/summary.cpp.o.d"
+  "libcurare_analysis.a"
+  "libcurare_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

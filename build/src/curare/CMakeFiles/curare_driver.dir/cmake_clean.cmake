@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_driver.dir/curare.cpp.o"
+  "CMakeFiles/curare_driver.dir/curare.cpp.o.d"
+  "CMakeFiles/curare_driver.dir/struct_sapp.cpp.o"
+  "CMakeFiles/curare_driver.dir/struct_sapp.cpp.o.d"
+  "libcurare_driver.a"
+  "libcurare_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcurare_driver.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_decl.dir/declarations.cpp.o"
+  "CMakeFiles/curare_decl.dir/declarations.cpp.o.d"
+  "libcurare_decl.a"
+  "libcurare_decl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_decl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for curare_decl.
+# This may be replaced when dependencies are built.

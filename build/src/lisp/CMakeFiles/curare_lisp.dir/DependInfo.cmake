@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lisp/builtins.cpp" "src/lisp/CMakeFiles/curare_lisp.dir/builtins.cpp.o" "gcc" "src/lisp/CMakeFiles/curare_lisp.dir/builtins.cpp.o.d"
+  "/root/repo/src/lisp/interp.cpp" "src/lisp/CMakeFiles/curare_lisp.dir/interp.cpp.o" "gcc" "src/lisp/CMakeFiles/curare_lisp.dir/interp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sexpr/CMakeFiles/curare_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_lisp.dir/builtins.cpp.o"
+  "CMakeFiles/curare_lisp.dir/builtins.cpp.o.d"
+  "CMakeFiles/curare_lisp.dir/interp.cpp.o"
+  "CMakeFiles/curare_lisp.dir/interp.cpp.o.d"
+  "libcurare_lisp.a"
+  "libcurare_lisp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_lisp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for curare_lisp.
+# This may be replaced when dependencies are built.

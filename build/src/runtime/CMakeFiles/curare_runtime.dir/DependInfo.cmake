@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/future_pool.cpp" "src/runtime/CMakeFiles/curare_runtime.dir/future_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/curare_runtime.dir/future_pool.cpp.o.d"
+  "/root/repo/src/runtime/lock_manager.cpp" "src/runtime/CMakeFiles/curare_runtime.dir/lock_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/curare_runtime.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/curare_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/curare_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/server_pool.cpp" "src/runtime/CMakeFiles/curare_runtime.dir/server_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/curare_runtime.dir/server_pool.cpp.o.d"
+  "/root/repo/src/runtime/sim.cpp" "src/runtime/CMakeFiles/curare_runtime.dir/sim.cpp.o" "gcc" "src/runtime/CMakeFiles/curare_runtime.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lisp/CMakeFiles/curare_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/curare_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_runtime.dir/future_pool.cpp.o"
+  "CMakeFiles/curare_runtime.dir/future_pool.cpp.o.d"
+  "CMakeFiles/curare_runtime.dir/lock_manager.cpp.o"
+  "CMakeFiles/curare_runtime.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/curare_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/curare_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/curare_runtime.dir/server_pool.cpp.o"
+  "CMakeFiles/curare_runtime.dir/server_pool.cpp.o.d"
+  "CMakeFiles/curare_runtime.dir/sim.cpp.o"
+  "CMakeFiles/curare_runtime.dir/sim.cpp.o.d"
+  "libcurare_runtime.a"
+  "libcurare_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sexpr/equal.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/equal.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/equal.cpp.o.d"
+  "/root/repo/src/sexpr/list_ops.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/list_ops.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/list_ops.cpp.o.d"
+  "/root/repo/src/sexpr/printer.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/printer.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/printer.cpp.o.d"
+  "/root/repo/src/sexpr/reader.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/reader.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/reader.cpp.o.d"
+  "/root/repo/src/sexpr/symbol_table.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/symbol_table.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/symbol_table.cpp.o.d"
+  "/root/repo/src/sexpr/value.cpp" "src/sexpr/CMakeFiles/curare_sexpr.dir/value.cpp.o" "gcc" "src/sexpr/CMakeFiles/curare_sexpr.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_sexpr.dir/equal.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/equal.cpp.o.d"
+  "CMakeFiles/curare_sexpr.dir/list_ops.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/list_ops.cpp.o.d"
+  "CMakeFiles/curare_sexpr.dir/printer.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/printer.cpp.o.d"
+  "CMakeFiles/curare_sexpr.dir/reader.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/reader.cpp.o.d"
+  "CMakeFiles/curare_sexpr.dir/symbol_table.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/symbol_table.cpp.o.d"
+  "CMakeFiles/curare_sexpr.dir/value.cpp.o"
+  "CMakeFiles/curare_sexpr.dir/value.cpp.o.d"
+  "libcurare_sexpr.a"
+  "libcurare_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/cri.cpp" "src/transform/CMakeFiles/curare_transform.dir/cri.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/cri.cpp.o.d"
+  "/root/repo/src/transform/delay.cpp" "src/transform/CMakeFiles/curare_transform.dir/delay.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/delay.cpp.o.d"
+  "/root/repo/src/transform/dps.cpp" "src/transform/CMakeFiles/curare_transform.dir/dps.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/dps.cpp.o.d"
+  "/root/repo/src/transform/lock_insert.cpp" "src/transform/CMakeFiles/curare_transform.dir/lock_insert.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/lock_insert.cpp.o.d"
+  "/root/repo/src/transform/rec2iter.cpp" "src/transform/CMakeFiles/curare_transform.dir/rec2iter.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/rec2iter.cpp.o.d"
+  "/root/repo/src/transform/reorder.cpp" "src/transform/CMakeFiles/curare_transform.dir/reorder.cpp.o" "gcc" "src/transform/CMakeFiles/curare_transform.dir/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/curare_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/decl/CMakeFiles/curare_decl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/curare_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_transform.dir/cri.cpp.o"
+  "CMakeFiles/curare_transform.dir/cri.cpp.o.d"
+  "CMakeFiles/curare_transform.dir/delay.cpp.o"
+  "CMakeFiles/curare_transform.dir/delay.cpp.o.d"
+  "CMakeFiles/curare_transform.dir/dps.cpp.o"
+  "CMakeFiles/curare_transform.dir/dps.cpp.o.d"
+  "CMakeFiles/curare_transform.dir/lock_insert.cpp.o"
+  "CMakeFiles/curare_transform.dir/lock_insert.cpp.o.d"
+  "CMakeFiles/curare_transform.dir/rec2iter.cpp.o"
+  "CMakeFiles/curare_transform.dir/rec2iter.cpp.o.d"
+  "CMakeFiles/curare_transform.dir/reorder.cpp.o"
+  "CMakeFiles/curare_transform.dir/reorder.cpp.o.d"
+  "libcurare_transform.a"
+  "libcurare_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

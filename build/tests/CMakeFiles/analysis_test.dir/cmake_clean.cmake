@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/accessor_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/accessor_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/array_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/array_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/canon_extract_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/canon_extract_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/conflict_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/conflict_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/extract_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/extract_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/headtail_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/headtail_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/sapp_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/sapp_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/summary_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/summary_test.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

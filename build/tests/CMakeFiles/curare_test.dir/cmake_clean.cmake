@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_test.dir/curare/curare_test.cpp.o"
+  "CMakeFiles/curare_test.dir/curare/curare_test.cpp.o.d"
+  "CMakeFiles/curare_test.dir/curare/property_test.cpp.o"
+  "CMakeFiles/curare_test.dir/curare/property_test.cpp.o.d"
+  "CMakeFiles/curare_test.dir/curare/struct_sapp_test.cpp.o"
+  "CMakeFiles/curare_test.dir/curare/struct_sapp_test.cpp.o.d"
+  "curare_test"
+  "curare_test.pdb"
+  "curare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

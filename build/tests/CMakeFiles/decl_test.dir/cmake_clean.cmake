@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decl_test.dir/decl/declarations_test.cpp.o"
+  "CMakeFiles/decl_test.dir/decl/declarations_test.cpp.o.d"
+  "decl_test"
+  "decl_test.pdb"
+  "decl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/lisp_test[1]_include.cmake")
+include("/root/repo/build/tests/decl_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/curare_test[1]_include.cmake")
+add_test(cli_batch_paper_figures "/root/repo/build/tools/curare" "/root/repo/examples/lisp/paper_figures.lisp")
+set_tests_properties(cli_batch_paper_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_eval "/root/repo/build/tools/curare" "-e" "(print (+ 40 2))")
+set_tests_properties(cli_eval PROPERTIES  PASS_REGULAR_EXPRESSION "42" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_dps_remq "/root/repo/build/examples/dps_remq")
+set_tests_properties(example_dps_remq PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_conflict_report "/root/repo/build/examples/conflict_report")
+set_tests_properties(example_conflict_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_parallel_tally "/root/repo/build/examples/parallel_tally")
+set_tests_properties(example_parallel_tally PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_cri_trace "/root/repo/build/examples/cri_trace")
+set_tests_properties(example_cri_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_symbolic_math "/root/repo/build/examples/symbolic_math")
+set_tests_properties(example_symbolic_math PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curare_cli.dir/curare_cli.cpp.o"
+  "CMakeFiles/curare_cli.dir/curare_cli.cpp.o.d"
+  "curare"
+  "curare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,10 +5,19 @@
 // resulting loss of concurrency." This binary quantifies the first cost:
 // lock-manager traffic vs a CAS atomic update vs unsynchronized store,
 // single-threaded and contended.
+//
+// After the google-benchmark suite it runs an instrumented contention
+// sweep (LockManager + obs::Recorder) and prints one machine-readable
+// JSON line per thread count (prefix "JSON ") with the recorder's own
+// contention/wait aggregates — the same counters `--stats` reports.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <thread>
+#include <vector>
 
+#include "obs/recorder.hpp"
 #include "runtime/lock_manager.hpp"
 #include "runtime/runtime.hpp"
 #include "sexpr/ctx.hpp"
@@ -107,6 +116,66 @@ void BM_LockUnlockDistinctLocations(benchmark::State& state) {
 }
 BENCHMARK(BM_LockUnlockDistinctLocations)->Threads(1)->Threads(4)->Threads(8);
 
+// Instrumented sweep: T threads hammer one location through a
+// recorder-attached LockManager; the recorder's aggregates quantify
+// both §3.2.1 costs at once (price paid per acquisition + how often a
+// thread had to wait and for how long).
+void contention_sweep() {
+  std::printf("\ninstrumented contention sweep (one shared location)\n");
+  const std::uint64_t per_thread = 20000;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    sexpr::Ctx ctx;
+    LockManager lm;
+    obs::Recorder rec;
+    lm.set_recorder(&rec);
+    auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::fixnum(0),
+                                             sexpr::Value::nil());
+    const LocKey key{cell, ctx.symbols.intern("car")};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (unsigned i = 0; i < threads; ++i) {
+      pool.emplace_back([&] {
+        for (std::uint64_t n = 0; n < per_thread; ++n) {
+          lm.lock(key, true);
+          lm.unlock(key, true);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double wall_ns =
+        static_cast<double>(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+
+    const std::uint64_t acq =
+        rec.metrics.counter("lock.acquisitions").get();
+    const std::uint64_t contended =
+        rec.metrics.counter("lock.contended").get();
+    const auto& waits = rec.metrics.histogram("lock.wait_ns");
+    std::printf(
+        "JSON {\"bench\":\"lock_overhead\",\"threads\":%u,"
+        "\"acquisitions\":%llu,\"contended\":%llu,"
+        "\"contended_frac\":%.4f,\"wait_ns_mean\":%.1f,"
+        "\"wait_ns_p99\":%.1f,\"ns_per_acquisition\":%.1f}\n",
+        threads, static_cast<unsigned long long>(acq),
+        static_cast<unsigned long long>(contended),
+        acq > 0 ? static_cast<double>(contended) /
+                      static_cast<double>(acq)
+                : 0.0,
+        waits.mean(), waits.quantile(0.99),
+        acq > 0 ? wall_ns / static_cast<double>(acq) : 0.0);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  contention_sweep();
+  return 0;
+}

@@ -5,6 +5,11 @@
 // server sweep — the two coincide exactly at S = c_f and closely below
 // it; beyond c_f extra servers are wasted (the clamp the paper
 // prescribes). Secondary: wall-clock on the host pool.
+//
+// Besides the human-readable table, each sweep point emits one
+// machine-readable JSON line (prefix "JSON ") with the measured
+// CriStats aggregates, so plots/regressions can be driven from the
+// bench output directly.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -84,6 +89,23 @@ int main() {
                                     std::min<std::size_t>(s, 16)));
     std::printf("%6zu %14.0f %14.0f %10.3f | %14.2f\n", s, model, sim,
                 sim / model, wall * 1e3);
+
+    // Machine-readable record for this sweep point (stats are from the
+    // last wall-clock rep; the recorder is on but the tracer is off).
+    const runtime::CriStats& st = cur.runtime().last_cri_stats();
+    const double inv = static_cast<double>(st.invocations);
+    std::printf(
+        "JSON {\"bench\":\"server_scaling\",\"S\":%zu,\"d\":%d,"
+        "\"h_units\":%d,\"t_units\":%d,\"model_T\":%.1f,\"sim_T\":%.1f,"
+        "\"wall_ms\":%.3f,\"invocations\":%llu,"
+        "\"head_ns_mean\":%.1f,\"tail_ns_mean\":%.1f,"
+        "\"utilization\":%.4f,\"max_queue\":%llu}\n",
+        s, depth, h, t, model, sim, wall * 1e3,
+        static_cast<unsigned long long>(st.invocations),
+        inv > 0 ? static_cast<double>(st.head_ns) / inv : 0.0,
+        inv > 0 ? static_cast<double>(st.tail_ns) / inv : 0.0,
+        st.utilization(),
+        static_cast<unsigned long long>(st.max_queue_length));
   }
 
   std::printf("\nsimulated argmin: S = %zu (clamped optimum %zu, "

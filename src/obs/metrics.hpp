@@ -1,0 +1,119 @@
+// Metrics registry: named counters, gauges, and fixed-bucket
+// histograms, all lock-free on the update path (relaxed atomics).
+//
+// Lookup by name takes the registry mutex, so hot paths resolve their
+// instruments once (e.g. at set_recorder time) and keep the reference —
+// references returned by the registry are stable for its lifetime.
+//
+// Well-known instrument names used by the runtime:
+//   lock.acquisitions       counter   every LockManager::lock
+//   lock.contended          counter   acquisitions that had to wait
+//   lock.wait_ns            histogram blocked time per contended acquire
+//   cri.invocations         counter   tasks executed by server pools
+//   cri.enqueues            counter   %cri-enqueue calls
+//   cri.queue_depth         histogram depth sampled at each enqueue
+//   cri.head_ns / tail_ns   counter   summed measured head/tail time
+//   cri.busy_ns / idle_ns   counter   summed server busy/blocked time
+//   future.spawned          counter   futures created
+//   future.touches          counter   touch() calls
+//   future.touch_waits      counter   touches that blocked
+//   future.wait_ns          histogram blocked time per waiting touch
+//   future.helped           counter   queued tasks run while waiting
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace curare::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram over fixed upper-bound buckets (a final +inf bucket is
+/// implicit). Tracks count, sum, min, and max exactly; quantiles are
+/// interpolated within the landing bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t x);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// q in [0,1]; linear interpolation inside the landing bucket.
+  double quantile(double q) const;
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i; the last bucket is unbounded.
+  std::uint64_t bound(std::size_t i) const {
+    return i < bounds_.size() ? bounds_[i] : UINT64_MAX;
+  }
+
+  /// Default bounds for nanosecond durations: 1µs…~17s, ×4 steps.
+  static std::vector<std::uint64_t> default_ns_bounds();
+  /// Default bounds for small cardinalities (queue depths): 1…4096, ×2.
+  static std::vector<std::uint64_t> default_depth_bounds();
+
+ private:
+  std::vector<std::uint64_t> bounds_;  ///< sorted upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class Metrics {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates with `bounds` on first use (default_ns_bounds if empty);
+  /// later calls return the existing histogram regardless of bounds.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds = {});
+
+  /// Snapshot of everything, sorted by name, human-readable.
+  std::string to_string() const;
+  /// One JSON object with a field per instrument.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace curare::obs

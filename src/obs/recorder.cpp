@@ -1,0 +1,20 @@
+#include "obs/recorder.hpp"
+
+#include <sstream>
+
+namespace curare::obs {
+
+std::string full_report(const Recorder& rec) {
+  std::ostringstream ss;
+  ss << "== measured vs predicted T(S) (paper 4.1) ==\n"
+     << rec.speedup.table() << "\n== metrics ==\n"
+     << rec.metrics.to_string();
+  if (rec.tracer.enabled() || rec.tracer.events_recorded() > 0) {
+    ss << "trace: " << rec.tracer.events_recorded() << " events from "
+       << rec.tracer.thread_count() << " thread(s), "
+       << rec.tracer.dropped() << " dropped\n";
+  }
+  return ss.str();
+}
+
+}  // namespace curare::obs

@@ -1,0 +1,28 @@
+// The bundle the runtime threads through its components: one tracer,
+// one metrics registry, one speedup report. Components accept a
+// `Recorder*` and treat nullptr as "observability off" (the null-object
+// case — no clock reads, no atomics touched). The tracer inside a live
+// recorder is additionally toggleable at runtime; metrics are always on
+// when a recorder is present (their cost is a handful of relaxed
+// atomic adds on paths that already take a mutex or run a task body).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace curare::obs {
+
+struct Recorder {
+  Tracer tracer;
+  Metrics metrics;
+  SpeedupReport speedup;
+};
+
+/// The --stats / :stats payload: the measured-vs-predicted T(S) table
+/// followed by a dump of every metric.
+std::string full_report(const Recorder& rec);
+
+}  // namespace curare::obs

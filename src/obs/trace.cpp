@@ -1,0 +1,164 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace curare::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// One thread's cached (tracer-id → buffer) bindings. Tracer ids are
+/// never reused, so a slot for a destroyed tracer can never be matched
+/// again — stale entries are inert, not dangling in any reachable way.
+struct TlsSlot {
+  std::uint64_t tracer_id;
+  void* buf;
+};
+thread_local std::vector<TlsSlot> g_tls_slots;
+
+}  // namespace
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskRun: return "cri-task";
+    case EventKind::kTaskEnqueue: return "cri-enqueue";
+    case EventKind::kServerIdle: return "server-idle";
+    case EventKind::kLockWait: return "lock-wait";
+    case EventKind::kLockAcquire: return "lock-acquire";
+    case EventKind::kLockRelease: return "lock-release";
+    case EventKind::kFutureSpawn: return "future-spawn";
+    case EventKind::kFutureRun: return "future-run";
+    case EventKind::kFutureTouchWait: return "future-touch-wait";
+    case EventKind::kEarlyFinish: return "early-finish";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : capacity_(std::max<std::size_t>(1, capacity_per_thread)),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuf* Tracer::local_buf() {
+  for (const TlsSlot& s : g_tls_slots) {
+    if (s.tracer_id == id_) return static_cast<ThreadBuf*>(s.buf);
+  }
+  // The ring itself is allocated on the thread's first emit (see
+  // emit()), so a thread that only names itself costs a registry entry,
+  // not capacity_ events of storage.
+  auto buf = std::make_shared<ThreadBuf>();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    buf->tid = static_cast<std::uint32_t>(bufs_.size());
+    bufs_.push_back(buf);
+  }
+  g_tls_slots.push_back(TlsSlot{id_, buf.get()});
+  return buf.get();  // kept alive by bufs_ until the tracer dies
+}
+
+void Tracer::emit(EventKind k, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                  std::uint64_t a0, std::uint64_t a1) {
+  if (!enabled()) return;
+  ThreadBuf* b = local_buf();
+  std::lock_guard<std::mutex> g(b->mu);
+  if (b->ring.empty()) b->ring.resize(capacity_);
+  b->ring[b->head % b->ring.size()] = TraceEvent{ts_ns, dur_ns, a0, a1, k};
+  ++b->head;
+}
+
+void Tracer::name_thread(const std::string& name) {
+  // No-op while disabled: short-lived server threads name themselves on
+  // every run, and registering each of them would grow the buffer list
+  // (and the export) without any events to show for it.
+  if (!enabled()) return;
+  ThreadBuf* b = local_buf();
+  std::lock_guard<std::mutex> g(b->mu);
+  b->name = name;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bufs_.size();
+}
+
+std::size_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::size_t n = 0;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> bg(b->mu);
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(b->head, b->ring.size()));
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> bg(b->mu);
+    if (b->head > b->ring.size()) n += b->head - b->ring.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> bg(b->mu);
+    b->head = 0;
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> bg(b->mu);
+    if (!b->name.empty()) {
+      os << (first ? "" : ",")
+         << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << b->tid << ",\"args\":{\"name\":\"" << b->name << "\"}}";
+      first = false;
+    }
+    const std::uint64_t held =
+        std::min<std::uint64_t>(b->head, b->ring.size());
+    // Oldest first: when the ring wrapped, the oldest surviving event
+    // sits right after the write cursor.
+    const std::uint64_t start = b->head - held;
+    for (std::uint64_t i = 0; i < held; ++i) {
+      const TraceEvent& e = b->ring[(start + i) % b->ring.size()];
+      os << (first ? "" : ",");
+      first = false;
+      os << "{\"name\":\"" << event_name(e.kind) << "\",\"ph\":\""
+         << (e.dur_ns > 0 ? 'X' : 'i') << "\"";
+      if (e.dur_ns == 0) os << ",\"s\":\"t\"";
+      os << ",\"pid\":1,\"tid\":" << b->tid;
+      os << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0;
+      if (e.dur_ns > 0)
+        os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+      os << ",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1 << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::ostringstream ss;
+  write_chrome_trace(ss);
+  return ss.str();
+}
+
+}  // namespace curare::obs

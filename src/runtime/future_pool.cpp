@@ -2,13 +2,21 @@
 
 namespace curare::runtime {
 
-FuturePool::FuturePool(std::size_t workers) {
+FuturePool::FuturePool(std::size_t workers, obs::Recorder* rec)
+    : rec_(rec) {
   if (workers == 0) {
     workers = std::max(2u, std::thread::hardware_concurrency());
   }
+  if (rec_) {
+    spawned_ctr_ = &rec_->metrics.counter("future.spawned");
+    touches_ = &rec_->metrics.counter("future.touches");
+    touch_waits_ = &rec_->metrics.counter("future.touch_waits");
+    helped_ = &rec_->metrics.counter("future.helped");
+    wait_ns_ = &rec_->metrics.histogram("future.wait_ns");
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 FuturePool::~FuturePool() {
@@ -22,16 +30,23 @@ FuturePool::~FuturePool() {
 
 std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn) {
   auto state = std::make_shared<FutureState>();
+  const std::uint64_t id =
+      spawned_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> g(mu_);
-    queue_.push_back(Task{std::move(fn), state});
+    queue_.push_back(Task{std::move(fn), state, id});
   }
-  spawned_.fetch_add(1, std::memory_order_relaxed);
+  if (rec_) {
+    spawned_ctr_->add();
+    rec_->tracer.instant(obs::EventKind::kFutureSpawn, id);
+  }
   cv_.notify_one();
   return state;
 }
 
 void FuturePool::run_task(Task& t) {
+  std::uint64_t t0 = 0;
+  if (rec_) t0 = rec_->tracer.now_ns();
   Value v;
   std::exception_ptr err;
   try {
@@ -39,6 +54,7 @@ void FuturePool::run_task(Task& t) {
   } catch (...) {
     err = std::current_exception();
   }
+  if (rec_) rec_->tracer.span(obs::EventKind::kFutureRun, t0, t.id);
   {
     std::lock_guard<std::mutex> g(t.state->mu);
     t.state->value = v;
@@ -60,7 +76,11 @@ bool FuturePool::run_one_task() {
   return true;
 }
 
-void FuturePool::worker_loop() {
+void FuturePool::worker_loop(std::size_t worker_index) {
+  if (rec_) {
+    rec_->tracer.name_thread("future-worker-" +
+                             std::to_string(worker_index));
+  }
   for (;;) {
     Task t;
     {
@@ -75,25 +95,42 @@ void FuturePool::worker_loop() {
 }
 
 Value FuturePool::touch(const std::shared_ptr<FutureState>& f) {
+  if (rec_) touches_->add();
   // Help-first waiting: executing queued tasks while the target is
   // unresolved keeps a bounded pool deadlock-free even when futures
   // depend on queued futures.
+  bool waited = false;
+  std::uint64_t wait_start = 0, helped = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> g(f->mu);
+      if (!f->done && !waited && rec_) {
+        waited = true;
+        wait_start = rec_->tracer.now_ns();
+        touch_waits_->add();
+      }
       if (f->done) {
+        if (rec_ && waited) {
+          const std::uint64_t end = rec_->tracer.now_ns();
+          wait_ns_->observe(end > wait_start ? end - wait_start : 0);
+          helped_->add(helped);
+          rec_->tracer.emit(obs::EventKind::kFutureTouchWait, wait_start,
+                            end > wait_start ? end - wait_start : 0, 0,
+                            helped);
+        }
         if (f->error) std::rethrow_exception(f->error);
         return f->value;
       }
     }
-    if (!run_one_task()) {
+    if (run_one_task()) {
+      ++helped;
+    } else {
+      // Nothing left to help with: the target was already dequeued (a
+      // task is pushed exactly once, before it can resolve), so some
+      // thread is executing it and will notify f->cv on completion — a
+      // plain predicate wait, with no polling timeout, cannot miss it.
       std::unique_lock<std::mutex> g(f->mu);
-      f->cv.wait_for(g, std::chrono::milliseconds(1),
-                     [&] { return f->done; });
-      if (f->done) {
-        if (f->error) std::rethrow_exception(f->error);
-        return f->value;
-      }
+      f->cv.wait(g, [&] { return f->done; });
     }
   }
 }

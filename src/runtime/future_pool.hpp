@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::runtime {
@@ -46,8 +47,10 @@ struct FutureObj final : sexpr::Obj {
 
 class FuturePool {
  public:
-  /// Starts `workers` threads (hardware concurrency if 0).
-  explicit FuturePool(std::size_t workers = 0);
+  /// Starts `workers` threads (hardware concurrency if 0). A non-null
+  /// `rec` records spawn/run/touch-wait events and wait-time metrics.
+  explicit FuturePool(std::size_t workers = 0,
+                      obs::Recorder* rec = nullptr);
   ~FuturePool();
   FuturePool(const FuturePool&) = delete;
   FuturePool& operator=(const FuturePool&) = delete;
@@ -68,11 +71,12 @@ class FuturePool {
   struct Task {
     std::function<Value()> fn;
     std::shared_ptr<FutureState> state;
+    std::uint64_t id = 0;  ///< spawn ordinal, for trace correlation
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   bool run_one_task();
-  static void run_task(Task& t);
+  void run_task(Task& t);
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -80,6 +84,15 @@ class FuturePool {
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> spawned_{0};
+
+  obs::Recorder* rec_;
+  // Resolved once at construction so touch()/spawn() never pay the
+  // metrics-registry lookup.
+  obs::Counter* spawned_ctr_ = nullptr;
+  obs::Counter* touches_ = nullptr;
+  obs::Counter* touch_waits_ = nullptr;
+  obs::Counter* helped_ = nullptr;
+  obs::Histogram* wait_ns_ = nullptr;
 };
 
 }  // namespace curare::runtime

@@ -4,11 +4,30 @@
 
 namespace curare::runtime {
 
+void LockManager::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  if (rec == nullptr) {
+    acquisitions_ = contended_ = nullptr;
+    wait_ns_ = nullptr;
+    return;
+  }
+  acquisitions_ = &rec->metrics.counter("lock.acquisitions");
+  contended_ = &rec->metrics.counter("lock.contended");
+  wait_ns_ = &rec->metrics.histogram("lock.wait_ns");
+}
+
 void LockManager::lock(const LocKey& key, bool exclusive) {
   ops_.fetch_add(1, std::memory_order_relaxed);
+  if (rec_) acquisitions_->add();
   Shard& s = shard_for(key);
   std::unique_lock<std::mutex> g(s.mu);
   const auto self = std::this_thread::get_id();
+
+  // Contention accounting: stamp the wait start on the first failed
+  // attempt only, so a multi-wakeup wait counts once with its full span.
+  bool waited = false;
+  std::uint64_t wait_start = 0;
+  const std::uint64_t key_id = LocKeyHash{}(key);
 
   // unlock() erases entries whose counts reach zero, so references into
   // the map are only valid until the next wait: re-look-up after every
@@ -16,23 +35,42 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
   for (;;) {
     Entry& e = s.entries[key];  // creates a zero entry if absent
 
+    bool acquired = false;
     if (e.writer == self && e.writer_depth > 0) {
       // Reentrant hold (reads by the writer also land here so unlock
       // bookkeeping stays symmetric).
       ++e.writer_depth;
-      return;
-    }
-    if (exclusive) {
+      acquired = true;
+    } else if (exclusive) {
       if (e.readers == 0 && e.writer_depth == 0) {
         e.writer = self;
         e.writer_depth = 1;
-        return;
+        acquired = true;
       }
     } else {
       if (e.writer_depth == 0) {
         ++e.readers;
-        return;
+        acquired = true;
       }
+    }
+    if (acquired) {
+      if (rec_) {
+        if (waited) {
+          const std::uint64_t end = rec_->tracer.now_ns();
+          wait_ns_->observe(end > wait_start ? end - wait_start : 0);
+          rec_->tracer.emit(obs::EventKind::kLockWait, wait_start,
+                            end > wait_start ? end - wait_start : 0,
+                            key_id, exclusive);
+        }
+        rec_->tracer.instant(obs::EventKind::kLockAcquire, key_id,
+                             exclusive);
+      }
+      return;
+    }
+    if (rec_ && !waited) {
+      waited = true;
+      wait_start = rec_->tracer.now_ns();
+      contended_->add();
     }
     s.cv.wait(g);
   }
@@ -40,6 +78,10 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
 
 void LockManager::unlock(const LocKey& key, bool exclusive) {
   ops_.fetch_add(1, std::memory_order_relaxed);
+  if (rec_) {
+    rec_->tracer.instant(obs::EventKind::kLockRelease, LocKeyHash{}(key),
+                         exclusive);
+  }
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> g(s.mu);
   auto it = s.entries.find(key);

@@ -30,6 +30,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::runtime {
@@ -59,6 +60,13 @@ class LockManager {
 
   void lock(const LocKey& key, bool exclusive);
   void unlock(const LocKey& key, bool exclusive);
+
+  /// Attach an observability recorder (§3.2.1's lock-cost question made
+  /// measurable: acquisition counts, contention counts, wait-time
+  /// histograms, plus wait/acquire/release trace events). Pass nullptr
+  /// to detach. Call before concurrent use — not thread-safe against
+  /// in-flight lock()/unlock().
+  void set_recorder(obs::Recorder* rec);
 
   /// Number of lock/unlock operations served (for benchmarks).
   std::uint64_t operations() const {
@@ -92,6 +100,13 @@ class LockManager {
 
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> ops_{0};
+
+  // Resolved once in set_recorder so lock() never touches the metrics
+  // registry's mutex.
+  obs::Recorder* rec_ = nullptr;
+  obs::Counter* acquisitions_ = nullptr;
+  obs::Counter* contended_ = nullptr;
+  obs::Histogram* wait_ns_ = nullptr;
 };
 
 }  // namespace curare::runtime

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "lisp/function.hpp"
 #include "sexpr/printer.hpp"
 
 namespace curare::runtime {
@@ -43,11 +44,24 @@ LocKey cell_key(Value cell, Value field) {
 }  // namespace
 
 Runtime::Runtime(Interp& interp, std::size_t workers)
-    : interp_(interp), futures_(workers) {}
+    : interp_(interp), futures_(workers, &recorder_) {
+  locks_.set_recorder(&recorder_);
+}
 
 CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
-                          std::size_t servers, TaskArgs initial_args) {
-  CriRun run(interp_, fn, num_sites, servers);
+                          std::size_t servers, TaskArgs initial_args,
+                          std::string label) {
+  if (label.empty()) {
+    // Name the speedup-report row after the server function when it has
+    // a printable name.
+    if (fn.is(Kind::Symbol)) {
+      label = as_symbol(fn)->name;
+    } else if (fn.is(Kind::Closure)) {
+      label = static_cast<lisp::Closure*>(fn.obj())->name;
+    }
+  }
+  CriRun run(interp_, fn, num_sites, servers, &recorder_,
+             std::move(label));
   last_stats_ = run.run(std::move(initial_args));
   return last_stats_;
 }

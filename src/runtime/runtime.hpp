@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "lisp/interp.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/future_pool.hpp"
 #include "runtime/lock_manager.hpp"
 #include "runtime/server_pool.hpp"
@@ -38,9 +39,17 @@ class Runtime {
   LockManager& locks() { return locks_; }
   FuturePool& futures() { return futures_; }
 
-  /// Run a transformed server-body function under a CRI pool.
+  /// The observability bundle every component reports into: tracer
+  /// (off by default — obs().tracer.set_enabled(true) to record),
+  /// metrics registry, and the measured-vs-predicted speedup report.
+  obs::Recorder& obs() { return recorder_; }
+  const obs::Recorder& obs() const { return recorder_; }
+
+  /// Run a transformed server-body function under a CRI pool. `label`
+  /// names the run in the speedup report (§4.1 T(S) comparison).
   CriStats run_cri(sexpr::Value fn, std::size_t num_sites,
-                   std::size_t servers, TaskArgs initial_args);
+                   std::size_t servers, TaskArgs initial_args,
+                   std::string label = {});
 
   const CriStats& last_cri_stats() const { return last_stats_; }
 
@@ -50,6 +59,7 @@ class Runtime {
 
  private:
   lisp::Interp& interp_;
+  obs::Recorder recorder_;  ///< before locks_/futures_: they point at it
   LockManager locks_;
   FuturePool futures_;
   CriStats last_stats_;

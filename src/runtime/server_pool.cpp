@@ -6,6 +6,11 @@ namespace curare::runtime {
 
 namespace {
 thread_local CriRun* g_current_run = nullptr;
+// Timestamp (Tracer::now_ns) of the serving thread's most recent
+// %cri-enqueue inside the current task body; 0 between tasks. This is
+// the head/tail boundary: the paper's head H ends at the last recursive
+// call the invocation issues.
+thread_local std::uint64_t g_last_enqueue_ns = 0;
 
 struct CurrentRunGuard {
   explicit CurrentRunGuard(CriRun* r) : prev(g_current_run) {
@@ -19,15 +24,32 @@ struct CurrentRunGuard {
 CriRun* CriRun::current() { return g_current_run; }
 
 CriRun::CriRun(lisp::Interp& interp, sexpr::Value fn,
-               std::size_t num_sites, std::size_t servers)
+               std::size_t num_sites, std::size_t servers,
+               obs::Recorder* rec, std::string label)
     : interp_(interp),
       fn_(fn),
       queues_(num_sites),
-      servers_(servers == 0 ? 1 : servers) {}
+      servers_(servers == 0 ? 1 : servers),
+      rec_(rec),
+      label_(std::move(label)) {
+  if (rec_) {
+    qdepth_ = &rec_->metrics.histogram(
+        "cri.queue_depth", obs::Histogram::default_depth_bounds());
+  }
+  busy_ns_.assign(servers_, 0);
+  idle_ns_.assign(servers_, 0);
+  tasks_per_server_.assign(servers_, 0);
+}
 
 void CriRun::enqueue(std::size_t site, TaskArgs args) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  queues_.push(site, std::move(args));
+  const std::size_t depth = queues_.push(site, std::move(args));
+  if (rec_) {
+    g_last_enqueue_ns = rec_->tracer.now_ns();
+    enqueues_.fetch_add(1, std::memory_order_relaxed);
+    qdepth_->observe(depth);
+    rec_->tracer.instant(obs::EventKind::kTaskEnqueue, site, depth);
+  }
 }
 
 void CriRun::finish(sexpr::Value result) {
@@ -37,13 +59,36 @@ void CriRun::finish(sexpr::Value result) {
     finished_early_ = true;
     result_ = result;
   }
+  if (rec_) rec_->tracer.instant(obs::EventKind::kEarlyFinish);
   queues_.close();  // kill tokens for every server
 }
 
-void CriRun::serve() {
+void CriRun::serve(std::size_t server_index) {
   CurrentRunGuard guard(this);
-  while (auto task = queues_.pop()) {
-    invocations_.fetch_add(1, std::memory_order_relaxed);
+  if (rec_) {
+    rec_->tracer.name_thread("cri-server-" +
+                             std::to_string(server_index));
+  }
+  std::uint64_t busy = 0, idle = 0, tasks = 0;
+  // One timestamp carries across loop iterations: the end of a task is
+  // the start of the next wait, so the steady state costs two clock
+  // reads per task, not three.
+  std::uint64_t t_wait = rec_ ? rec_->tracer.now_ns() : 0;
+  for (;;) {
+    std::size_t site = 0;
+    auto task = queues_.pop(&site);
+    std::uint64_t t0 = 0;
+    if (rec_) {
+      t0 = rec_->tracer.now_ns();
+      idle += t0 - t_wait;
+      rec_->tracer.emit(obs::EventKind::kServerIdle, t_wait, t0 - t_wait,
+                        server_index);
+    }
+    if (!task) break;
+
+    const std::uint64_t inv =
+        invocations_.fetch_add(1, std::memory_order_relaxed);
+    g_last_enqueue_ns = 0;
     try {
       interp_.apply(fn_, *task);
     } catch (...) {
@@ -52,23 +97,47 @@ void CriRun::serve() {
         if (!first_error_) first_error_ = std::current_exception();
       }
       queues_.close();
-      return;
+      break;
+    }
+    if (rec_) {
+      const std::uint64_t t1 = rec_->tracer.now_ns();
+      busy += t1 - t0;
+      ++tasks;
+      // Head runs until the last enqueue this invocation issued; a
+      // base case (no enqueue) is pure head.
+      const std::uint64_t head_end =
+          (g_last_enqueue_ns > t0 && g_last_enqueue_ns < t1)
+              ? g_last_enqueue_ns
+              : t1;
+      head_ns_.fetch_add(head_end - t0, std::memory_order_relaxed);
+      tail_ns_.fetch_add(t1 - head_end, std::memory_order_relaxed);
+      rec_->tracer.emit(obs::EventKind::kTaskRun, t0, t1 - t0,
+                        server_index, inv);
+      t_wait = t1;
     }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // This invocation finished the recursion: kill the servers.
       queues_.close();
     }
   }
+  if (rec_) {
+    busy_ns_[server_index] = busy;
+    idle_ns_[server_index] = idle;
+    tasks_per_server_[server_index] = tasks;
+  }
 }
 
 CriStats CriRun::run(TaskArgs initial_args) {
+  std::uint64_t t_start = 0;
+  if (rec_) t_start = rec_->tracer.now_ns();
+
   pending_.store(1, std::memory_order_relaxed);
   queues_.push(0, std::move(initial_args));
 
   std::vector<std::thread> threads;
   threads.reserve(servers_);
   for (std::size_t i = 0; i < servers_; ++i)
-    threads.emplace_back([this] { serve(); });
+    threads.emplace_back([this, i] { serve(i); });
   for (std::thread& t : threads) t.join();
 
   if (first_error_) std::rethrow_exception(first_error_);
@@ -81,6 +150,34 @@ CriStats CriRun::run(TaskArgs initial_args) {
     std::lock_guard<std::mutex> g(result_mu_);
     stats.result = result_;
     stats.finished_early = finished_early_;
+  }
+  if (rec_) {
+    stats.wall_ns = rec_->tracer.now_ns() - t_start;
+    stats.enqueues = enqueues_.load(std::memory_order_relaxed);
+    stats.head_ns = head_ns_.load(std::memory_order_relaxed);
+    stats.tail_ns = tail_ns_.load(std::memory_order_relaxed);
+    stats.busy_ns = busy_ns_;
+    stats.idle_ns = idle_ns_;
+    stats.tasks_per_server = tasks_per_server_;
+
+    obs::Metrics& m = rec_->metrics;
+    m.counter("cri.invocations").add(stats.invocations);
+    m.counter("cri.enqueues").add(stats.enqueues);
+    m.counter("cri.head_ns").add(stats.head_ns);
+    m.counter("cri.tail_ns").add(stats.tail_ns);
+    m.counter("cri.busy_ns").add(stats.busy_ns_total());
+    m.counter("cri.idle_ns").add(stats.idle_ns_total());
+
+    obs::MeasuredRun mr;
+    mr.label = label_;
+    mr.servers = stats.servers;
+    mr.invocations = stats.invocations;
+    mr.wall_ns = stats.wall_ns;
+    mr.head_ns = stats.head_ns;
+    mr.tail_ns = stats.tail_ns;
+    mr.busy_ns = stats.busy_ns_total();
+    mr.idle_ns = stats.idle_ns_total();
+    rec_->speedup.add(std::move(mr));
   }
   return stats;
 }

@@ -22,9 +22,13 @@
 #pragma once
 
 #include <atomic>
+#include <numeric>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "lisp/interp.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/task_queue.hpp"
 
 namespace curare::runtime {
@@ -37,15 +41,47 @@ struct CriStats {
   /// nil when the recursion ran to completion.
   sexpr::Value result;
   bool finished_early = false;
+
+  // ---- measured aggregates (filled when a Recorder is attached) ----
+  std::uint64_t wall_ns = 0;      ///< run() start → all servers joined
+  std::uint64_t enqueues = 0;     ///< %cri-enqueue calls (excl. initial)
+  /// Σ over invocations of measured head time (task begin → last
+  /// enqueue) and tail time (last enqueue → task end). A base case with
+  /// no enqueue is all head — the paper's H contains everything not
+  /// dominated by a recursive call.
+  std::uint64_t head_ns = 0;
+  std::uint64_t tail_ns = 0;
+  /// Per-server time inside task bodies / blocked in pop().
+  std::vector<std::uint64_t> busy_ns;
+  std::vector<std::uint64_t> idle_ns;
+  std::vector<std::uint64_t> tasks_per_server;
+
+  std::uint64_t busy_ns_total() const {
+    return std::accumulate(busy_ns.begin(), busy_ns.end(),
+                           std::uint64_t{0});
+  }
+  std::uint64_t idle_ns_total() const {
+    return std::accumulate(idle_ns.begin(), idle_ns.end(),
+                           std::uint64_t{0});
+  }
+  /// Fraction of server-thread time spent inside task bodies.
+  double utilization() const {
+    const double busy = static_cast<double>(busy_ns_total());
+    const double occ = busy + static_cast<double>(idle_ns_total());
+    return occ > 0 ? busy / occ : 0.0;
+  }
 };
 
 class CriRun {
  public:
   /// `fn` is the transformed server-body function (a Closure value);
   /// `num_sites` the number of recursive call sites it enqueues to;
-  /// `servers` the number of server threads S.
+  /// `servers` the number of server threads S. A non-null `rec` turns
+  /// on per-invocation timing, metrics, trace events, and a
+  /// SpeedupReport entry labelled `label`.
   CriRun(lisp::Interp& interp, sexpr::Value fn, std::size_t num_sites,
-         std::size_t servers);
+         std::size_t servers, obs::Recorder* rec = nullptr,
+         std::string label = {});
 
   /// Execute the recursion started by `initial_args` to completion.
   /// Blocks; rethrows the first body error. Returns the statistics.
@@ -65,7 +101,7 @@ class CriRun {
   static CriRun* current();
 
  private:
-  void serve();
+  void serve(std::size_t server_index);
 
   lisp::Interp& interp_;
   sexpr::Value fn_;
@@ -73,6 +109,18 @@ class CriRun {
   std::size_t servers_;
   std::atomic<std::int64_t> pending_{0};
   std::atomic<std::uint64_t> invocations_{0};
+
+  obs::Recorder* rec_;
+  obs::Histogram* qdepth_ = nullptr;  ///< resolved once, hit per enqueue
+  std::string label_;
+  std::atomic<std::uint64_t> enqueues_{0};
+  std::atomic<std::uint64_t> head_ns_{0};
+  std::atomic<std::uint64_t> tail_ns_{0};
+  // Indexed by server; each slot written only by its own thread, read
+  // after join.
+  std::vector<std::uint64_t> busy_ns_;
+  std::vector<std::uint64_t> idle_ns_;
+  std::vector<std::uint64_t> tasks_per_server_;
 
   std::mutex err_mu_;
   std::exception_ptr first_error_;

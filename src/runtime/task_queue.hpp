@@ -29,29 +29,35 @@ class OrderedTaskQueues {
   explicit OrderedTaskQueues(std::size_t num_sites)
       : queues_(num_sites == 0 ? 1 : num_sites) {}
 
-  /// Enqueue an invocation's arguments at a call site's queue.
-  void push(std::size_t site, TaskArgs args) {
+  /// Enqueue an invocation's arguments at a call site's queue. Returns
+  /// the total queued depth after the push (an observability sample —
+  /// §4.1's queue-growth discussion made measurable).
+  std::size_t push(std::size_t site, TaskArgs args) {
+    std::size_t total = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
       if (site >= queues_.size())
         throw sexpr::LispError("cri: call-site index out of range");
       queues_[site].push_back(std::move(args));
-      std::size_t total = 0;
       for (const auto& q : queues_) total += q.size();
       if (total > max_len_) max_len_ = total;
     }
     cv_.notify_one();
+    return total;
   }
 
   /// Block for the next task (lowest-index site first); nullopt when the
-  /// queues are closed and empty — the kill token.
-  std::optional<TaskArgs> pop() {
+  /// queues are closed and empty — the kill token. When `site_out` is
+  /// non-null it receives the call-site index the task came from.
+  std::optional<TaskArgs> pop(std::size_t* site_out = nullptr) {
     std::unique_lock<std::mutex> g(mu_);
     for (;;) {
-      for (auto& q : queues_) {
+      for (std::size_t i = 0; i < queues_.size(); ++i) {
+        auto& q = queues_[i];
         if (!q.empty()) {
           TaskArgs t = std::move(q.front());
           q.pop_front();
+          if (site_out) *site_out = i;
           return t;
         }
       }

@@ -1,0 +1,118 @@
+// Metrics registry tests: counters/gauges/histograms, concurrent
+// updates, bucket placement, quantiles, and export shape.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace curare::obs {
+namespace {
+
+TEST(MetricsTest, CounterNamesAreStableIdentities) {
+  Metrics m;
+  Counter& a = m.counter("x");
+  Counter& b = m.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(m.counter("x").get(), 4u);
+  EXPECT_EQ(m.counter("y").get(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterAddsAreLossless) {
+  Metrics m;
+  Counter& c = m.counter("hits");
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> ths;
+  for (int i = 0; i < kThreads; ++i)
+    ths.emplace_back([&c] {
+      for (int j = 0; j < kAdds; ++j) c.add();
+    });
+  for (auto& t : ths) t.join();
+  EXPECT_EQ(c.get(), static_cast<std::uint64_t>(kThreads * kAdds));
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Metrics m;
+  Gauge& g = m.gauge("depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.get(), 7);
+}
+
+TEST(HistogramTest, BucketPlacementAndStats) {
+  Histogram h({10, 100, 1000});
+  h.observe(5);     // bucket 0 (≤10)
+  h.observe(10);    // bucket 0 (bound inclusive)
+  h.observe(50);    // bucket 1
+  h.observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5065u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5065.0 / 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsDefined) {
+  Histogram h({10});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBounded) {
+  Histogram h(Histogram::default_ns_bounds());
+  for (std::uint64_t v = 1; v <= 100000; v += 7) h.observe(v * 100);
+  const double p10 = h.quantile(0.10);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  EXPECT_GE(p10, static_cast<double>(h.min()));
+}
+
+TEST(HistogramTest, ConcurrentObserveKeepsCountAndSum) {
+  Histogram h(Histogram::default_ns_bounds());
+  constexpr int kThreads = 8, kObs = 5000;
+  std::vector<std::thread> ths;
+  for (int i = 0; i < kThreads; ++i)
+    ths.emplace_back([&h, i] {
+      for (int j = 1; j <= kObs; ++j)
+        h.observe(static_cast<std::uint64_t>(i * kObs + j));
+    });
+  for (auto& t : ths) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kObs));
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.num_buckets(); ++i)
+    bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads * kObs));
+}
+
+TEST(MetricsTest, ExportContainsEveryInstrument) {
+  Metrics m;
+  m.counter("c.one").add(5);
+  m.gauge("g.two").set(-3);
+  m.histogram("h.three").observe(1234);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("c.one = 5"), std::string::npos);
+  EXPECT_NE(text.find("g.two = -3"), std::string::npos);
+  EXPECT_NE(text.find("h.three: count=1"), std::string::npos);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\":{\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace curare::obs

@@ -1,0 +1,113 @@
+// SpeedupReport tests: the §4.1 model columns computed from measured
+// runs, error behavior, and the JSON/ table exports.
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/scheduler.hpp"
+
+namespace curare::obs {
+namespace {
+
+MeasuredRun make_run(std::size_t servers, std::uint64_t d,
+                     std::uint64_t h_ns, std::uint64_t t_ns) {
+  MeasuredRun r;
+  r.label = "walk$cri";
+  r.servers = servers;
+  r.invocations = d;
+  r.head_ns = h_ns * d;
+  r.tail_ns = t_ns * d;
+  // Wall time exactly at the model's prediction → error ≈ 0.
+  r.wall_ns = static_cast<std::uint64_t>(runtime::predicted_time(
+      static_cast<double>(servers), static_cast<double>(d),
+      static_cast<double>(h_ns), static_cast<double>(t_ns)));
+  r.busy_ns = r.head_ns + r.tail_ns;
+  r.idle_ns = servers * r.wall_ns - r.busy_ns;
+  return r;
+}
+
+TEST(SpeedupReportTest, PerfectRunHasZeroError) {
+  SpeedupReport rep;
+  rep.add(make_run(4, 1000, 100, 900));
+  const auto rows = rep.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_h_ns, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean_t_ns, 900.0);
+  EXPECT_NEAR(rows[0].error_pct, 0.0, 0.01);
+  // S* = sqrt(d(h+t)/h) = sqrt(1000*1000/100) = 100.
+  EXPECT_NEAR(rows[0].s_star, 100.0, 0.01);
+  EXPECT_GT(rows[0].utilization, 0.0);
+  EXPECT_LE(rows[0].utilization, 1.0);
+}
+
+TEST(SpeedupReportTest, SlowRunHasPositiveError) {
+  SpeedupReport rep;
+  MeasuredRun r = make_run(2, 500, 50, 450);
+  r.wall_ns *= 2;  // twice as slow as the model
+  rep.add(r);
+  EXPECT_NEAR(rep.rows()[0].error_pct, 100.0, 0.5);
+}
+
+TEST(SpeedupReportTest, PredictionMatchesSchedulerHeader) {
+  SpeedupReport rep;
+  rep.add(make_run(8, 512, 20, 380));
+  const double expected =
+      runtime::predicted_time(8, 512, 20, 380);
+  EXPECT_NEAR(rep.rows()[0].predicted_ns, expected, 1e-6);
+}
+
+TEST(SpeedupReportTest, TableListsEveryRunAndFormula) {
+  SpeedupReport rep;
+  rep.add(make_run(1, 100, 10, 90));
+  rep.add(make_run(4, 100, 10, 90));
+  const std::string t = rep.table();
+  EXPECT_NE(t.find("walk$cri"), std::string::npos);
+  EXPECT_NE(t.find("T_pred"), std::string::npos);
+  EXPECT_NE(t.find("S*"), std::string::npos);
+  // Both rows present: S column values 1 and 4.
+  EXPECT_NE(t.find("    1"), std::string::npos);
+  EXPECT_NE(t.find("    4"), std::string::npos);
+}
+
+TEST(SpeedupReportTest, EmptyReportPrintsGracefully) {
+  SpeedupReport rep;
+  EXPECT_NE(rep.table().find("no CRI runs"), std::string::npos);
+  EXPECT_EQ(rep.json_lines(), "");
+}
+
+TEST(SpeedupReportTest, JsonLinesOnePerRun) {
+  SpeedupReport rep;
+  rep.add(make_run(2, 64, 5, 45));
+  rep.add(make_run(4, 64, 5, 45));
+  const std::string j = rep.json_lines();
+  EXPECT_EQ(std::count(j.begin(), j.end(), '\n'), 2);
+  EXPECT_NE(j.find("\"servers\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"servers\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"predicted_ns\":"), std::string::npos);
+}
+
+TEST(SpeedupReportTest, BaseCaseOnlyRunStaysDefined) {
+  SpeedupReport rep;
+  MeasuredRun r;
+  r.servers = 2;
+  r.invocations = 0;  // nothing ran
+  r.wall_ns = 1000;
+  rep.add(r);
+  const auto rows = rep.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].predicted_ns, 0.0);  // no div-by-zero, no NaN
+  EXPECT_EQ(rows[0].utilization, 0.0);
+}
+
+TEST(SpeedupReportTest, ClearEmpties) {
+  SpeedupReport rep;
+  rep.add(make_run(1, 10, 1, 9));
+  EXPECT_EQ(rep.size(), 1u);
+  rep.clear();
+  EXPECT_EQ(rep.size(), 0u);
+}
+
+}  // namespace
+}  // namespace curare::obs

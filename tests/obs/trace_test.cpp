@@ -1,0 +1,223 @@
+// Tracer tests: ring-buffer overflow, concurrent emit, disabled no-op,
+// and well-formedness of the Chrome trace-event JSON export.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace curare::obs {
+namespace {
+
+// ---- a minimal JSON validity checker ---------------------------------
+// Recursive-descent parse of the full JSON grammar; returns false on
+// the first syntax error. Enough to prove the exporter emits something
+// chrome://tracing's (strict) JSON parser will accept.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    return value() && (skip_ws(), pos_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // {
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // [
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (isdigit(peek())) ++pos_;
+    if (peek() == '.') { ++pos_; while (isdigit(peek())) ++pos_; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (isdigit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  static bool isdigit(char c) { return c >= '0' && c <= '9'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  std::string good = R"({"a":[1,2.5,-3e2,"x\"y",true,null],"b":{}})";
+  std::string bad1 = R"({"a":[1,)";
+  std::string bad2 = R"({"a" 1})";
+  EXPECT_TRUE(JsonChecker(good).valid());
+  EXPECT_FALSE(JsonChecker(bad1).valid());
+  EXPECT_FALSE(JsonChecker(bad2).valid());
+}
+
+TEST(TracerTest, DisabledEmitsNothing) {
+  Tracer t(64);
+  t.emit(EventKind::kTaskRun, 1, 2);
+  t.instant(EventKind::kLockAcquire);
+  EXPECT_EQ(t.events_recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, RecordsWhenEnabled) {
+  Tracer t(64);
+  t.set_enabled(true);
+  t.instant(EventKind::kLockAcquire, 7, 1);
+  t.emit(EventKind::kTaskRun, 10, 5, 0, 42);
+  EXPECT_EQ(t.events_recorded(), 2u);
+  EXPECT_EQ(t.thread_count(), 1u);
+}
+
+TEST(TracerTest, OverflowKeepsMostRecentAndCountsDrops) {
+  constexpr std::size_t kCap = 16;
+  Tracer t(kCap);
+  t.set_enabled(true);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    t.emit(EventKind::kTaskRun, i, 1, i);
+  EXPECT_EQ(t.events_recorded(), kCap);
+  EXPECT_EQ(t.dropped(), 100u - kCap);
+  // The survivors are the newest events: a0 in [84, 100).
+  const std::string json = t.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json.find("\"a0\":83"), std::string::npos);
+  EXPECT_NE(json.find("\"a0\":84"), std::string::npos);
+  EXPECT_NE(json.find("\"a0\":99"), std::string::npos);
+}
+
+TEST(TracerTest, ConcurrentEmitFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  Tracer t(4096);
+  t.set_enabled(true);
+  std::vector<std::thread> ths;
+  for (int i = 0; i < kThreads; ++i) {
+    ths.emplace_back([&t, i] {
+      t.name_thread("worker-" + std::to_string(i));
+      for (int j = 0; j < kPerThread; ++j)
+        t.instant(EventKind::kTaskEnqueue,
+                  static_cast<std::uint64_t>(i),
+                  static_cast<std::uint64_t>(j));
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_EQ(t.thread_count(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(t.events_recorded(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.dropped(), 0u);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // Every thread is present and named.
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_NE(json.find("worker-" + std::to_string(i)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":" + std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+TEST(TracerTest, SpanAndInstantPhases) {
+  Tracer t(64);
+  t.set_enabled(true);
+  const auto t0 = t.now_ns();
+  t.span(EventKind::kLockWait, t0, 1, 1);   // dur may round to 0 — ok
+  t.emit(EventKind::kTaskRun, 0, 500, 0, 0);  // explicit span
+  t.instant(EventKind::kFutureSpawn, 3);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"future-spawn\""), std::string::npos);
+}
+
+TEST(TracerTest, ClearResetsRings) {
+  Tracer t(64);
+  t.set_enabled(true);
+  t.instant(EventKind::kTaskRun);
+  EXPECT_EQ(t.events_recorded(), 1u);
+  t.clear();
+  EXPECT_EQ(t.events_recorded(), 0u);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(TracerTest, TwoTracersOnOneThreadStayIndependent) {
+  Tracer a(64), b(64);
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.instant(EventKind::kTaskRun);
+  a.instant(EventKind::kTaskRun);
+  b.instant(EventKind::kLockAcquire);
+  EXPECT_EQ(a.events_recorded(), 2u);
+  EXPECT_EQ(b.events_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace curare::obs

@@ -77,6 +77,52 @@ TEST(FuturePool, SpawnCountTracks) {
   EXPECT_EQ(pool.spawned(), 2u);
 }
 
+TEST(FuturePool, RecorderCountsSpawnsAndWaits) {
+  obs::Recorder rec;
+  FuturePool pool(2, &rec);
+  auto slow = pool.spawn([]() -> Value {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return Value::fixnum(1);
+  });
+  auto fast = pool.spawn([] { return Value::fixnum(2); });
+  EXPECT_EQ(pool.touch(slow).as_fixnum(), 1);
+  EXPECT_EQ(pool.touch(fast).as_fixnum(), 2);
+  EXPECT_EQ(rec.metrics.counter("future.spawned").get(), 2u);
+  EXPECT_EQ(rec.metrics.counter("future.touches").get(), 2u);
+  // The slow touch blocked; its wait time was recorded (this histogram
+  // is the proof the old 1ms poll loop is gone — a poll would burn CPU,
+  // a blocked predicate wait records one span covering the whole wait).
+  EXPECT_GE(rec.metrics.counter("future.touch_waits").get(), 1u);
+  EXPECT_EQ(rec.metrics.histogram("future.wait_ns").count(),
+            rec.metrics.counter("future.touch_waits").get());
+  EXPECT_GE(rec.metrics.histogram("future.wait_ns").max(), 5'000'000u);
+}
+
+TEST(FuturePool, ResolvedTouchNeverCountsAsWait) {
+  obs::Recorder rec;
+  FuturePool pool(2, &rec);
+  auto f = pool.spawn([] { return Value::fixnum(3); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(pool.touch(f).as_fixnum(), 3);
+  EXPECT_EQ(rec.metrics.counter("future.touch_waits").get(), 0u);
+  EXPECT_EQ(rec.metrics.histogram("future.wait_ns").count(), 0u);
+}
+
+TEST(FuturePool, HelpedCounterTracksInlineRuns) {
+  obs::Recorder rec;
+  // One worker busy on a slow task; touching a queued future forces the
+  // caller to help-run it inline.
+  FuturePool pool(1, &rec);
+  auto slow = pool.spawn([]() -> Value {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return Value::nil();
+  });
+  auto queued = pool.spawn([] { return Value::fixnum(9); });
+  EXPECT_EQ(pool.touch(queued).as_fixnum(), 9);
+  EXPECT_GE(rec.metrics.counter("future.helped").get(), 1u);
+  pool.touch(slow);
+}
+
 TEST(FuturePool, ParallelExecutionActuallyOverlaps) {
   FuturePool pool(4);
   std::atomic<int> running{0};

@@ -82,6 +82,40 @@ TEST_F(ServerPoolTest, ServerCountOneIsSequential) {
       << "one server preserves sequential order exactly";
 }
 
+TEST_F(ServerPoolTest, StatsCarryMeasuredAggregates) {
+  run_src("(defun m-cri (l) (when l (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("m-cri");
+  Value list = sexpr::read_one(ctx, "(1 2 3 4 5 6 7 8 9 10)");
+  CriStats stats = rt.run_cri(fn, 1, 3, {list});
+
+  EXPECT_EQ(stats.invocations, 11u);
+  EXPECT_EQ(stats.enqueues, 10u) << "one enqueue per non-nil element";
+  EXPECT_GT(stats.wall_ns, 0u);
+  ASSERT_EQ(stats.busy_ns.size(), stats.servers);
+  ASSERT_EQ(stats.idle_ns.size(), stats.servers);
+  ASSERT_EQ(stats.tasks_per_server.size(), stats.servers);
+  std::uint64_t tasks = 0;
+  for (std::uint64_t n : stats.tasks_per_server) tasks += n;
+  EXPECT_EQ(tasks, stats.invocations) << "every task ran on some server";
+  EXPECT_GT(stats.busy_ns_total(), 0u);
+  EXPECT_LE(stats.head_ns + stats.tail_ns, stats.busy_ns_total())
+      << "head/tail split partitions (a subset of) body time";
+  EXPECT_GT(stats.utilization(), 0.0);
+  EXPECT_LE(stats.utilization(), 1.0);
+}
+
+TEST_F(ServerPoolTest, BareCriRunWithoutRecorderStillWorks) {
+  // Direct CriRun construction (no Recorder): the old zero-overhead
+  // path — measured aggregates stay empty, counts stay exact.
+  run_src("(defun b-cri (l) (when l (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("b-cri");
+  CriRun run(in, fn, 1, 2);
+  CriStats stats = run.run({sexpr::read_one(ctx, "(1 2 3)")});
+  EXPECT_EQ(stats.invocations, 4u);
+  EXPECT_EQ(stats.wall_ns, 0u);
+  EXPECT_EQ(stats.head_ns, 0u);
+}
+
 TEST_F(ServerPoolTest, ErrorsInBodyPropagate) {
   run_src("(defun bad-cri (l) (error \"boom\"))");
   Value fn = in.global("bad-cri");

@@ -1,16 +1,26 @@
 // curare — command-line front end to the restructurer.
 //
-//   curare program.lisp          batch: load, analyze & transform every
+//   curare [opts] program.lisp   batch: load, analyze & transform every
 //                                recursive defun, print the report and
-//                                the restructured program
-//   curare -e "(…)"              evaluate one form and print the result
-//   curare                       interactive REPL with commands:
+//                                the restructured program (top-level
+//                                forms run, so %cri-run calls execute)
+//   curare [opts] -e "(…)"       evaluate one form and print the result
+//   curare [opts]                interactive REPL with commands:
 //                                  :analyze NAME     §2/§3 analysis report
 //                                  :transform NAME   restructure NAME
 //                                  :par S (NAME a…)  run transformed NAME
 //                                  :sapp EXPR        SAPP check a value
+//                                  :stats            metrics + measured-
+//                                                    vs-predicted T(S)
+//                                  :trace FILE       dump trace JSON
 //                                  :quit
 //                                anything else is evaluated as Lisp.
+// Options:
+//   --trace FILE   record runtime events (locks, tasks, futures) and
+//                  write a Chrome trace-event JSON to FILE on exit —
+//                  open it in Perfetto or chrome://tracing
+//   --stats        print the metrics registry and the §4.1 measured-
+//                  vs-predicted server-allocation table on exit
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +29,7 @@
 
 #include "curare/curare.hpp"
 #include "curare/struct_sapp.hpp"
+#include "obs/recorder.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
@@ -55,6 +66,22 @@ void batch_transform_all(Curare& cur, const std::string& source) {
       std::printf("%s\n", curare::sexpr::write_str(f).c_str());
     std::printf("\n");
   }
+}
+
+bool write_trace_file(const curare::obs::Recorder& rec,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  rec.tracer.write_chrome_trace(out);
+  std::fprintf(stderr,
+               "trace: %zu event(s) from %zu thread(s) → %s "
+               "(open in Perfetto / chrome://tracing)\n",
+               rec.tracer.events_recorded(), rec.tracer.thread_count(),
+               path.c_str());
+  return true;
 }
 
 int repl(Curare& cur) {
@@ -99,9 +126,17 @@ int repl(Curare& cur) {
                     r.holds ? "SAPP holds" : "SAPP violated",
                     r.instances, r.violation.empty() ? "" : ": ",
                     r.violation.c_str());
+      } else if (line == ":stats") {
+        std::printf("%s",
+                    curare::obs::full_report(cur.runtime().obs()).c_str());
+      } else if (line.rfind(":trace ", 0) == 0) {
+        // Dumps what the ring buffers currently hold; recording must
+        // have been enabled (run the CLI with --trace, which also
+        // writes a final dump on exit).
+        write_trace_file(cur.runtime().obs(), line.substr(7));
       } else if (line[0] == ':') {
         std::printf("unknown command; try :analyze :transform :par "
-                    ":sapp :quit\n");
+                    ":sapp :stats :trace :quit\n");
       } else {
         // Plain Lisp. Loading through the driver keeps defuns known to
         // the transformer.
@@ -120,39 +155,86 @@ int repl(Curare& cur) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  curare::sexpr::Ctx ctx;
-  Curare cur(ctx);
-  cur.interp().set_echo(false);
+  std::string trace_path;
+  bool stats = false;
+  std::string eval_expr;
+  bool have_eval = false;
+  std::string file;
 
-  if (argc >= 3 && std::string(argv[1]) == "-e") {
-    try {
-      Value v = cur.interp().eval_program(argv[2]);
-      std::string out = cur.interp().take_output();
-      if (!out.empty()) std::printf("%s", out.c_str());
-      std::printf("%s\n", curare::sexpr::write_str(v).c_str());
-      return 0;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" || arg == "-e") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
+        return 2;
+      }
+      if (arg == "--trace") {
+        trace_path = argv[++i];
+      } else {
+        eval_expr = argv[++i];
+        have_eval = true;
+      }
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "unknown option %s\nusage: curare [--trace out.json] "
+                   "[--stats] [-e EXPR | program.lisp]\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      file = arg;
     }
   }
 
-  if (argc >= 2) {
-    std::ifstream in(argv[1]);
+  curare::sexpr::Ctx ctx;
+  Curare cur(ctx);
+  cur.interp().set_echo(false);
+  if (!trace_path.empty()) cur.runtime().obs().tracer.set_enabled(true);
+
+  // Deferred reporting so every mode (batch, -e, REPL) flushes the
+  // trace and stats on the way out, including on error exits.
+  auto finish = [&](int code) {
+    if (!trace_path.empty() &&
+        !write_trace_file(cur.runtime().obs(), trace_path)) {
+      code = code == 0 ? 1 : code;
+    }
+    if (stats) {
+      std::printf("%s",
+                  curare::obs::full_report(cur.runtime().obs()).c_str());
+    }
+    return code;
+  };
+
+  if (have_eval) {
+    try {
+      Value v = cur.interp().eval_program(eval_expr);
+      std::string out = cur.interp().take_output();
+      if (!out.empty()) std::printf("%s", out.c_str());
+      std::printf("%s\n", curare::sexpr::write_str(v).c_str());
+      return finish(0);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return finish(1);
+    }
+  }
+
+  if (!file.empty()) {
+    std::ifstream in(file);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
       return 1;
     }
     std::stringstream ss;
     ss << in.rdbuf();
     try {
       batch_transform_all(cur, ss.str());
-      return 0;
+      return finish(0);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+      return finish(1);
     }
   }
 
-  return repl(cur);
+  return finish(repl(cur));
 }

@@ -4,20 +4,198 @@
 // spent executing an invocation is much longer than the time spent
 // waiting for the queue."
 //
-// Primary series: simulated parallel efficiency while sweeping the
-// invocation-grain / dequeue-cost ratio. Secondary: the real pool with
-// spin bodies of varying grain (host-core limited).
+// Part 1 (A/B): raw scheduler throughput, SingleMutexTaskQueues (the
+// seed implementation) vs ShardedTaskQueues (this repo's low-contention
+// scheduler), on a chain-handoff workload: `threads` live chains, each
+// pop re-enqueues at the next site until a shared budget runs out. Every
+// operation is a push+pop pair with no body work, so the scheduler IS
+// the workload — the worst case the paper's condition warns about.
+// Results also go to BENCH_scheduler.json (one JSON object per line).
+//
+// Part 2: simulated parallel efficiency while sweeping the
+// invocation-grain / dequeue-cost ratio, plus the real pool with spin
+// bodies of varying grain (host-core limited).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "runtime/sim.hpp"
+#include "runtime/task_queue.hpp"
 
 using namespace curare;
 using namespace curare::bench;
 
 namespace {
+
+// ---- Part 1: A/B scheduler microbenchmark ---------------------------------
+
+/// One chain-handoff run: seed `threads` chains at site 0; every pop
+/// decrements the budget and re-enqueues at (site+1)%sites while more
+/// than `threads` operations remain, so exactly `total_ops` tasks flow
+/// through the queue and the last `threads` pops let their chains die.
+/// The final pop closes the queues. Returns wall-clock seconds.
+template <typename Q>
+double run_handoff(std::size_t threads, std::size_t sites,
+                   std::size_t total_ops, std::size_t batch) {
+  Q q(sites);
+  std::atomic<std::int64_t> budget{static_cast<std::int64_t>(total_ops)};
+  for (std::size_t t = 0; t < threads; ++t)
+    q.push(0, runtime::TaskArgs{sexpr::Value::fixnum(0)});
+
+  auto handle = [&](std::size_t site) {
+    const std::int64_t left =
+        budget.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (left >= static_cast<std::int64_t>(threads)) {
+      q.push((site + 1) % sites,
+             runtime::TaskArgs{sexpr::Value::fixnum(left)});
+    } else if (left == 0) {
+      q.close();
+    }
+  };
+
+  std::vector<std::thread> ws;
+  ws.reserve(threads);
+  const double secs = time_s([&] {
+    for (std::size_t t = 0; t < threads; ++t) {
+      ws.emplace_back([&] {
+        if constexpr (requires(std::vector<runtime::TaskArgs>& v) {
+                        q.pop_some(v, batch, nullptr);
+                      }) {
+          if (batch > 1) {
+            std::vector<runtime::TaskArgs> buf;
+            buf.reserve(batch);
+            std::size_t site = 0;
+            while (q.pop_some(buf, batch, &site) != 0) {
+              for (std::size_t i = 0; i < buf.size(); ++i) handle(site);
+              buf.clear();
+            }
+            return;
+          }
+        }
+        std::size_t site = 0;
+        while (q.pop(&site)) handle(site);
+      });
+    }
+    for (auto& w : ws) w.join();
+  });
+  return secs;
+}
+
+struct AbRow {
+  const char* impl;
+  std::size_t threads, sites, batch, ops;
+  double secs, mops;
+};
+
+template <typename Q>
+AbRow measure(const char* impl, std::size_t threads, std::size_t sites,
+              std::size_t total_ops, std::size_t batch, int reps) {
+  double best = 1e9;
+  for (int r = 0; r < reps; ++r)
+    best = std::min(best, run_handoff<Q>(threads, sites, total_ops, batch));
+  return AbRow{impl,         threads,
+               sites,        batch,
+               total_ops,    best,
+               static_cast<double>(total_ops) / best / 1e6};
+}
+
+void emit_json(std::FILE* js, const AbRow& r) {
+  if (js == nullptr) return;
+  std::fprintf(js,
+               "{\"bench\":\"queue_ab\",\"impl\":\"%s\",\"threads\":%zu,"
+               "\"sites\":%zu,\"batch\":%zu,\"ops\":%zu,\"secs\":%.6f,"
+               "\"mops\":%.3f}\n",
+               r.impl, r.threads, r.sites, r.batch, r.ops, r.secs, r.mops);
+}
+
+/// ns per {fetch_add, fetch_sub} pair on one shared atomic word — the
+/// sharded scheduler's entire serialized section per push+pop pair
+/// (its ring cursors live on other cache lines and pipeline with it).
+double measure_rmw_pair_ns(std::size_t iters) {
+  std::atomic<std::uint64_t> w{0};
+  const double secs = time_s([&] {
+    for (std::size_t i = 0; i < iters; ++i) {
+      w.fetch_add(1, std::memory_order_seq_cst);
+      w.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  });
+  g_spin_sink.fetch_add(w.load(), std::memory_order_relaxed);
+  return secs / static_cast<double>(iters) * 1e9;
+}
+
+void run_ab(std::FILE* js) {
+  const bool smoke = smoke_mode();
+  const std::size_t total_ops = smoke ? 4'000 : 400'000;
+  const int reps = smoke ? 1 : 3;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("A/B: scheduler throughput, chain-handoff (no body work), "
+              "%u core(s)\n",
+              cores);
+  std::printf("ops=%zu per cell, best of %d; Mops = million push+pop "
+              "pairs/sec\n\n",
+              total_ops, reps);
+  std::printf("%7s %6s | %12s %12s %8s | %14s\n", "threads", "sites",
+              "mutex Mops", "shard Mops", "speedup", "shard b=8 Mops");
+
+  double mutex_pair_ns = 0;   // threads=1, sites=1 cell
+  double shard_pair_ns = 0;
+  for (std::size_t sites : {std::size_t{1}, std::size_t{4}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      AbRow a = measure<runtime::SingleMutexTaskQueues>(
+          "mutex", threads, sites, total_ops, 1, reps);
+      AbRow b = measure<runtime::ShardedTaskQueues>(
+          "sharded", threads, sites, total_ops, 1, reps);
+      AbRow c = measure<runtime::ShardedTaskQueues>(
+          "sharded", threads, sites, total_ops, 8, reps);
+      emit_json(js, a);
+      emit_json(js, b);
+      emit_json(js, c);
+      if (threads == 1 && sites == 1) {
+        mutex_pair_ns = a.secs / static_cast<double>(a.ops) * 1e9;
+        shard_pair_ns = b.secs / static_cast<double>(b.ops) * 1e9;
+      }
+      std::printf("%7zu %6zu | %12.2f %12.2f %7.2fx | %14.2f\n", threads,
+                  sites, a.mops, b.mops, b.mops / a.mops, c.mops);
+    }
+  }
+  std::printf("\nwall-clock caveat: with %u core(s) the threads above are "
+              "time-sliced, so the\nmutex queue's lock is (almost) never "
+              "contended — the convoy it forms on a real\nmultiprocessor "
+              "does not show in these columns.\n\n",
+              cores);
+
+  // §4.1 bottleneck projection. The paper's condition: servers scale
+  // until the serialized queue section saturates. For the mutex queue
+  // the whole push+pop pair runs under one lock (its critical section
+  // IS the measured single-thread pair cost); for the sharded queue
+  // only the depth/hint word's two RMWs serialize — ring cursors are
+  // per-site lines that overlap with them. Both serialized lengths are
+  // measured on this host; their ratio bounds the relative throughput
+  // once S servers saturate both schedulers (S ≥ pair/serial ≈ 4 here).
+  const double shard_serial_ns =
+      measure_rmw_pair_ns(smoke ? 100'000 : 4'000'000);
+  const double projected = mutex_pair_ns / shard_serial_ns;
+  std::printf("saturation projection (S=8, body→0): mutex serialized "
+              "%.1f ns/pair vs sharded\nserialized %.1f ns/pair "
+              "(measured; sharded full pair %.1f ns) → sharded sustains\n"
+              "%.1fx the mutex queue's throughput once servers saturate "
+              "the serialized section.\n\n",
+              mutex_pair_ns, shard_serial_ns, shard_pair_ns, projected);
+  if (js != nullptr) {
+    std::fprintf(js,
+                 "{\"bench\":\"queue_model\",\"S\":8,"
+                 "\"mutex_serial_ns\":%.1f,\"shard_serial_ns\":%.1f,"
+                 "\"shard_pair_ns\":%.1f,\"projected_speedup\":%.2f}\n",
+                 mutex_pair_ns, shard_serial_ns, shard_pair_ns, projected);
+  }
+}
+
+// ---- Part 2: grain sweep (original E7) ------------------------------------
 
 double run_wallclock(Curare& cur, int grain, int depth,
                      std::size_t servers) {
@@ -34,9 +212,7 @@ double run_wallclock(Curare& cur, int grain, int depth,
   });
 }
 
-}  // namespace
-
-int main() {
+void run_grain_sweep() {
   sexpr::Ctx ctx;
   Curare cur(ctx, 0);
   install_spin(cur.interp());
@@ -55,7 +231,8 @@ int main() {
               "sim speedup", "sim eff", "depth", "host T(S)ms",
               "host eff");
 
-  const long total_work = 512L * 400;
+  const long total_work = smoke_mode() ? 512L * 8 : 512L * 400;
+  const int reps = smoke_mode() ? 1 : 2;
   for (int grain : {2, 8, 32, 128, 512}) {
     runtime::SimParams p;
     p.head_cost = 1;
@@ -70,7 +247,7 @@ int main() {
     run_wallclock(cur, grain, depth, 1);  // warm-up
     double t1 = 1e9;
     double ts = 1e9;
-    for (int rep = 0; rep < 2; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       t1 = std::min(t1, run_wallclock(cur, grain, depth, 1));
       ts = std::min(ts, run_wallclock(cur, grain, depth, host_servers));
     }
@@ -81,5 +258,15 @@ int main() {
   std::printf("\nshape check: efficiency climbs with grain; at tiny "
               "grains the serialized\ndequeue dominates (sim speedup → "
               "grain/dequeue_cost), the paper's condition.\n");
+}
+
+}  // namespace
+
+int main() {
+  // Truncate the JSON-lines result file; bench_server_scaling appends.
+  std::FILE* js = std::fopen(bench_json_path(), "w");
+  run_ab(js);
+  if (js != nullptr) std::fclose(js);
+  run_grain_sweep();
   return 0;
 }

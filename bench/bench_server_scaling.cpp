@@ -9,7 +9,8 @@
 // Besides the human-readable table, each sweep point emits one
 // machine-readable JSON line (prefix "JSON ") with the measured
 // CriStats aggregates, so plots/regressions can be driven from the
-// bench output directly.
+// bench output directly. The same records are appended to
+// BENCH_scheduler.json (bench_queue truncates it; run that first).
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -65,6 +66,9 @@ int main() {
               "simulated", "ratio", "host ms");
 
   std::vector<std::size_t> sweep{1, 2, 4, 8, 12, 16, 20, 24, 32, 64};
+  if (smoke_mode()) sweep = {1, 4, 16};
+  const int reps = smoke_mode() ? 1 : 2;
+  std::FILE* js = std::fopen(bench_json_path(), "a");
   run_wallclock(cur, h, t, depth, 1);  // warm-up
 
   double best_sim = 1e18;
@@ -83,7 +87,7 @@ int main() {
       best_s = s;
     }
     double wall = 1e9;
-    for (int rep = 0; rep < 2; ++rep)
+    for (int rep = 0; rep < reps; ++rep)
       wall = std::min(wall,
                       run_wallclock(cur, h, t, depth,
                                     std::min<std::size_t>(s, 16)));
@@ -94,19 +98,27 @@ int main() {
     // last wall-clock rep; the recorder is on but the tracer is off).
     const runtime::CriStats& st = cur.runtime().last_cri_stats();
     const double inv = static_cast<double>(st.invocations);
-    std::printf(
-        "JSON {\"bench\":\"server_scaling\",\"S\":%zu,\"d\":%d,"
+    char rec[512];
+    std::snprintf(
+        rec, sizeof rec,
+        "{\"bench\":\"server_scaling\",\"S\":%zu,\"d\":%d,"
         "\"h_units\":%d,\"t_units\":%d,\"model_T\":%.1f,\"sim_T\":%.1f,"
         "\"wall_ms\":%.3f,\"invocations\":%llu,"
         "\"head_ns_mean\":%.1f,\"tail_ns_mean\":%.1f,"
-        "\"utilization\":%.4f,\"max_queue\":%llu}\n",
+        "\"utilization\":%.4f,\"max_queue\":%llu,"
+        "\"notify_suppressed\":%llu,\"sleeps\":%llu}",
         s, depth, h, t, model, sim, wall * 1e3,
         static_cast<unsigned long long>(st.invocations),
         inv > 0 ? static_cast<double>(st.head_ns) / inv : 0.0,
         inv > 0 ? static_cast<double>(st.tail_ns) / inv : 0.0,
         st.utilization(),
-        static_cast<unsigned long long>(st.max_queue_length));
+        static_cast<unsigned long long>(st.max_queue_length),
+        static_cast<unsigned long long>(st.queue.notify_suppressed),
+        static_cast<unsigned long long>(st.queue.sleeps));
+    std::printf("JSON %s\n", rec);
+    if (js != nullptr) std::fprintf(js, "%s\n", rec);
   }
+  if (js != nullptr) std::fclose(js);
 
   std::printf("\nsimulated argmin: S = %zu (clamped optimum %zu, "
               "unclamped S* = %.1f)\n",

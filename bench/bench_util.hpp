@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "curare/curare.hpp"
 #include "lisp/interp.hpp"
@@ -56,6 +58,20 @@ double time_s(F&& f) {
   f();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// CI smoke mode: CURARE_BENCH_SMOKE=1 shrinks iteration counts so the
+/// harness just proves it runs, not that the numbers are stable.
+inline bool smoke_mode() {
+  const char* e = std::getenv("CURARE_BENCH_SMOKE");
+  return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+/// Where machine-readable results go (JSON lines, one object per
+/// record). bench_queue truncates it; later benches append.
+inline const char* bench_json_path() {
+  const char* e = std::getenv("CURARE_BENCH_JSON");
+  return (e != nullptr && *e != '\0') ? e : "BENCH_scheduler.json";
 }
 
 }  // namespace curare::bench

@@ -14,6 +14,11 @@
 //   cri.queue_depth         histogram depth sampled at each enqueue
 //   cri.head_ns / tail_ns   counter   summed measured head/tail time
 //   cri.busy_ns / idle_ns   counter   summed server busy/blocked time
+//   cri.queue.notify_sent   counter   pushes that woke a sleeping server
+//   cri.queue.notify_suppressed counter pushes with no sleeper (cv skipped)
+//   cri.queue.spill_pushes  counter   pushes that overflowed a site ring
+//   cri.queue.sleeps        counter   times a server actually blocked
+//   cri.queue.pop_calls     counter   scheduler transactions (≥1 task)
 //   future.spawned          counter   futures created
 //   future.touches          counter   touch() calls
 //   future.touch_waits      counter   touches that blocked

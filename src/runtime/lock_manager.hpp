@@ -45,10 +45,22 @@ struct LocKey {
 };
 
 struct LocKeyHash {
+  /// splitmix64 finalizer. Pointer values are dominated by alignment
+  /// zeros in their low bits; feeding them into `% kShards` (or the
+  /// unordered_map's bucket count) without mixing collapses traffic
+  /// onto a handful of shards. The finalizer diffuses every input bit
+  /// into the low bits the modulo actually uses.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
   std::size_t operator()(const LocKey& k) const {
-    auto h1 = std::hash<const void*>{}(k.object);
-    auto h2 = std::hash<const void*>{}(k.field);
-    return h1 ^ (h2 * 0x9E3779B97F4A7C15ull);
+    const auto obj = reinterpret_cast<std::uintptr_t>(k.object);
+    const auto fld = reinterpret_cast<std::uintptr_t>(k.field);
+    return static_cast<std::size_t>(mix(obj ^ mix(fld)));
   }
 };
 

@@ -1,0 +1,124 @@
+// Bounded lock-free MPMC ring buffer (Vyukov's bounded queue).
+//
+// Each cell carries a sequence number: a cell is pushable when
+// seq == enqueue position, poppable when seq == dequeue position + 1.
+// Producers and consumers reserve a cell with one CAS on their own
+// cursor, then publish with a release store on the cell's sequence —
+// no mutex anywhere, and the only contended lines are the two cursors
+// (kept on separate cache lines).
+//
+// This is the per-call-site fast path of the sharded CRI scheduler
+// (paper §4.1): "each server only needs to obtain the arguments to an
+// invocation" — obtaining them must not serialize all servers through
+// one lock. The ring is bounded; the scheduler layers an unbounded
+// mutex-guarded spill deque behind it for the rare overflow.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace curare::runtime {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// False when the ring is full; `v` is left untouched in that case.
+  bool try_push(T&& v) {
+    Cell* c;
+    std::size_t pos = enq_.load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::size_t seq = c->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enq_.compare_exchange_weak(pos, pos + 1,
+                                       std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enq_.load(std::memory_order_relaxed);
+      }
+    }
+    c->data = std::move(v);
+    c->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty (or every present item is still being
+  /// published by its producer — callers retry off their own depth
+  /// accounting).
+  bool try_pop(T& out) {
+    Cell* c;
+    std::size_t pos = deq_.load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::size_t seq = c->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (deq_.compare_exchange_weak(pos, pos + 1,
+                                       std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = deq_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(c->data);
+    c->data = T{};  // drop payload refs eagerly
+    c->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (exact when quiescent).
+  std::size_t approx_size() const {
+    const std::size_t e = enq_.load(std::memory_order_relaxed);
+    const std::size_t d = deq_.load(std::memory_order_relaxed);
+    return e > d ? e - d : 0;
+  }
+
+  /// Racy emptiness probe: one acquire load, no CAS. A false negative
+  /// is possible mid-publish; callers pair this with depth accounting.
+  bool probably_empty() const {
+    const std::size_t pos = deq_.load(std::memory_order_relaxed);
+    const std::size_t seq =
+        cells_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) <
+           static_cast<std::intptr_t>(pos + 1);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T data{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enq_{0};
+  alignas(64) std::atomic<std::size_t> deq_{0};
+};
+
+}  // namespace curare::runtime

@@ -50,7 +50,7 @@ Runtime::Runtime(Interp& interp, std::size_t workers)
 
 CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
                           std::size_t servers, TaskArgs initial_args,
-                          std::string label) {
+                          std::string label, std::size_t batch) {
   if (label.empty()) {
     // Name the speedup-report row after the server function when it has
     // a printable name.
@@ -62,6 +62,7 @@ CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
   }
   CriRun run(interp_, fn, num_sites, servers, &recorder_,
              std::move(label));
+  run.set_batch_limit(batch);
   last_stats_ = run.run(std::move(initial_args));
   return last_stats_;
 }

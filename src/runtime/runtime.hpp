@@ -46,10 +46,11 @@ class Runtime {
   const obs::Recorder& obs() const { return recorder_; }
 
   /// Run a transformed server-body function under a CRI pool. `label`
-  /// names the run in the speedup report (§4.1 T(S) comparison).
+  /// names the run in the speedup report (§4.1 T(S) comparison);
+  /// `batch` is the per-server dequeue batch limit (1 = classic).
   CriStats run_cri(sexpr::Value fn, std::size_t num_sites,
                    std::size_t servers, TaskArgs initial_args,
-                   std::string label = {});
+                   std::string label = {}, std::size_t batch = 1);
 
   const CriStats& last_cri_stats() const { return last_stats_; }
 

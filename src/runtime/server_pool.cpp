@@ -59,6 +59,9 @@ void CriRun::finish(sexpr::Value result) {
     finished_early_ = true;
     result_ = result;
   }
+  // Servers discard (rather than execute) anything still queued, while
+  // keeping the pending-task accounting exact.
+  stop_.store(true, std::memory_order_release);
   if (rec_) rec_->tracer.instant(obs::EventKind::kEarlyFinish);
   queues_.close();  // kill tokens for every server
 }
@@ -74,50 +77,65 @@ void CriRun::serve(std::size_t server_index) {
   // the start of the next wait, so the steady state costs two clock
   // reads per task, not three.
   std::uint64_t t_wait = rec_ ? rec_->tracer.now_ns() : 0;
+  std::vector<TaskArgs> batch;
+  batch.reserve(batch_limit_);
   for (;;) {
     std::size_t site = 0;
-    auto task = queues_.pop(&site);
+    batch.clear();
+    const std::size_t got = queues_.pop_some(batch, batch_limit_, &site);
     std::uint64_t t0 = 0;
     if (rec_) {
       t0 = rec_->tracer.now_ns();
       idle += t0 - t_wait;
       rec_->tracer.emit(obs::EventKind::kServerIdle, t_wait, t0 - t_wait,
                         server_index);
+      t_wait = t0;
     }
-    if (!task) break;
+    if (got == 0) break;  // kill token
 
-    const std::uint64_t inv =
-        invocations_.fetch_add(1, std::memory_order_relaxed);
-    g_last_enqueue_ns = 0;
-    try {
-      interp_.apply(fn_, *task);
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> g(err_mu_);
-        if (!first_error_) first_error_ = std::current_exception();
+    for (std::size_t k = 0; k < got; ++k) {
+      // After %cri-finish or a body error, drain without executing —
+      // but every popped task still decrements pending_ exactly once,
+      // so the termination accounting stays consistent and the run can
+      // be retried on this same CriRun.
+      if (!stop_.load(std::memory_order_acquire)) {
+        const std::uint64_t inv =
+            invocations_.fetch_add(1, std::memory_order_relaxed);
+        g_last_enqueue_ns = 0;
+        bool failed = false;
+        try {
+          interp_.apply(fn_, batch[k]);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> g(err_mu_);
+            if (!first_error_) first_error_ = std::current_exception();
+          }
+          stop_.store(true, std::memory_order_release);
+          queues_.close();
+          failed = true;
+        }
+        if (rec_ && !failed) {
+          const std::uint64_t t1 = rec_->tracer.now_ns();
+          busy += t1 - t0;
+          ++tasks;
+          // Head runs until the last enqueue this invocation issued; a
+          // base case (no enqueue) is pure head.
+          const std::uint64_t head_end =
+              (g_last_enqueue_ns > t0 && g_last_enqueue_ns < t1)
+                  ? g_last_enqueue_ns
+                  : t1;
+          head_ns_.fetch_add(head_end - t0, std::memory_order_relaxed);
+          tail_ns_.fetch_add(t1 - head_end, std::memory_order_relaxed);
+          rec_->tracer.emit(obs::EventKind::kTaskRun, t0, t1 - t0,
+                            server_index, inv);
+          t0 = t1;
+          t_wait = t1;
+        }
       }
-      queues_.close();
-      break;
-    }
-    if (rec_) {
-      const std::uint64_t t1 = rec_->tracer.now_ns();
-      busy += t1 - t0;
-      ++tasks;
-      // Head runs until the last enqueue this invocation issued; a
-      // base case (no enqueue) is pure head.
-      const std::uint64_t head_end =
-          (g_last_enqueue_ns > t0 && g_last_enqueue_ns < t1)
-              ? g_last_enqueue_ns
-              : t1;
-      head_ns_.fetch_add(head_end - t0, std::memory_order_relaxed);
-      tail_ns_.fetch_add(t1 - head_end, std::memory_order_relaxed);
-      rec_->tracer.emit(obs::EventKind::kTaskRun, t0, t1 - t0,
-                        server_index, inv);
-      t_wait = t1;
-    }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // This invocation finished the recursion: kill the servers.
-      queues_.close();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // This invocation finished the recursion: kill the servers.
+        queues_.close();
+      }
     }
   }
   if (rec_) {
@@ -128,6 +146,27 @@ void CriRun::serve(std::size_t server_index) {
 }
 
 CriStats CriRun::run(TaskArgs initial_args) {
+  // Reset termination accounting and reopen the queues, so a CriRun
+  // can be re-run after an aborted (thrown) or early-finished run.
+  queues_.reopen();
+  stop_.store(false, std::memory_order_relaxed);
+  invocations_.store(0, std::memory_order_relaxed);
+  enqueues_.store(0, std::memory_order_relaxed);
+  head_ns_.store(0, std::memory_order_relaxed);
+  tail_ns_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(err_mu_);
+    first_error_ = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    finished_early_ = false;
+    result_ = sexpr::Value::nil();
+  }
+  busy_ns_.assign(servers_, 0);
+  idle_ns_.assign(servers_, 0);
+  tasks_per_server_.assign(servers_, 0);
+
   std::uint64_t t_start = 0;
   if (rec_) t_start = rec_->tracer.now_ns();
 
@@ -146,6 +185,7 @@ CriStats CriRun::run(TaskArgs initial_args) {
   stats.invocations = invocations_.load(std::memory_order_relaxed);
   stats.max_queue_length = queues_.max_length();
   stats.servers = servers_;
+  stats.queue = queues_.stats();
   {
     std::lock_guard<std::mutex> g(result_mu_);
     stats.result = result_;
@@ -167,6 +207,12 @@ CriStats CriRun::run(TaskArgs initial_args) {
     m.counter("cri.tail_ns").add(stats.tail_ns);
     m.counter("cri.busy_ns").add(stats.busy_ns_total());
     m.counter("cri.idle_ns").add(stats.idle_ns_total());
+    m.counter("cri.queue.notify_sent").add(stats.queue.notify_sent);
+    m.counter("cri.queue.notify_suppressed")
+        .add(stats.queue.notify_suppressed);
+    m.counter("cri.queue.spill_pushes").add(stats.queue.spill_pushes);
+    m.counter("cri.queue.sleeps").add(stats.queue.sleeps);
+    m.counter("cri.queue.pop_calls").add(stats.queue.pop_calls);
 
     obs::MeasuredRun mr;
     mr.label = label_;

@@ -41,6 +41,9 @@ struct CriStats {
   /// nil when the recursion ran to completion.
   sexpr::Value result;
   bool finished_early = false;
+  /// Scheduler internals for the run (sharded-queue counters: notify
+  /// throttling, ring overflow, actual sleeps, batch amortization).
+  QueueStats queue;
 
   // ---- measured aggregates (filled when a Recorder is attached) ----
   std::uint64_t wall_ns = 0;      ///< run() start → all servers joined
@@ -85,7 +88,20 @@ class CriRun {
 
   /// Execute the recursion started by `initial_args` to completion.
   /// Blocks; rethrows the first body error. Returns the statistics.
+  /// Re-runnable: run() resets all termination accounting and reopens
+  /// the queues, so the same CriRun can be run again after an aborted
+  /// (thrown) or early-finished run.
   CriStats run(TaskArgs initial_args);
+
+  /// Per-server dequeue batch limit (default 1 = classic behavior).
+  /// A server may take up to `n` tasks from one site in a single
+  /// scheduler transaction and execute them in order; §4.1's site
+  /// ordering is preserved because a batch never spans sites. Larger
+  /// batches trade queue pressure for work-distribution granularity.
+  void set_batch_limit(std::size_t n) {
+    batch_limit_ = n == 0 ? 1 : n;
+  }
+  std::size_t batch_limit() const { return batch_limit_; }
 
   /// Called (via the %cri-enqueue builtin) from server threads.
   void enqueue(std::size_t site, TaskArgs args);
@@ -107,8 +123,14 @@ class CriRun {
   sexpr::Value fn_;
   OrderedTaskQueues queues_;
   std::size_t servers_;
+  std::size_t batch_limit_ = 1;
   std::atomic<std::int64_t> pending_{0};
   std::atomic<std::uint64_t> invocations_{0};
+  /// Set by finish() and by the first body error: remaining queued
+  /// tasks are discarded (with exact pending_ accounting) instead of
+  /// executed, so servers stop promptly and a later run() starts from
+  /// consistent state.
+  std::atomic<bool> stop_{false};
 
   obs::Recorder* rec_;
   obs::Histogram* qdepth_ = nullptr;  ///< resolved once, hit per enqueue

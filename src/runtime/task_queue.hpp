@@ -9,24 +9,70 @@
 // pop() therefore always drains the lowest-index nonempty queue first.
 // Termination uses the paper's kill-token idea: close() wakes every
 // server with an empty pop, and they exit.
+//
+// Two implementations share that contract:
+//
+//  * SingleMutexTaskQueues — the original centralized queue: one mutex,
+//    one condition variable, a deque per site. Kept as the A/B baseline
+//    for bench_queue and as the single-threaded ordering oracle in
+//    tests. Its push recomputes the total depth with an O(sites) scan
+//    under the global lock and notifies on every push — the measured
+//    bottleneck this PR removes.
+//
+//  * ShardedTaskQueues — the low-contention scheduler. Per call site: a
+//    lock-free MPMC ring (the hot path) backed by an unbounded
+//    mutex-guarded spill deque for overflow. One packed atomic word
+//    carries the O(1) total depth and a cached lowest-nonempty-site
+//    hint; sleeping servers register in a counter so push only touches
+//    the condition variable when someone is actually asleep.
+//
+// ShardedTaskQueues ordering semantics: per-site FIFO holds for
+// causally ordered pushes (a server's own successive enqueues — the
+// §4.1 invocation-order requirement), and pop prefers the lowest
+// nonempty site. Under concurrent mutation the lowest-site preference
+// is best-effort within a race window (two in-flight operations may
+// linearize either way), which is indistinguishable from scheduling
+// nondeterminism; with a single consumer, or at any quiescent point,
+// the order is exact and equal to SingleMutexTaskQueues.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
+#include "runtime/mpmc_ring.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::runtime {
 
 using TaskArgs = std::vector<sexpr::Value>;
 
-class OrderedTaskQueues {
+/// Counters a queue accumulates between reopen()s; CriRun publishes
+/// them to the metrics registry after a run.
+struct QueueStats {
+  std::uint64_t pushes = 0;       ///< tasks enqueued
+  std::uint64_t pops = 0;         ///< tasks dequeued
+  std::uint64_t pop_calls = 0;    ///< pop()/pop_some() calls that got ≥1
+  std::uint64_t notify_sent = 0;  ///< pushes that signalled a sleeper
+  std::uint64_t notify_suppressed = 0;  ///< pushes with no sleeper (no cv)
+  std::uint64_t spill_pushes = 0;  ///< pushes that overflowed a ring
+  std::uint64_t sleeps = 0;        ///< times a server actually blocked
+};
+
+// ---------------------------------------------------------------------------
+// SingleMutexTaskQueues: the seed implementation (A/B baseline).
+// ---------------------------------------------------------------------------
+
+class SingleMutexTaskQueues {
  public:
-  explicit OrderedTaskQueues(std::size_t num_sites)
+  explicit SingleMutexTaskQueues(std::size_t num_sites)
       : queues_(num_sites == 0 ? 1 : num_sites) {}
 
   /// Enqueue an invocation's arguments at a call site's queue. Returns
@@ -74,6 +120,14 @@ class OrderedTaskQueues {
     cv_.notify_all();
   }
 
+  /// Reset to the open, empty state. Callers must be quiescent.
+  void reopen() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& q : queues_) q.clear();
+    closed_ = false;
+    max_len_ = 0;
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> g(mu_);
     return closed_;
@@ -95,5 +149,293 @@ class OrderedTaskQueues {
   bool closed_ = false;
   std::size_t max_len_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// ShardedTaskQueues: the low-contention scheduler.
+// ---------------------------------------------------------------------------
+
+class ShardedTaskQueues {
+ public:
+  explicit ShardedTaskQueues(std::size_t num_sites,
+                             std::size_t ring_capacity = kDefaultRing) {
+    const std::size_t n = num_sites == 0 ? 1 : num_sites;
+    sites_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sites_.push_back(std::make_unique<Site>(ring_capacity));
+  }
+
+  ShardedTaskQueues(const ShardedTaskQueues&) = delete;
+  ShardedTaskQueues& operator=(const ShardedTaskQueues&) = delete;
+
+  /// Enqueue at a call site. Returns the total queued depth after the
+  /// push (O(1): one atomic word, no scan — the seed queue recomputed
+  /// this with an O(sites) walk under the global lock on every push).
+  std::size_t push(std::size_t site, TaskArgs args) {
+    if (site >= sites_.size())
+      throw sexpr::LispError("cri: call-site index out of range");
+    Site& s = *sites_[site];
+    // Fast path: lock-free ring append. Legal only while the site has
+    // no spilled items — ring items must stay older than spill items so
+    // the per-site FIFO survives an overflow episode.
+    if (s.spill_count.load(std::memory_order_acquire) != 0 ||
+        !s.ring.try_push(std::move(args))) {
+      std::lock_guard<std::mutex> g(s.mu);
+      if (!(s.spill.empty() && s.ring.try_push(std::move(args)))) {
+        s.spill.push_back(std::move(args));
+        s.spill_count.store(s.spill.size(), std::memory_order_release);
+        spill_pushes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // The only hot-path stats RMW; the other push-side counters are
+    // derived in stats() (suppressed notifies = pushes − sent).
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+
+    // One CAS both bumps the O(1) depth and lowers the scan hint. The
+    // seq_cst RMW also forms the store side of the sleeper handshake.
+    std::uint64_t w = state_.load(std::memory_order_relaxed);
+    std::uint64_t nw;
+    do {
+      nw = pack(std::min(hint_of(w), site), depth_of(w) + 1);
+    } while (!state_.compare_exchange_weak(w, nw, std::memory_order_seq_cst,
+                                           std::memory_order_relaxed));
+    const std::size_t total =
+        depth_positive(nw) ? static_cast<std::size_t>(depth_of(nw)) : 1;
+
+    std::size_t m = max_len_.load(std::memory_order_relaxed);
+    while (total > m && !max_len_.compare_exchange_weak(
+                            m, total, std::memory_order_relaxed)) {
+    }
+
+    // Throttled wakeup: only pay the condition variable (and its futex
+    // syscall) when a server is actually asleep.
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      notify_sent_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> g(wait_mu_);
+      wait_cv_.notify_one();
+    }
+    return total;
+  }
+
+  /// Block for the next task (lowest-index site first); nullopt when
+  /// the queues are closed and empty — the kill token.
+  std::optional<TaskArgs> pop(std::size_t* site_out = nullptr) {
+    std::optional<TaskArgs> out;
+    pop_loop(1, site_out,
+             [&out](TaskArgs&& t) { out.emplace(std::move(t)); });
+    return out;
+  }
+
+  /// Batched pop: up to `max` tasks, all from the same (lowest nonempty)
+  /// site, appended to `out` in FIFO order. Returns the count; 0 is the
+  /// kill token. One site-selection + one depth CAS amortized over the
+  /// whole batch.
+  std::size_t pop_some(std::vector<TaskArgs>& out, std::size_t max,
+                       std::size_t* site_out = nullptr) {
+    return pop_loop(max == 0 ? 1 : max, site_out,
+                    [&out](TaskArgs&& t) { out.push_back(std::move(t)); });
+  }
+
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> g(wait_mu_);
+    wait_cv_.notify_all();
+  }
+
+  /// Reset to the open, empty state, dropping any leftover tasks and
+  /// zeroing the per-run stats. Callers must be quiescent (no
+  /// concurrent push/pop) — CriRun::run calls this before starting its
+  /// servers so an aborted run can be retried on the same object.
+  void reopen() {
+    for (auto& sp : sites_) {
+      std::lock_guard<std::mutex> g(sp->mu);
+      sp->spill.clear();
+      sp->spill_count.store(0, std::memory_order_relaxed);
+      TaskArgs t;
+      while (sp->ring.try_pop(t)) {
+      }
+    }
+    state_.store(0, std::memory_order_seq_cst);
+    max_len_.store(0, std::memory_order_relaxed);
+    pushes_.store(0, std::memory_order_relaxed);
+    batch_extras_.store(0, std::memory_order_relaxed);
+    notify_sent_.store(0, std::memory_order_relaxed);
+    spill_pushes_.store(0, std::memory_order_relaxed);
+    sleeps_.store(0, std::memory_order_relaxed);
+    closed_.store(false, std::memory_order_seq_cst);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_seq_cst); }
+
+  /// Total queued tasks right now (O(1); exact when quiescent).
+  std::size_t depth() const {
+    const std::uint64_t w = state_.load(std::memory_order_seq_cst);
+    return depth_positive(w) ? static_cast<std::size_t>(depth_of(w)) : 0;
+  }
+
+  /// High-water mark of total queued tasks (§4.1: with a single call
+  /// site the queue never grows beyond its initial length).
+  std::size_t max_length() const {
+    return max_len_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t sites() const { return sites_.size(); }
+
+  /// Exact at any quiescent point (e.g. after the servers joined); the
+  /// derived fields can lag by in-flight operations mid-run. Keeping
+  /// the derivable counters out of the hot path halves its RMW count.
+  QueueStats stats() const {
+    QueueStats st;
+    st.pushes = pushes_.load(std::memory_order_relaxed);
+    st.pops = st.pushes - std::min<std::uint64_t>(st.pushes, depth());
+    st.pop_calls =
+        st.pops - batch_extras_.load(std::memory_order_relaxed);
+    st.notify_sent = notify_sent_.load(std::memory_order_relaxed);
+    st.notify_suppressed = st.pushes - st.notify_sent;
+    st.spill_pushes = spill_pushes_.load(std::memory_order_relaxed);
+    st.sleeps = sleeps_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  static constexpr std::size_t kDefaultRing = 512;
+
+  // One packed word: high 16 bits = cached lowest-nonempty-site hint,
+  // low 48 bits = total depth (mod 2^48 — a pop racing ahead of its
+  // push's depth CAS makes the field wrap transiently; depth_positive
+  // filters that window out). Folding both into the single RMW every
+  // push/pop already pays makes the hint raise safe: a pop may raise
+  // the hint to the site it served only if the word — and therefore
+  // the world — did not change since before its emptiness scan.
+  static constexpr std::uint64_t kDepthBits = 48;
+  static constexpr std::uint64_t kDepthMask = (1ull << kDepthBits) - 1;
+
+  static std::uint64_t pack(std::size_t hint, std::uint64_t depth) {
+    return (static_cast<std::uint64_t>(hint) << kDepthBits) |
+           (depth & kDepthMask);
+  }
+  static std::uint64_t depth_of(std::uint64_t w) { return w & kDepthMask; }
+  static std::size_t hint_of(std::uint64_t w) {
+    return static_cast<std::size_t>(w >> kDepthBits);
+  }
+  static bool depth_positive(std::uint64_t w) {
+    const std::uint64_t d = w & kDepthMask;
+    return d != 0 && d < (1ull << (kDepthBits - 1));
+  }
+
+  struct Site {
+    explicit Site(std::size_t ring_capacity) : ring(ring_capacity) {}
+    MpmcRing<TaskArgs> ring;
+    std::atomic<std::size_t> spill_count{0};
+    std::mutex mu;  ///< guards spill (and ring refills from it)
+    std::deque<TaskArgs> spill;
+  };
+
+  /// Take up to `max` tasks from one site, oldest first: drain the ring
+  /// (older), then the spill, then refill the ring from the spill so
+  /// later pops take the lock-free path again.
+  template <typename Sink>
+  std::size_t take_from_site(Site& s, std::size_t max, Sink&& sink) {
+    std::size_t n = 0;
+    TaskArgs t;
+    while (n < max && s.ring.try_pop(t)) {
+      sink(std::move(t));
+      ++n;
+    }
+    if (n < max && s.spill_count.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> g(s.mu);
+      while (n < max && s.ring.try_pop(t)) {
+        sink(std::move(t));
+        ++n;
+      }
+      while (n < max && !s.spill.empty()) {
+        sink(std::move(s.spill.front()));
+        s.spill.pop_front();
+        ++n;
+      }
+      while (!s.spill.empty() &&
+             s.ring.try_push(std::move(s.spill.front()))) {
+        s.spill.pop_front();
+      }
+      s.spill_count.store(s.spill.size(), std::memory_order_release);
+    }
+    return n;
+  }
+
+  template <typename Sink>
+  std::size_t pop_loop(std::size_t max, std::size_t* site_out,
+                       Sink&& sink) {
+    const std::size_t nsites = sites_.size();
+    for (;;) {
+      const std::uint64_t w0 = state_.load(std::memory_order_seq_cst);
+      if (depth_positive(w0)) {
+        const std::size_t start =
+            std::min<std::size_t>(hint_of(w0), nsites - 1);
+        for (std::size_t k = 0; k < nsites; ++k) {
+          // Preferred region first ([hint..n)); wrap to [0..hint) so a
+          // stale hint can delay a low site but never strand it.
+          const std::size_t i = (start + k) % nsites;
+          const std::size_t taken = take_from_site(*sites_[i], max, sink);
+          if (taken == 0) continue;
+          // No stats RMW on the unbatched path: pops are derived from
+          // pushes − depth, pop_calls from pops − batch extras.
+          if (taken > 1)
+            batch_extras_.fetch_add(taken - 1, std::memory_order_relaxed);
+          if (site_out) *site_out = i;
+          // Decrement the depth; raise the hint to i only when nothing
+          // raced the word since before our scan (then sites < i were
+          // genuinely observed empty). On a race, keep the existing
+          // hint — pushes re-lower it themselves.
+          std::uint64_t expect = w0;
+          if (!state_.compare_exchange_strong(
+                  expect, pack(i, depth_of(w0) - taken),
+                  std::memory_order_seq_cst, std::memory_order_relaxed)) {
+            std::uint64_t w = expect;
+            while (!state_.compare_exchange_weak(
+                w, pack(hint_of(w), depth_of(w) - taken),
+                std::memory_order_seq_cst, std::memory_order_relaxed)) {
+            }
+          }
+          return taken;
+        }
+        // Depth said nonempty but the scan missed: a push has bumped
+        // the counter while its payload is still being published (or a
+        // racing pop drained it). Brief, pusher-bounded window.
+        std::this_thread::yield();
+        continue;
+      }
+      if (closed_.load(std::memory_order_seq_cst)) return 0;
+      // Sleep protocol: register, then re-check depth/closed. A push
+      // bumps depth (seq_cst) before reading the sleeper count, so
+      // either it sees us registered and notifies under wait_mu_, or we
+      // see its depth and skip the wait — no lost wakeup either way.
+      std::unique_lock<std::mutex> lk(wait_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      if (!depth_positive(state_.load(std::memory_order_seq_cst)) &&
+          !closed_.load(std::memory_order_seq_cst)) {
+        sleeps_.fetch_add(1, std::memory_order_relaxed);
+        wait_cv_.wait(lk);
+      }
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  std::vector<std::unique_ptr<Site>> sites_;
+  alignas(64) std::atomic<std::uint64_t> state_{0};  ///< hint | depth
+  alignas(64) std::atomic<std::size_t> max_len_{0};
+  std::atomic<bool> closed_{false};
+
+  // Sleeper handshake (cold path only).
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::atomic<int> sleepers_{0};
+
+  // Stats (relaxed; snapshot via stats()). Only pushes_ is touched on
+  // the fast path; the rest live on slow/cold paths or are derived.
+  std::atomic<std::uint64_t> pushes_{0}, batch_extras_{0},
+      notify_sent_{0}, spill_pushes_{0}, sleeps_{0};
+};
+
+/// The scheduler the server pool runs on.
+using OrderedTaskQueues = ShardedTaskQueues;
 
 }  // namespace curare::runtime

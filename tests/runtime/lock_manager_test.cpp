@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -135,6 +137,32 @@ TEST_F(LockManagerTest, OperationCountAdvances) {
   lm.lock(key(), true);
   lm.unlock(key(), true);
   EXPECT_EQ(lm.operations(), before + 2);
+}
+
+TEST_F(LockManagerTest, HashSpreadsAlignedPointerKeys) {
+  // Regression: heap objects are allocated at (at least) 16-byte-aligned
+  // addresses, so without a finalizer the low bits feeding `% shards`
+  // are mostly zero and whole shard groups go unused. 512 distinct cons
+  // locations must spread across nearly all 64 shards, with no shard
+  // absorbing a large multiple of its fair share (fair = 8 per shard).
+  constexpr std::size_t kNumShards = 64;  // mirrors LockManager::kShards
+  std::array<int, kNumShards> bucket{};
+  const sexpr::Symbol* field = ctx.symbols.intern("car");
+  for (int i = 0; i < 512; ++i) {
+    auto* cell = ctx.heap.alloc<sexpr::Cons>(sexpr::Value::nil(),
+                                             sexpr::Value::nil());
+    LocKey k{cell, field};
+    ++bucket[LocKeyHash{}(k) % kNumShards];
+  }
+  int hit = 0;
+  int worst = 0;
+  for (int n : bucket) {
+    if (n > 0) ++hit;
+    worst = std::max(worst, n);
+  }
+  EXPECT_GE(hit, 56) << "aligned pointers must not collapse onto a few "
+                        "shards (pre-fix behaviour hit ~4 of 64)";
+  EXPECT_LE(worst, 64) << "no shard may absorb 8x its fair share";
 }
 
 TEST_F(LockManagerTest, VariableLocationKeys) {

@@ -122,6 +122,131 @@ TEST_F(ServerPoolTest, ErrorsInBodyPropagate) {
   EXPECT_THROW(rt.run_cri(fn, 1, 3, {Value::nil()}), sexpr::LispError);
 }
 
+TEST_F(ServerPoolTest, RerunSameCriRunAfterAbortedRun) {
+  // Regression: a thrown body used to leave pending_ permanently
+  // elevated and the queues closed with leftovers; a retry on the same
+  // CriRun must start from consistent termination accounting.
+  run_src(
+      "(setq fail 1)(setq count 0)"
+      "(defun flaky-cri (l)"
+      "  (when (> fail 0) (error \"boom\"))"
+      "  (when l"
+      "    (%atomic-incf-var 'count 1)"
+      "    (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("flaky-cri");
+  CriRun run(in, fn, 1, 3);
+  EXPECT_THROW(run.run({sexpr::read_one(ctx, "(1 2 3)")}),
+               sexpr::LispError);
+  run_src("(setq fail 0)");
+  CriStats stats = run.run({sexpr::read_one(ctx, "(1 2 3)")});
+  EXPECT_EQ(stats.invocations, 4u) << "3 elements + the nil base case";
+  EXPECT_EQ(run_src("count").as_fixnum(), 3);
+  EXPECT_FALSE(stats.finished_early);
+}
+
+TEST_F(ServerPoolTest, RunCriAfterAbortedRunCriStaysConsistent) {
+  // Same regression through the Runtime facade (fresh CriRun, shared
+  // recorder/metrics): an aborted run must not poison the next one.
+  run_src("(defun boom-cri (l) (error \"boom\"))");
+  EXPECT_THROW(rt.run_cri(in.global("boom-cri"), 1, 3, {Value::nil()}),
+               sexpr::LispError);
+  run_src(
+      "(setq visited2 0)"
+      "(defun ok-cri (l)"
+      "  (when l (%atomic-incf-var 'visited2 1) (%cri-enqueue 0 (cdr l))))");
+  CriStats stats = rt.run_cri(in.global("ok-cri"), 1, 4,
+                              {sexpr::read_one(ctx, "(1 2 3 4 5)")});
+  EXPECT_EQ(stats.invocations, 6u);
+  EXPECT_EQ(run_src("visited2").as_fixnum(), 5);
+}
+
+TEST_F(ServerPoolTest, ErrorMidRecursionStopsWithoutHanging) {
+  // The error fires mid-flight with successors already queued; the
+  // remaining tasks are discarded with exact pending_ accounting (no
+  // deadlock waiting on a count that can never reach zero).
+  run_src(
+      "(defun dies-at-3-cri (n)"
+      "  (when (> n 0)"
+      "    (%cri-enqueue 0 (- n 1))"
+      "    (when (= n 3) (error \"mid-flight\"))))");
+  Value fn = in.global("dies-at-3-cri");
+  EXPECT_THROW(rt.run_cri(fn, 1, 2, {Value::fixnum(10)}),
+               sexpr::LispError);
+  // And the pool is reusable afterwards.
+  CriStats stats = rt.run_cri(fn, 1, 2, {Value::fixnum(2)});
+  EXPECT_EQ(stats.invocations, 3u);
+}
+
+TEST_F(ServerPoolTest, EarlyFinishDiscardsRemainingQueuedWork) {
+  // Exponential two-site fan-out; %cri-finish fires deep inside. The
+  // remaining queue must be discarded, not executed: invocations stay
+  // far below the 2^12 the full recursion would run.
+  run_src(
+      "(defun fan-cri (n)"
+      "  (when (> n 0)"
+      "    (%cri-enqueue 0 (- n 1))"
+      "    (%cri-enqueue 1 (- n 1))"
+      "    (when (= n 6) (%cri-finish 'deep))))");
+  Value fn = in.global("fan-cri");
+  CriStats stats = rt.run_cri(fn, 2, 4, {Value::fixnum(12)});
+  EXPECT_TRUE(stats.finished_early);
+  EXPECT_EQ(sexpr::write_str(stats.result), "deep");
+  EXPECT_LT(stats.invocations, 1u << 12)
+      << "servers must discard, not drain-execute, after finish";
+}
+
+TEST_F(ServerPoolTest, BatchedDequeueCountsStayExact) {
+  // Batch limit > 1: servers take several same-site tasks per scheduler
+  // transaction. Counts and termination must be unchanged.
+  run_src(
+      "(setq bnodes 0)"
+      "(defun bwalk-cri (x)"
+      "  (when (consp x)"
+      "    (%atomic-incf-var 'bnodes 1)"
+      "    (%cri-enqueue 0 (car x))"
+      "    (%cri-enqueue 1 (cdr x))))");
+  Value fn = in.global("bwalk-cri");
+  Value tree = sexpr::read_one(
+      ctx, "((1 2 3 4) (5 (6 7) 8) (9 10) ((11 12) 13) 14)");
+  CriStats stats = rt.run_cri(fn, 2, 4, {tree}, "bwalk", /*batch=*/4);
+  EXPECT_EQ(run_src("bnodes").as_fixnum(), 20) << "cons count of the tree";
+  EXPECT_EQ(stats.queue.pops, stats.invocations);
+  EXPECT_LE(stats.queue.pop_calls, stats.queue.pops)
+      << "batching can only amortize, never double-serve";
+}
+
+TEST_F(ServerPoolTest, TwoSiteSingleServerDrainsSiteZeroFirst) {
+  // §4.1 ordering invariant, deterministic with one server: the server
+  // finishes all queued site-0 calls before touching site 1, and new
+  // site-0 work pulls it back before site 1 resumes.
+  run_src(
+      "(setq order nil)"
+      "(defun two-cri (tag n)"
+      "  (setq order (cons tag order))"
+      "  (when (> n 0)"
+      "    (%cri-enqueue 0 'a (- n 1))"
+      "    (%cri-enqueue 1 'b (- n 1))))");
+  Value fn = in.global("two-cri");
+  rt.run_cri(fn, 2, 1,
+             {sexpr::read_one(ctx, "r"), Value::fixnum(2)});
+  EXPECT_EQ(sexpr::write_str(in.eval_program("order")),
+            "(b b a b a a r)")
+      << "execution order must be r a a b a b b (site 0 before site 1)";
+}
+
+TEST_F(ServerPoolTest, QueueStatsExposeSchedulerInternals) {
+  run_src("(defun q-cri (l) (when l (%cri-enqueue 0 (cdr l))))");
+  Value fn = in.global("q-cri");
+  CriStats stats = rt.run_cri(fn, 1, 3,
+                              {sexpr::read_one(ctx, "(1 2 3 4 5 6 7 8)")});
+  EXPECT_EQ(stats.queue.pushes, stats.invocations)
+      << "initial task + every enqueue";
+  EXPECT_EQ(stats.queue.pops, stats.invocations);
+  EXPECT_EQ(stats.queue.notify_sent + stats.queue.notify_suppressed,
+            stats.queue.pushes)
+      << "every push either signalled a sleeper or skipped the cv";
+}
+
 TEST_F(ServerPoolTest, EnqueueOutsideRunThrows) {
   EXPECT_THROW(run_src("(%cri-enqueue 0 nil)"), sexpr::LispError);
 }

@@ -1,0 +1,327 @@
+// Sharded scheduler tests (paper §4.1): the site-ordering invariant,
+// O(1) depth-counter accuracy, close-while-pushing races, ring-overflow
+// FIFO, batched pops, notify throttling, and single-threaded parity
+// with the seed single-mutex queue. This file is part of runtime_test,
+// which the CI TSan job runs — the concurrent cases here are the race
+// detectors' workload.
+#include "runtime/task_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpmc_ring.hpp"
+
+namespace curare::runtime {
+namespace {
+
+using sexpr::Value;
+
+TaskArgs task(std::int64_t v) { return {Value::fixnum(v)}; }
+
+std::int64_t val(const TaskArgs& t) { return t[0].as_fixnum(); }
+
+// ---- MpmcRing unit ------------------------------------------------------
+
+TEST(MpmcRing, FillDrainFifo) {
+  MpmcRing<TaskArgs> r(8);
+  EXPECT_EQ(r.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.try_push(task(i)));
+  TaskArgs rejected = task(99);
+  EXPECT_FALSE(r.try_push(std::move(rejected)));
+  EXPECT_EQ(val(rejected), 99) << "a failed push must not consume the task";
+  TaskArgs t;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(r.try_pop(t));
+    EXPECT_EQ(val(t), i);
+  }
+  EXPECT_FALSE(r.try_pop(t));
+}
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpmcRing<int>(64).capacity(), 64u);
+}
+
+TEST(MpmcRing, ConcurrentSumExact) {
+  // Small capacity so producers hit full and consumers hit empty often.
+  MpmcRing<TaskArgs> r(64);
+  constexpr int kProducers = 4, kConsumers = 4, kPer = 20000;
+  constexpr long kTotal = static_cast<long>(kProducers) * kPer;
+  std::atomic<long> sum{0};
+  std::atomic<long> taken{0};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&r, p] {
+      for (int i = 0; i < kPer; ++i) {
+        TaskArgs t = task(static_cast<long>(p) * kPer + i);
+        while (!r.try_push(std::move(t))) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      TaskArgs t;
+      while (taken.load(std::memory_order_relaxed) < kTotal) {
+        if (r.try_pop(t)) {
+          sum.fetch_add(val(t), std::memory_order_relaxed);
+          taken.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(taken.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2)
+      << "every pushed task popped exactly once";
+}
+
+// ---- site-ordering invariant (§4.1) -------------------------------------
+
+// Single consumer, interleaved pushes: the sharded queue must produce
+// exactly the order the seed single-mutex queue produced. Tiny rings
+// force the spill path into the comparison too.
+TEST(ShardedQueues, SingleConsumerOrderMatchesSingleMutexQueue) {
+  ShardedTaskQueues nq(3, /*ring_capacity=*/4);
+  SingleMutexTaskQueues lq(3);
+  std::mt19937 rng(42);
+  long next = 0, queued = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (queued == 0 || rng() % 3 != 0) {
+      const std::size_t site = rng() % 3;
+      nq.push(site, task(next));
+      lq.push(site, task(next));
+      ++next;
+      ++queued;
+    } else {
+      std::size_t ns = 7, ls = 7;
+      auto a = nq.pop(&ns);
+      auto b = lq.pop(&ls);
+      ASSERT_TRUE(a.has_value() && b.has_value());
+      ASSERT_EQ(val(*a), val(*b)) << "at step " << step;
+      ASSERT_EQ(ns, ls);
+      --queued;
+    }
+  }
+  nq.close();
+  lq.close();
+  for (;;) {
+    auto a = nq.pop();
+    auto b = lq.pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    ASSERT_EQ(val(*a), val(*b));
+  }
+}
+
+TEST(ShardedQueues, NewLowSiteWorkPreemptsRemainingHighSite) {
+  // After the consumer has moved on to site 1, fresh site-0 work must
+  // be served before the rest of site 1 (the scan hint re-lowers).
+  ShardedTaskQueues q(2);
+  q.push(1, task(10));
+  q.push(1, task(11));
+  q.push(0, task(0));
+  std::size_t site = 9;
+  EXPECT_EQ(val(*q.pop(&site)), 0);
+  EXPECT_EQ(site, 0u);
+  EXPECT_EQ(val(*q.pop(&site)), 10);
+  EXPECT_EQ(site, 1u);
+  q.push(0, task(1));  // arrives while hint sits at site 1
+  EXPECT_EQ(val(*q.pop(&site)), 1) << "site 0 drains before site 1 resumes";
+  EXPECT_EQ(site, 0u);
+  EXPECT_EQ(val(*q.pop(&site)), 11);
+  EXPECT_EQ(site, 1u);
+}
+
+// ---- O(1) depth counter -------------------------------------------------
+
+TEST(ShardedQueues, PushReturnsDepthSample) {
+  ShardedTaskQueues q(2);
+  EXPECT_EQ(q.push(0, task(1)), 1u);
+  EXPECT_EQ(q.push(1, task(2)), 2u);
+  EXPECT_EQ(q.push(0, task(3)), 3u);
+  EXPECT_EQ(q.depth(), 3u);
+  (void)q.pop();
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.push(0, task(4)), 3u);
+  EXPECT_EQ(q.max_length(), 3u);
+}
+
+TEST(ShardedQueues, DepthCounterExactUnderConcurrency) {
+  ShardedTaskQueues q(4, /*ring_capacity=*/16);
+  constexpr int kPushers = 4, kPer = 5000;
+  constexpr long kTotal = static_cast<long>(kPushers) * kPer;
+  std::atomic<long> popped{0};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kPushers; ++p) {
+    ts.emplace_back([&q, p] {
+      for (int i = 0; i < kPer; ++i)
+        q.push(static_cast<std::size_t>(i % 4), task(p));
+    });
+  }
+  std::vector<std::thread> poppers;
+  for (int c = 0; c < 2; ++c) {
+    poppers.emplace_back([&] {
+      while (q.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : ts) th.join();
+  while (popped.load() < kTotal) std::this_thread::yield();
+  q.close();
+  for (auto& th : poppers) th.join();
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(q.depth(), 0u);
+  const QueueStats st = q.stats();
+  EXPECT_EQ(st.pushes, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(st.pops, static_cast<std::uint64_t>(kTotal));
+  EXPECT_GE(q.max_length(), 1u);
+  EXPECT_LE(q.max_length(), static_cast<std::size_t>(kTotal));
+}
+
+// ---- close / termination ------------------------------------------------
+
+TEST(ShardedQueues, CloseWakesWithEmpty) {
+  ShardedTaskQueues q(1);
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ShardedQueues, DrainsRemainingAfterClose) {
+  ShardedTaskQueues q(1);
+  q.push(0, task(1));
+  q.close();
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ShardedQueues, CloseWhilePushingTerminates) {
+  // The race the kill-token protocol must survive: producers mid-push
+  // while close() fires and consumers drain. Run several rounds; the
+  // assertions are liveness (every thread joins) and counter sanity —
+  // TSan checks the rest.
+  for (int round = 0; round < 10; ++round) {
+    ShardedTaskQueues q(2, /*ring_capacity=*/8);
+    std::atomic<bool> stop{false};
+    std::atomic<long> pushed{0}, popped{0};
+    std::vector<std::thread> ts;
+    for (int p = 0; p < 2; ++p) {
+      ts.emplace_back([&, p] {
+        for (long i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          q.push(static_cast<std::size_t>((i + p) % 2), task(i));
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (int c = 0; c < 2; ++c) {
+      ts.emplace_back([&] {
+        while (q.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    q.close();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : ts) th.join();
+    EXPECT_LE(popped.load(), pushed.load());
+  }
+}
+
+TEST(ShardedQueues, ReopenServesAgainWithFreshStats) {
+  ShardedTaskQueues q(2);
+  q.push(0, task(1));
+  q.push(1, task(2));
+  q.close();
+  EXPECT_TRUE(q.pop().has_value());
+  q.reopen();  // drops the un-popped leftover
+  EXPECT_FALSE(q.closed());
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.stats().pushes, 0u);
+  EXPECT_EQ(q.max_length(), 0u);
+  EXPECT_EQ(q.push(0, task(7)), 1u);
+  EXPECT_EQ(val(*q.pop()), 7);
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ShardedQueues, BadSiteThrows) {
+  ShardedTaskQueues q(2);
+  EXPECT_THROW(q.push(5, {}), sexpr::LispError);
+}
+
+// ---- ring overflow / spill ----------------------------------------------
+
+TEST(ShardedQueues, SpillOverflowPreservesFifo) {
+  ShardedTaskQueues q(1, /*ring_capacity=*/4);
+  const int kN = 100;
+  for (int i = 0; i < kN; ++i) q.push(0, task(i));
+  EXPECT_GT(q.stats().spill_pushes, 0u) << "overflow must hit the spill";
+  EXPECT_EQ(q.depth(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    auto t = q.pop();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(val(*t), i) << "FIFO across ring→spill→refill boundaries";
+  }
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// ---- batched pops -------------------------------------------------------
+
+TEST(ShardedQueues, BatchPopStaysWithinOneSiteInOrder) {
+  ShardedTaskQueues q(2);
+  for (int i = 0; i < 5; ++i) q.push(0, task(i));
+  for (int i = 10; i < 13; ++i) q.push(1, task(i));
+
+  std::vector<TaskArgs> out;
+  std::size_t site = 9;
+  EXPECT_EQ(q.pop_some(out, 4, &site), 4u);
+  EXPECT_EQ(site, 0u);
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(val(out[i]), i);
+
+  out.clear();
+  EXPECT_EQ(q.pop_some(out, 4, &site), 1u)
+      << "a batch never spans sites: the site-0 remainder comes alone";
+  EXPECT_EQ(site, 0u);
+  EXPECT_EQ(val(out[0]), 4);
+
+  out.clear();
+  EXPECT_EQ(q.pop_some(out, 4, &site), 3u);
+  EXPECT_EQ(site, 1u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(val(out[i]), 10 + i);
+
+  q.close();
+  out.clear();
+  EXPECT_EQ(q.pop_some(out, 4, &site), 0u) << "kill token";
+}
+
+// ---- notify throttling --------------------------------------------------
+
+TEST(ShardedQueues, NotifySkippedWithoutSleeperSentWithOne) {
+  ShardedTaskQueues q(1);
+  q.push(0, task(1));  // nobody asleep: cv untouched
+  EXPECT_EQ(q.stats().notify_suppressed, 1u);
+  EXPECT_EQ(q.stats().notify_sent, 0u);
+  (void)q.pop();
+
+  std::thread popper([&q] { (void)q.pop(); });
+  // Wait for the popper to actually block.
+  while (q.stats().sleeps < 1) std::this_thread::yield();
+  q.push(0, task(2));  // must pay the cv now
+  popper.join();
+  EXPECT_EQ(q.stats().notify_sent, 1u);
+  EXPECT_EQ(q.stats().notify_suppressed, 1u);
+  q.close();
+}
+
+}  // namespace
+}  // namespace curare::runtime

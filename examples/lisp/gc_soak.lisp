@@ -1,0 +1,22 @@
+; GC soak from Lisp: 120 future-driven build/sum cycles under a tight
+; collection threshold. Run it as
+;
+;   curare --gc-threshold 262144 --gc-stats examples/lisp/gc_soak.lisp
+;
+; Every cycle's list is garbage the moment its future is touched, so
+; the heap must reach a steady state instead of growing by 150 conses
+; per cycle; the --gc-stats footer shows the reclamation totals.
+
+(defun build (n)
+  (if (> n 0) (cons n (build (- n 1))) nil))
+
+(defun sum (l)
+  (if l (+ (car l) (sum (cdr l))) 0))
+
+(defun soak (k)
+  (when (> k 0)
+    (touch (future (sum (build 150))))
+    (soak (- k 1))))
+
+(soak 120)
+(print 'soak-ok)

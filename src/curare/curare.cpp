@@ -79,9 +79,22 @@ std::string TransformPlan::to_string() const {
 Curare::Curare(sexpr::Ctx& ctx, std::size_t workers)
     : ctx_(ctx), interp_(ctx), runtime_(interp_, workers), decls_(ctx) {
   runtime_.install();
+  ctx_.heap.gc().add_root_source(this);
+}
+
+Curare::~Curare() { ctx_.heap.gc().remove_root_source(this); }
+
+void Curare::gc_roots(std::vector<Value>& out) {
+  out.insert(out.end(), program_forms_.begin(), program_forms_.end());
+  for (const auto& [name, form] : defuns_) out.push_back(form);
+  for (const auto& [name, plan] : plans_)
+    out.insert(out.end(), plan.forms.begin(), plan.forms.end());
 }
 
 void Curare::load_program(std::string_view src) {
+  // One unsafe region for the whole load: the freshly read forms and
+  // the containers under mutation stay out of the collector's sight.
+  gc::MutatorScope gc_scope(ctx_.heap.gc());
   std::vector<Value> forms = sexpr::read_all(ctx_, src);
   decls_.load_program(forms);
   for (Value form : forms) {
@@ -124,6 +137,9 @@ analysis::FunctionInfo Curare::extract_named(std::string_view fn_name) {
 }
 
 AnalysisReport Curare::analyze(std::string_view fn_name) {
+  // Analysis builds rewritten forms in C++ locals (FunctionInfo holds
+  // Values); keep them safe from a concurrent collection.
+  gc::MutatorScope gc_scope(ctx_.heap.gc());
   AnalysisReport report;
   report.info = extract_named(fn_name);
   report.conflicts = analysis::detect_conflicts(ctx_, decls_, report.info);
@@ -137,6 +153,11 @@ AnalysisReport Curare::analyze(std::string_view fn_name) {
 
 TransformPlan Curare::transform(std::string_view fn_name,
                                 const TransformOptions& opts) {
+  // Generated defuns pass through several C++ locals before they are
+  // installed and rooted via plans_; keep the world running-but-uncollected
+  // until then. (run_parallel is NOT wrapped — servers must be able to
+  // stop the world mid-run.)
+  gc::MutatorScope gc_scope(ctx_.heap.gc());
   TransformPlan plan;
   Symbol* name = ctx_.symbols.intern(fn_name);
 

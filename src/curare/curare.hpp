@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/conflict.hpp"
+#include "gc/gc.hpp"
 #include "analysis/extract.hpp"
 #include "analysis/headtail.hpp"
 #include "analysis/summary.hpp"
@@ -82,9 +83,10 @@ struct TransformPlan {
   std::string to_string() const;
 };
 
-class Curare {
+class Curare : public gc::RootSource {
  public:
   explicit Curare(sexpr::Ctx& ctx, std::size_t workers = 0);
+  ~Curare() override;
 
   /// Read a program: defuns are evaluated (defining the sequential
   /// versions), declarations are collected.
@@ -120,6 +122,13 @@ class Curare {
   /// Interprocedural effect summaries of every loaded defun (recomputed
   /// on each load_program).
   const analysis::SummaryMap& summaries() const { return summaries_; }
+
+  /// Collector callback (world stopped): every loaded program form,
+  /// every (possibly rewritten) defun source, and every transform
+  /// plan's generated forms are live. The containers are mutated only
+  /// under a MutatorScope (load_program/transform), so the collector
+  /// never sees them mid-update.
+  void gc_roots(std::vector<Value>& out) override;
 
  private:
   analysis::FunctionInfo extract_named(std::string_view fn_name);

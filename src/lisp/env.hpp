@@ -81,6 +81,19 @@ class Env {
   bool is_global() const { return global_; }
   const EnvPtr& parent() const { return parent_; }
 
+  /// Visit every value bound in THIS frame (not the chain). Used by the
+  /// collector: closures reach their captured frames through here, and
+  /// the interpreter enumerates the global frame as a root source.
+  template <typename Fn>
+  void for_each_binding(Fn&& fn) const {
+    if (global_) {
+      std::shared_lock lock(mu_);
+      for (const auto& [name, v] : vars_) fn(v);
+    } else {
+      for (const auto& [name, v] : vars_) fn(v);
+    }
+  }
+
  private:
   Env(EnvPtr parent, bool global)
       : parent_(std::move(parent)), global_(global) {}

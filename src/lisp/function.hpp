@@ -30,6 +30,17 @@ struct Closure final : sexpr::Obj {
         body(body_),
         env(std::move(env_)) {}
 
+  void gc_trace(sexpr::GcVisitor& g) const override {
+    g.visit(body);
+    // Captured frames are shared by every closure made under them;
+    // enter_region dedups the walk within one collection. Parameter
+    // symbols are pinned by the SymbolTable and need no visit.
+    for (const Env* e = env.get(); e != nullptr; e = e->parent().get()) {
+      if (!g.enter_region(e)) break;
+      e->for_each_binding([&](Value v) { g.visit(v); });
+    }
+  }
+
   const std::string name;  ///< "" for anonymous lambdas
   const std::vector<Symbol*> params;
   Symbol* const rest;

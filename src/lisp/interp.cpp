@@ -53,6 +53,7 @@ bool is_cxr_name(const std::string& name) {
 
 Interp::Interp(sexpr::Ctx& ctx)
     : ctx_(ctx),
+      gc_(ctx.heap.gc()),
       global_(Env::make_global()),
       s_future_(ctx.symbols.intern("future")),
       s_defmacro_unsupported_(ctx.symbols.intern("defmacro")),
@@ -62,6 +63,16 @@ Interp::Interp(sexpr::Ctx& ctx)
       s_push_(ctx.symbols.intern("push")),
       s_pop_(ctx.symbols.intern("pop")) {
   install_builtins(*this);
+  gc_.add_root_source(this);
+}
+
+Interp::~Interp() { gc_.remove_root_source(this); }
+
+void Interp::gc_roots(std::vector<Value>& out) {
+  // Every reachable Lisp value hangs off a global binding: closures
+  // carry their captured frames, conses their elements. Local frames of
+  // suspended computations never survive a quiescent point unrooted.
+  global_->for_each_binding([&](Value v) { out.push_back(v); });
 }
 
 std::shared_ptr<const StructType> Interp::struct_type(Symbol* name) const {
@@ -190,8 +201,21 @@ Value Interp::global(std::string_view name) {
 }
 
 Value Interp::eval_program(std::string_view src) {
+  // Root the freshly read forms before evaluating: collections may run
+  // between top-level forms (that is a quiescent point), and a form not
+  // yet evaluated is reachable from nowhere else.
+  gc::RootScope roots(gc_);
+  std::vector<Value> forms;
+  {
+    gc::MutatorScope ms(gc_);
+    forms = sexpr::read_all(ctx_, src);
+    for (Value f : forms) roots.add(f);
+  }
   Value result = Value::nil();
-  for (Value form : sexpr::read_all(ctx_, src)) result = eval_top(form);
+  for (Value form : forms) {
+    gc_.maybe_collect();
+    result = eval_top(form);
+  }
   return result;
 }
 
@@ -257,7 +281,63 @@ Value Interp::make_closure(Value lambda_form, const EnvPtr& env,
   return Value::object(c);
 }
 
+namespace {
+/// Shadow-stack frame for one eval/apply activation: roots the form
+/// under evaluation, the frame's environment chain, and the in-flight
+/// callee + argument vector of an ordinary application. Registered
+/// with the collector so a thread may release its unsafe region across
+/// a long block deeper in the call (CriRun::run joining its servers)
+/// without the values its suspended frames hold becoming collectible.
+class EvalFrame final : public gc::StackRoots {
+ public:
+  EvalFrame(gc::GcHeap& h, const Value* form, const EnvPtr* env)
+      : gc::StackRoots(h), form_(form), env_(env) {}
+
+  /// The ordinary-application path parks its callee and argument
+  /// vector here while the arguments are evaluated and applied; the
+  /// tail-call path clears them before their storage dies.
+  void set_call(const Value* fn, const std::vector<Value>* args) {
+    fn_ = fn;
+    args_ = args;
+  }
+  /// One extra local that must survive body evaluation (dolist's list
+  /// tail).
+  void set_extra(const Value* v) { extra_ = v; }
+
+  void trace(sexpr::GcVisitor& g) const override {
+    if (form_ != nullptr) g.visit(*form_);
+    if (fn_ != nullptr) g.visit(*fn_);
+    if (extra_ != nullptr) g.visit(*extra_);
+    if (args_ != nullptr)
+      for (Value v : *args_) g.visit(v);
+    if (span_ != nullptr)
+      for (Value v : *span_) g.visit(v);
+    if (env_ != nullptr) {
+      for (const Env* e = env_->get(); e != nullptr;
+           e = e->parent().get()) {
+        if (!g.enter_region(e)) break;
+        e->for_each_binding([&](Value v) { g.visit(v); });
+      }
+    }
+  }
+
+  void set_span(const std::span<const Value>* sp) { span_ = sp; }
+
+ private:
+  const Value* form_;
+  const EnvPtr* env_;
+  const Value* fn_ = nullptr;
+  const Value* extra_ = nullptr;
+  const std::vector<Value>* args_ = nullptr;
+  const std::span<const Value>* span_ = nullptr;
+};
+}  // namespace
+
 Value Interp::apply(Value fn, std::span<const Value> args) {
+  gc::MutatorScope gc_scope(gc_);
+  EvalFrame gc_frame(gc_, nullptr, nullptr);
+  gc_frame.set_call(&fn, nullptr);
+  gc_frame.set_span(&args);
   apply_count_.fetch_add(1, std::memory_order_relaxed);
   if (fn.is(Kind::Builtin)) {
     auto* b = static_cast<Builtin*>(fn.obj());
@@ -279,6 +359,8 @@ Value Interp::apply(Value fn, std::span<const Value> args) {
 }
 
 Value Interp::eval(Value form, EnvPtr env) {
+  gc::MutatorScope gc_scope(gc_);
+  EvalFrame gc_frame(gc_, &form, &env);
   DepthGuard guard(depth_, max_depth_);
   for (;;) {
     // Self-evaluating atoms.
@@ -496,6 +578,7 @@ Value Interp::eval(Value form, EnvPtr env) {
         Value spec = cadr(form);
         Symbol* var = as_symbol(car(spec));
         Value list = eval(cadr(spec), env);
+        gc_frame.set_extra(&list);
         EnvPtr inner = Env::make_local(env);
         inner->define(var, Value::nil());
         for (; !list.is_nil(); list = cdr(list)) {
@@ -526,6 +609,7 @@ Value Interp::eval(Value form, EnvPtr env) {
     // ---- ordinary application -----------------------------------------
     Value fn = eval(head, env);
     std::vector<Value> args;
+    gc_frame.set_call(&fn, &args);
     for (Value a = cdr(form); !a.is_nil(); a = cdr(a))
       args.push_back(eval(car(a), env));
 
@@ -535,6 +619,7 @@ Value Interp::eval(Value form, EnvPtr env) {
       auto* c = static_cast<Closure*>(fn.obj());
       env = bind_params(c, args);
       Value body = c->body;
+      gc_frame.set_call(nullptr, nullptr);  // storage dies at `continue`
       if (body.is_nil()) return Value::nil();
       while (!cdr(body).is_nil()) {
         eval(car(body), env);

@@ -45,11 +45,16 @@ namespace curare::lisp {
 
 using sexpr::Value;
 
-class Interp {
+class Interp : public gc::RootSource {
  public:
   explicit Interp(sexpr::Ctx& ctx);
+  ~Interp() override;
   Interp(const Interp&) = delete;
   Interp& operator=(const Interp&) = delete;
+
+  /// GC root source: the global environment. Closures reach their
+  /// captured lexical frames from here; see DESIGN.md §9.
+  void gc_roots(std::vector<Value>& out) override;
 
   sexpr::Ctx& ctx() { return ctx_; }
   const EnvPtr& global_env() const { return global_; }
@@ -132,6 +137,7 @@ class Interp {
   Value eval_defstruct(Value form);
 
   sexpr::Ctx& ctx_;
+  gc::GcHeap& gc_;
   EnvPtr global_;
 
   // Cached special-form symbols not already in Ctx.

@@ -78,6 +78,11 @@ struct Instance final : sexpr::Obj {
         v.bits(), std::memory_order_relaxed);
   }
 
+  void gc_trace(sexpr::GcVisitor& g) const override {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      g.visit(get(static_cast<int>(i)));
+  }
+
   const std::shared_ptr<const StructType> type;
   std::vector<std::atomic<std::uint64_t>> slots;
 };

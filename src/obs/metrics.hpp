@@ -24,6 +24,12 @@
 //   future.touch_waits      counter   touches that blocked
 //   future.wait_ns          histogram blocked time per waiting touch
 //   future.helped           counter   queued tasks run while waiting
+//   cri.gc.collections      counter   stop-the-world collections
+//   cri.gc.pause_ns         histogram pause length per collection
+//   cri.gc.reclaimed_objects counter  objects swept across collections
+//   cri.gc.reclaimed_bytes  counter   bytes swept across collections
+//   cri.gc.live_objects     gauge     live objects after the last GC
+//   cri.gc.heap_bytes       gauge     block bytes held after the last GC
 #pragma once
 
 #include <atomic>

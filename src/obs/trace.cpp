@@ -32,6 +32,7 @@ const char* event_name(EventKind k) {
     case EventKind::kFutureRun: return "future-run";
     case EventKind::kFutureTouchWait: return "future-touch-wait";
     case EventKind::kEarlyFinish: return "early-finish";
+    case EventKind::kGcPause: return "gc-pause";
   }
   return "unknown";
 }

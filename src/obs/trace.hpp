@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t {
   kFutureRun,       // X  future body executed  a0=future#
   kFutureTouchWait, // X  touch blocked         a1=tasks helped while waiting
   kEarlyFinish,     // i  %cri-finish delivered
+  kGcPause,         // X  stop-the-world collection  a0=reclaimed objs, a1=bytes
 };
 
 /// Human name used in the exported trace.

@@ -1,5 +1,8 @@
 #include "runtime/future_pool.hpp"
 
+#include <algorithm>
+#include <optional>
+
 namespace curare::runtime {
 
 FuturePool::FuturePool(std::size_t workers, obs::Recorder* rec)
@@ -26,15 +29,47 @@ FuturePool::~FuturePool() {
   }
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Unregister only after the workers are gone: tasks draining during
+  // shutdown still rely on the pool's roots.
+  if (gc::GcHeap* gc = gc_.load(std::memory_order_acquire))
+    gc->remove_root_source(this);
 }
 
-std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn) {
+void FuturePool::attach_gc(gc::GcHeap* gc) {
+  gc_.store(gc, std::memory_order_release);
+  if (gc != nullptr) gc->add_root_source(this);
+}
+
+void FuturePool::gc_roots(std::vector<Value>& out) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const Task& t : queue_) out.push_back(t.root);
+  for (Value v : in_flight_) out.push_back(v);
+  std::erase_if(states_, [](const std::weak_ptr<FutureState>& w) {
+    return w.expired();
+  });
+  for (const auto& w : states_) {
+    if (auto s = w.lock()) {
+      std::lock_guard<std::mutex> sg(s->mu);
+      out.push_back(s->value);
+    }
+  }
+}
+
+std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn,
+                                               Value root) {
   auto state = std::make_shared<FutureState>();
   const std::uint64_t id =
       spawned_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> g(mu_);
-    queue_.push_back(Task{std::move(fn), state, id});
+    queue_.push_back(Task{std::move(fn), state, id, root});
+    states_.push_back(state);
+    // Lazy compaction keeps the registry proportional to live futures.
+    if (states_.size() >= 1024) {
+      std::erase_if(states_, [](const std::weak_ptr<FutureState>& w) {
+        return w.expired();
+      });
+    }
   }
   if (rec_) {
     spawned_ctr_->add();
@@ -45,6 +80,11 @@ std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn) {
 }
 
 void FuturePool::run_task(Task& t) {
+  // The whole execution is one unsafe region: the result Value must
+  // not be collectible between t.fn() returning and the state store.
+  std::optional<gc::MutatorScope> ms;
+  if (gc::GcHeap* gc = gc_.load(std::memory_order_acquire))
+    ms.emplace(*gc);
   std::uint64_t t0 = 0;
   if (rec_) t0 = rec_->tracer.now_ns();
   Value v;
@@ -65,14 +105,28 @@ void FuturePool::run_task(Task& t) {
 }
 
 bool FuturePool::run_one_task() {
+  // Callers (touch helpers) are already inside an unsafe region; this
+  // scope makes the invariant local: a task is popped only by a thread
+  // the collector will wait for, so its root hand-off from queue_ to
+  // in_flight_ (one mu_ critical section) is never observable halfway.
+  std::optional<gc::MutatorScope> ms;
+  if (gc::GcHeap* gc = gc_.load(std::memory_order_acquire))
+    ms.emplace(*gc);
   Task t;
+  std::list<Value>::iterator root_it;
   {
     std::lock_guard<std::mutex> g(mu_);
     if (queue_.empty()) return false;
     t = std::move(queue_.front());
     queue_.pop_front();
+    in_flight_.push_front(t.root);
+    root_it = in_flight_.begin();
   }
   run_task(t);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    in_flight_.erase(root_it);
+  }
   return true;
 }
 
@@ -82,15 +136,18 @@ void FuturePool::worker_loop(std::size_t worker_index) {
                              std::to_string(worker_index));
   }
   for (;;) {
-    Task t;
+    // Between tasks is a quiescent point for this worker.
+    if (gc::GcHeap* gc = gc_.load(std::memory_order_acquire))
+      gc->maybe_collect();
     {
       std::unique_lock<std::mutex> g(mu_);
       cv_.wait(g, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with drained queue
-      t = std::move(queue_.front());
-      queue_.pop_front();
     }
-    run_task(t);
+    // Re-pop inside an unsafe region (run_one_task) so the task is
+    // never held outside both the queue and an unsafe region; a helper
+    // may have raced us to it, in which case we just loop.
+    run_one_task();
   }
 }
 

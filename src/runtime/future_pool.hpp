@@ -16,11 +16,13 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "gc/gc.hpp"
 #include "obs/recorder.hpp"
 #include "sexpr/value.hpp"
 
@@ -42,25 +44,42 @@ struct FutureState {
 struct FutureObj final : sexpr::Obj {
   explicit FutureObj(std::shared_ptr<FutureState> s)
       : Obj(sexpr::Kind::Native), state(std::move(s)) {}
+
+  void gc_trace(sexpr::GcVisitor& g) const override {
+    // done/value are written under state->mu; traced only while the
+    // world is stopped, so every resolver is parked or quiescent.
+    g.visit(state->value);
+  }
+
   const std::shared_ptr<FutureState> state;
 };
 
-class FuturePool {
+class FuturePool : public gc::RootSource {
  public:
   /// Starts `workers` threads (hardware concurrency if 0). A non-null
   /// `rec` records spawn/run/touch-wait events and wait-time metrics.
   explicit FuturePool(std::size_t workers = 0,
                       obs::Recorder* rec = nullptr);
-  ~FuturePool();
+  ~FuturePool() override;
   FuturePool(const FuturePool&) = delete;
   FuturePool& operator=(const FuturePool&) = delete;
 
-  /// Submit a computation; returns its future state.
-  std::shared_ptr<FutureState> spawn(std::function<Value()> fn);
+  /// Submit a computation; returns its future state. `root` is a Value
+  /// (typically the thunk closure) that must stay reachable until the
+  /// task has run; the pool roots it while the task is queued or
+  /// executing.
+  std::shared_ptr<FutureState> spawn(std::function<Value()> fn,
+                                     Value root = Value::nil());
 
   /// Block until the future resolves, helping with queued tasks while
   /// waiting. Rethrows the task's exception, if any.
   Value touch(const std::shared_ptr<FutureState>& f);
+
+  /// Participate in collections: queued/in-flight task roots and every
+  /// live future's resolved value (a future dropped by the program
+  /// stops pinning its value as soon as its state expires).
+  void attach_gc(gc::GcHeap* gc);
+  void gc_roots(std::vector<Value>& out) override;
 
   std::size_t workers() const { return threads_.size(); }
   std::uint64_t spawned() const {
@@ -72,6 +91,7 @@ class FuturePool {
     std::function<Value()> fn;
     std::shared_ptr<FutureState> state;
     std::uint64_t id = 0;  ///< spawn ordinal, for trace correlation
+    Value root;            ///< kept reachable until the task has run
   };
 
   void worker_loop(std::size_t worker_index);
@@ -81,10 +101,21 @@ class FuturePool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
+  /// Roots of tasks popped but not yet finished. The pop and the
+  /// insertion here happen in one mu_ critical section, so the
+  /// collector's snapshot (also under mu_) never sees a task in
+  /// neither place.
+  std::list<Value> in_flight_;
+  /// Every future ever spawned (weak); compacted lazily. Roots the
+  /// resolved values of futures the program still holds.
+  std::vector<std::weak_ptr<FutureState>> states_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> spawned_{0};
 
+  /// Atomic because attach_gc runs after the constructor has already
+  /// started the workers, which read this pointer between tasks.
+  std::atomic<gc::GcHeap*> gc_{nullptr};
   obs::Recorder* rec_;
   // Resolved once at construction so touch()/spawn() never pay the
   // metrics-registry lookup.

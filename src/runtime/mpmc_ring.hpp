@@ -109,6 +109,19 @@ class MpmcRing {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Visit every item currently in the ring, oldest first. Quiescent
+  /// callers only (no concurrent push/pop) — used by the collector to
+  /// enumerate pending task arguments while the world is stopped.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t d = deq_.load(std::memory_order_acquire);
+    const std::size_t e = enq_.load(std::memory_order_acquire);
+    for (std::size_t pos = d; pos < e; ++pos) {
+      const Cell& c = cells_[pos & mask_];
+      if (c.seq.load(std::memory_order_acquire) == pos + 1) fn(c.data);
+    }
+  }
+
  private:
   struct Cell {
     std::atomic<std::size_t> seq{0};

@@ -46,6 +46,40 @@ LocKey cell_key(Value cell, Value field) {
 Runtime::Runtime(Interp& interp, std::size_t workers)
     : interp_(interp), futures_(workers, &recorder_) {
   locks_.set_recorder(&recorder_);
+  gc::GcHeap& gc = interp_.ctx().heap.gc();
+  futures_.attach_gc(&gc);
+  gc.add_root_source(this);
+  // Report every collection into the observability bundle. The callback
+  // runs on the collecting thread right after the world restarts.
+  gc.set_pause_callback([this](const gc::GcPause& p) {
+    obs::Metrics& m = recorder_.metrics;
+    m.counter("cri.gc.collections").add(1);
+    m.histogram("cri.gc.pause_ns").observe(p.pause_ns);
+    m.counter("cri.gc.reclaimed_objects").add(p.reclaimed_objects);
+    m.counter("cri.gc.reclaimed_bytes").add(p.reclaimed_bytes);
+    m.gauge("cri.gc.live_objects")
+        .set(static_cast<std::int64_t>(p.live_objects));
+    m.gauge("cri.gc.heap_bytes")
+        .set(static_cast<std::int64_t>(p.heap_bytes));
+    if (recorder_.tracer.enabled()) {
+      const std::uint64_t end = recorder_.tracer.now_ns();
+      const std::uint64_t start =
+          end > p.pause_ns ? end - p.pause_ns : 0;
+      recorder_.tracer.emit(obs::EventKind::kGcPause, start, p.pause_ns,
+                            p.reclaimed_objects, p.reclaimed_bytes);
+    }
+  });
+}
+
+Runtime::~Runtime() {
+  gc::GcHeap& gc = interp_.ctx().heap.gc();
+  gc.set_pause_callback(nullptr);
+  gc.remove_root_source(this);
+}
+
+void Runtime::gc_roots(std::vector<sexpr::Value>& out) {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  out.push_back(last_stats_.result);
 }
 
 CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
@@ -63,11 +97,14 @@ CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
   CriRun run(interp_, fn, num_sites, servers, &recorder_,
              std::move(label));
   run.set_batch_limit(batch);
-  last_stats_ = run.run(std::move(initial_args));
+  CriStats stats = run.run(std::move(initial_args));
+  std::lock_guard<std::mutex> g(stats_mu_);
+  last_stats_ = stats;
   return last_stats_;
 }
 
 Value Runtime::force_tree(Value v) {
+  gc::MutatorScope gc_scope(interp_.ctx().heap.gc());
   if (FutureObj* f = as_future(v)) v = futures_.touch(f->state);
   if (!v.is(Kind::Cons)) return v;
   // Iterative spine walk with recursion on cars keeps stack use bounded
@@ -294,7 +331,7 @@ void Runtime::install() {
     Value thunk = a[0];
     auto state = futures_.spawn([&i, thunk] {
       return i.apply(thunk, {});
-    });
+    }, thunk);
     return Value::object(i.ctx().heap.alloc<FutureObj>(std::move(state)));
   });
   in.define_builtin("future-p", 1, 1, [](Interp& i,
@@ -308,7 +345,11 @@ void Runtime::install() {
   });
 
   in.set_spawn_hook([this](Interp& i, Value thunk) {
-    auto state = futures_.spawn([&i, thunk] { return i.apply(thunk, {}); });
+    // The thunk rides along as the task's root: a queued future's
+    // closure (and everything it captures) must survive collections
+    // that happen before a worker picks it up.
+    auto state =
+        futures_.spawn([&i, thunk] { return i.apply(thunk, {}); }, thunk);
     return Value::object(i.ctx().heap.alloc<FutureObj>(std::move(state)));
   });
   in.set_touch_hook([this](Interp&, Value v) {

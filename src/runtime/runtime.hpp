@@ -16,7 +16,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
+#include "gc/gc.hpp"
 #include "lisp/interp.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/future_pool.hpp"
@@ -25,11 +27,15 @@
 
 namespace curare::runtime {
 
-class Runtime {
+class Runtime : public gc::RootSource {
  public:
   /// Binds to an interpreter; `workers` sizes the future pool (0 =
   /// hardware concurrency). Call install() to register primitives.
+  /// Construction also wires the heap's collector into the runtime:
+  /// the future pool gets safepoint-aware sleeps, and every GC pause
+  /// reports into the cri.gc.* metrics and the trace (kGcPause spans).
   explicit Runtime(lisp::Interp& interp, std::size_t workers = 0);
+  ~Runtime() override;
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -58,11 +64,18 @@ class Runtime {
   /// replacing it with its value). Returns the (possibly replaced) root.
   sexpr::Value force_tree(sexpr::Value v);
 
+  /// Collector callback (world stopped): the last CRI run's result
+  /// Value is retrievable via last_cri_stats(), so it stays live.
+  void gc_roots(std::vector<sexpr::Value>& out) override;
+
  private:
   lisp::Interp& interp_;
   obs::Recorder recorder_;  ///< before locks_/futures_: they point at it
   LockManager locks_;
   FuturePool futures_;
+  /// Guards last_stats_.result against the collector's gc_roots
+  /// (run_cri stores it outside any unsafe region).
+  std::mutex stats_mu_;
   CriStats last_stats_;
 };
 

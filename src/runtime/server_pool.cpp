@@ -27,6 +27,7 @@ CriRun::CriRun(lisp::Interp& interp, sexpr::Value fn,
                std::size_t num_sites, std::size_t servers,
                obs::Recorder* rec, std::string label)
     : interp_(interp),
+      gc_(interp.ctx().heap.gc()),
       fn_(fn),
       queues_(num_sites),
       servers_(servers == 0 ? 1 : servers),
@@ -39,6 +40,21 @@ CriRun::CriRun(lisp::Interp& interp, sexpr::Value fn,
   busy_ns_.assign(servers_, 0);
   idle_ns_.assign(servers_, 0);
   tasks_per_server_.assign(servers_, 0);
+  queues_.attach_gc(&gc_);
+  gc_.add_root_source(this);
+}
+
+CriRun::~CriRun() { gc_.remove_root_source(this); }
+
+void CriRun::gc_roots(std::vector<sexpr::Value>& out) {
+  out.push_back(fn_);
+  {
+    std::lock_guard<std::mutex> g(result_mu_);
+    out.push_back(result_);
+  }
+  queues_.for_each_task([&out](const TaskArgs& args) {
+    for (const sexpr::Value& v : args) out.push_back(v);
+  });
 }
 
 void CriRun::enqueue(std::size_t site, TaskArgs args) {
@@ -80,6 +96,14 @@ void CriRun::serve(std::size_t server_index) {
   std::vector<TaskArgs> batch;
   batch.reserve(batch_limit_);
   for (;;) {
+    // Quiescent point between batches: no Lisp values live on this
+    // thread's stack here, so it may run (or help) a collection. The
+    // MutatorScope then covers the pop itself — popped arguments leave
+    // the queue's root set the instant they are dequeued, so the
+    // dequeue must already be inside the unsafe region (the scheduler's
+    // sleep path releases it around blocking waits).
+    gc_.maybe_collect();
+    gc::MutatorScope gc_scope(gc_);
     std::size_t site = 0;
     batch.clear();
     const std::size_t got = queues_.pop_some(batch, batch_limit_, &site);
@@ -170,14 +194,29 @@ CriStats CriRun::run(TaskArgs initial_args) {
   std::uint64_t t_start = 0;
   if (rec_) t_start = rec_->tracer.now_ns();
 
-  pending_.store(1, std::memory_order_relaxed);
-  queues_.push(0, std::move(initial_args));
+  {
+    // Keep the initial arguments alive across the hand-off into the
+    // queue (they are rooted by the queue only once pushed).
+    gc::MutatorScope gc_scope(gc_);
+    pending_.store(1, std::memory_order_relaxed);
+    queues_.push(0, std::move(initial_args));
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(servers_);
+  // Release this thread's unsafe region across the join: the caller is
+  // typically blocked here inside a stack of Interp::apply/eval frames
+  // (the $parallel wrapper), and holding their MutatorScopes for the
+  // whole run would keep unsafe_ nonzero — no collection could ever
+  // stop the world mid-run, and a server's collect() would deadlock in
+  // phase A. Everything those suspended frames hold stays reachable
+  // through their EvalFrame shadow-stack roots; this run's own state is
+  // rooted by gc_roots() above.
+  const std::size_t gc_depth = gc_.blocking_release();
   for (std::size_t i = 0; i < servers_; ++i)
     threads.emplace_back([this, i] { serve(i); });
   for (std::thread& t : threads) t.join();
+  gc_.blocking_reacquire(gc_depth);
 
   if (first_error_) std::rethrow_exception(first_error_);
 

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "gc/gc.hpp"
 #include "lisp/interp.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/task_queue.hpp"
@@ -75,7 +76,7 @@ struct CriStats {
   }
 };
 
-class CriRun {
+class CriRun : public gc::RootSource {
  public:
   /// `fn` is the transformed server-body function (a Closure value);
   /// `num_sites` the number of recursive call sites it enqueues to;
@@ -85,6 +86,7 @@ class CriRun {
   CriRun(lisp::Interp& interp, sexpr::Value fn, std::size_t num_sites,
          std::size_t servers, obs::Recorder* rec = nullptr,
          std::string label = {});
+  ~CriRun() override;
 
   /// Execute the recursion started by `initial_args` to completion.
   /// Blocks; rethrows the first body error. Returns the statistics.
@@ -116,10 +118,16 @@ class CriRun {
   /// The CriRun the calling server thread is executing for, if any.
   static CriRun* current();
 
+  /// Collector callback (world stopped): the server-body closure, the
+  /// early-finish result, and the argument Values of every task still
+  /// sitting in the site queues are live.
+  void gc_roots(std::vector<sexpr::Value>& out) override;
+
  private:
   void serve(std::size_t server_index);
 
   lisp::Interp& interp_;
+  gc::GcHeap& gc_;
   sexpr::Value fn_;
   OrderedTaskQueues queues_;
   std::size_t servers_;

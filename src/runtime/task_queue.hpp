@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "gc/gc.hpp"
 #include "runtime/mpmc_ring.hpp"
 #include "sexpr/value.hpp"
 
@@ -108,7 +109,18 @@ class SingleMutexTaskQueues {
         }
       }
       if (closed_) return std::nullopt;
+      // Park hook: a server sleeping here is at a quiescent point — the
+      // values it will consume on wake are still queue-rooted — so it
+      // must not hold its unsafe region and stall the collector.
+      const std::size_t gcd = gc_ ? gc_->blocking_release() : 0;
       cv_.wait(g);
+      if (gcd != 0) {
+        // Re-enter outside the queue lock: reacquire may block on a
+        // stop-the-world whose root enumeration needs this mutex.
+        g.unlock();
+        gc_->blocking_reacquire(gcd);
+        g.lock();
+      }
     }
   }
 
@@ -142,12 +154,26 @@ class SingleMutexTaskQueues {
 
   std::size_t sites() const { return queues_.size(); }
 
+  /// Let blocked pops release their GC unsafe region while sleeping.
+  void attach_gc(gc::GcHeap* gc) { gc_ = gc; }
+
+  /// Visit every pending task's argument vector. The collector calls
+  /// this while the world is stopped; sleeping servers hold no queue
+  /// state, so the mutex is uncontended-or-briefly-held.
+  template <typename Fn>
+  void for_each_task(Fn&& fn) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& q : queues_)
+      for (const TaskArgs& t : q) fn(t);
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::deque<TaskArgs>> queues_;
   bool closed_ = false;
   std::size_t max_len_ = 0;
+  gc::GcHeap* gc_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -296,6 +322,21 @@ class ShardedTaskQueues {
     return st;
   }
 
+  /// Let blocked pops release their GC unsafe region while sleeping.
+  void attach_gc(gc::GcHeap* gc) { gc_ = gc; }
+
+  /// Visit every pending task's argument vector (ring then spill per
+  /// site, oldest first). Collector-only, world stopped: concurrent
+  /// pushers/poppers are parked, so the rings are quiescent.
+  template <typename Fn>
+  void for_each_task(Fn&& fn) const {
+    for (const auto& sp : sites_) {
+      sp->ring.for_each(fn);
+      std::lock_guard<std::mutex> g(sp->mu);
+      for (const TaskArgs& t : sp->spill) fn(t);
+    }
+  }
+
  private:
   static constexpr std::size_t kDefaultRing = 512;
 
@@ -413,7 +454,18 @@ class ShardedTaskQueues {
       if (!depth_positive(state_.load(std::memory_order_seq_cst)) &&
           !closed_.load(std::memory_order_seq_cst)) {
         sleeps_.fetch_add(1, std::memory_order_relaxed);
+        // Park hook: a sleeping server is at a quiescent point (the
+        // values it will consume on wake are still queue-rooted), so
+        // it releases its GC unsafe region for the duration.
+        const std::size_t gcd = gc_ ? gc_->blocking_release() : 0;
         wait_cv_.wait(lk);
+        if (gcd != 0) {
+          // Re-enter outside wait_mu_: reacquire may block on a
+          // stop-the-world, and nobody should hold queue locks then.
+          lk.unlock();
+          gc_->blocking_reacquire(gcd);
+          lk.lock();
+        }
       }
       sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     }
@@ -433,6 +485,8 @@ class ShardedTaskQueues {
   // the fast path; the rest live on slow/cold paths or are derived.
   std::atomic<std::uint64_t> pushes_{0}, batch_extras_{0},
       notify_sent_{0}, spill_pushes_{0}, sleeps_{0};
+
+  gc::GcHeap* gc_ = nullptr;
 };
 
 /// The scheduler the server pool runs on.

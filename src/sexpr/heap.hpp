@@ -1,26 +1,27 @@
-// Sharded object heap.
+// Object heap: a thin facade over the gc module's per-thread
+// bump-pointer allocator and quiescent-point mark-sweep collector.
 //
 // The CRI server pool allocates cons cells from many threads at once
 // (every spawned invocation builds argument lists, DPS functions cons
-// result cells). A single global free-list would serialize the very
-// parallelism Curare creates, so the heap is split into shards; a thread
-// hashes its id to a shard and contends only with threads that landed on
-// the same shard.
+// result cells). The seed design locked a shard per allocation; now
+// each thread carves cells out of its own 64 KiB bump block and touches
+// shared state only on refill, so `cons`/`string`/`real` are lock-free
+// in the common case.
 //
-// There is no garbage collector: objects live until the Heap is destroyed.
-// Programs under transformation and benchmarking are bounded, and this
-// mirrors the paper's focus — Curare is about restructuring, not storage
-// management. The trade-off is documented in DESIGN.md.
+// Objects are garbage-collected: a stop-the-world parallel mark-sweep
+// pass runs at quiescent points (between CRI tasks, between top-level
+// evaluations — see src/gc/gc.hpp for the protocol and DESIGN.md §9
+// for the root-set inventory). C++ embedders holding Values across a
+// possible collection point root them with gc::RootScope or keep a
+// gc::MutatorScope open.
 #pragma once
 
-#include <array>
-#include <cstddef>
-#include <memory>
-#include <mutex>
-#include <thread>
+#include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "gc/gc.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::sexpr {
@@ -32,18 +33,11 @@ class Heap {
   Heap& operator=(const Heap&) = delete;
 
   /// Allocate a heap object of type T (derived from Obj), forwarding
-  /// constructor arguments. Thread-safe.
+  /// constructor arguments. Thread-safe, lock-free unless the calling
+  /// thread's bump block is full.
   template <typename T, typename... Args>
   T* alloc(Args&&... args) {
-    static_assert(std::is_base_of_v<Obj, T>, "T must derive from Obj");
-    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
-    T* raw = owned.get();
-    Shard& s = shard_for_this_thread();
-    {
-      std::lock_guard<std::mutex> g(s.mu);
-      s.objects.push_back(std::move(owned));
-    }
-    return raw;
+    return gc_.make<T>(std::forward<Args>(args)...);
   }
 
   Value cons(Value car, Value cdr) {
@@ -58,37 +52,27 @@ class Heap {
 
   /// Build a proper list from a vector of values.
   Value list(const std::vector<Value>& items) {
+    gc::MutatorScope ms(gc_);  // keep the partial spine collectible-proof
     Value acc = Value::nil();
     for (auto it = items.rbegin(); it != items.rend(); ++it)
       acc = cons(*it, acc);
     return acc;
   }
 
-  /// Total number of live objects (approximate while threads allocate).
+  /// Exact count of live objects, backed by per-thread atomic counters
+  /// (no heap scan). Exact whenever no allocation is concurrently in
+  /// flight — always at quiescent points and after joining workers.
   std::size_t live_objects() const {
-    std::size_t n = 0;
-    for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> g(s.mu);
-      n += s.objects.size();
-    }
-    return n;
+    return static_cast<std::size_t>(gc_.live_objects());
   }
+
+  /// The memory manager: collection triggers, root registration,
+  /// safepoints, stats. See gc::GcHeap.
+  gc::GcHeap& gc() { return gc_; }
+  const gc::GcHeap& gc() const { return gc_; }
 
  private:
-  static constexpr std::size_t kShards = 64;
-
-  struct Shard {
-    mutable std::mutex mu;
-    std::vector<std::unique_ptr<Obj>> objects;
-  };
-
-  Shard& shard_for_this_thread() {
-    const std::size_t h =
-        std::hash<std::thread::id>{}(std::this_thread::get_id());
-    return shards_[h % kShards];
-  }
-
-  std::array<Shard, kShards> shards_;
+  gc::GcHeap gc_;
 };
 
 }  // namespace curare::sexpr

@@ -9,19 +9,32 @@
 
 #include <shared_mutex>
 #include <string>
+#include <vector>
 #include <string_view>
 #include <unordered_map>
 
+#include "gc/gc.hpp"
 #include "sexpr/heap.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::sexpr {
 
-class SymbolTable {
+/// Interned symbols are GC roots: a Symbol* held in C++ maps (analysis
+/// summaries, declarations, struct types) must never dangle, so the
+/// table pins every symbol it ever handed out for its own lifetime.
+class SymbolTable : public gc::RootSource {
  public:
-  explicit SymbolTable(Heap& heap) : heap_(heap) {}
+  explicit SymbolTable(Heap& heap) : heap_(heap) {
+    heap_.gc().add_root_source(this);
+  }
+  ~SymbolTable() override { heap_.gc().remove_root_source(this); }
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
+
+  void gc_roots(std::vector<Value>& out) override {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, sym] : map_) out.push_back(Value::object(sym));
+  }
 
   /// Return the unique Symbol for `name`, creating it on first use.
   Symbol* intern(std::string_view name) {

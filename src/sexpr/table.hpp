@@ -62,6 +62,14 @@ struct Table final : Obj {
     return {map.begin(), map.end()};
   }
 
+  void gc_trace(GcVisitor& g) const override {
+    std::shared_lock lock(mu);
+    for (const auto& [k, v] : map) {
+      g.visit(k);
+      g.visit(v);
+    }
+  }
+
   mutable std::shared_mutex mu;
   std::unordered_map<Value, Value, ValueEqlHash, ValueEqlEq> map;
 };

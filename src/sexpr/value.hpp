@@ -39,6 +39,8 @@ enum class Kind : std::uint8_t {
   Struct,   ///< defstruct instance (owned by the lisp module)
 };
 
+class GcVisitor;
+
 /// Base of all heap objects. Virtual destructor so the heap can own a
 /// heterogeneous set of objects through `Obj*`.
 struct Obj {
@@ -46,6 +48,13 @@ struct Obj {
   Obj(const Obj&) = delete;
   Obj& operator=(const Obj&) = delete;
   virtual ~Obj() = default;
+
+  /// Report every Value this object holds to the collector. Called only
+  /// while the world is stopped (see src/gc/), so overrides may read
+  /// their fields without synchronization beyond what concurrent Lisp
+  /// mutators already require. Leaf objects hold no Values.
+  virtual void gc_trace(GcVisitor&) const {}
+
   const Kind kind;
 };
 
@@ -95,6 +104,21 @@ class Value {
   std::uint64_t bits_;
 };
 
+/// Callback interface the collector hands to Obj::gc_trace. `visit`
+/// records one outgoing edge; `enter_region` deduplicates traversal of
+/// shared non-heap containers (an Env frame reached through many
+/// closures is walked once per collection).
+class GcVisitor {
+ public:
+  virtual void visit(Value v) = 0;
+  /// True the first time this collection sees `region`; callers walk the
+  /// region's contents only on true.
+  virtual bool enter_region(const void* region) = 0;
+
+ protected:
+  ~GcVisitor() = default;
+};
+
 /// Cons cell. Slots are atomic words so unsynchronized concurrent readers
 /// see whole values; ordering is the concurrent program's responsibility
 /// (the paper's locks/delays provide it).
@@ -113,6 +137,11 @@ struct Cons final : Obj {
   }
   void set_cdr(Value v) {
     cdr_bits.store(v.bits(), std::memory_order_relaxed);
+  }
+
+  void gc_trace(GcVisitor& g) const override {
+    g.visit(car());
+    g.visit(cdr());
   }
 
   std::atomic<std::uint64_t> car_bits;
@@ -140,6 +169,11 @@ struct Vector final : Obj {
   Vector() : Obj(Kind::Vector) {}
   explicit Vector(std::vector<Value> v)
       : Obj(Kind::Vector), items(std::move(v)) {}
+
+  void gc_trace(GcVisitor& g) const override {
+    for (Value v : items) g.visit(v);
+  }
+
   std::vector<Value> items;
 };
 

@@ -13,6 +13,7 @@
 //                                  :stats            metrics + measured-
 //                                                    vs-predicted T(S)
 //                                  :trace FILE       dump trace JSON
+//                                  :gc               force a collection
 //                                  :quit
 //                                anything else is evaluated as Lisp.
 // Options:
@@ -21,6 +22,11 @@
 //                  open it in Perfetto or chrome://tracing
 //   --stats        print the metrics registry and the §4.1 measured-
 //                  vs-predicted server-allocation table on exit
+//   --gc-threshold N   bytes of fresh allocation between collections
+//                  (k/m/g suffixes accepted; 0 disables the automatic
+//                  trigger — explicit :gc still collects)
+//   --gc-stats     print collector statistics (pauses, reclaimed,
+//                  live) on exit
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -39,12 +45,69 @@ namespace {
 using curare::Curare;
 using curare::Value;
 
+/// "64m" → 67108864; plain bytes without a suffix.
+bool parse_bytes(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t mult = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': mult = 1024; digits.pop_back(); break;
+    case 'm': case 'M': mult = 1024 * 1024; digits.pop_back(); break;
+    case 'g': case 'G': mult = 1024 * 1024 * 1024; digits.pop_back(); break;
+    default: break;
+  }
+  if (digits.empty()) return false;
+  std::size_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = n * mult;
+  return true;
+}
+
+void print_gc_stats(const curare::gc::GcHeap& gc, std::FILE* to) {
+  const curare::gc::GcStats st = gc.stats();
+  std::fprintf(to,
+               "gc: %llu collection(s), pause last/max/total %llu/%llu/%llu "
+               "us\n"
+               "gc: reclaimed %llu object(s) / %llu bytes; live %llu "
+               "object(s) / %llu bytes; heap %llu bytes in %llu block(s) "
+               "(%llu free)\n",
+               static_cast<unsigned long long>(st.collections),
+               static_cast<unsigned long long>(st.last_pause_ns / 1000),
+               static_cast<unsigned long long>(st.max_pause_ns / 1000),
+               static_cast<unsigned long long>(st.total_pause_ns / 1000),
+               static_cast<unsigned long long>(st.reclaimed_objects),
+               static_cast<unsigned long long>(st.reclaimed_bytes),
+               static_cast<unsigned long long>(st.live_objects),
+               static_cast<unsigned long long>(st.live_bytes),
+               static_cast<unsigned long long>(st.heap_bytes),
+               static_cast<unsigned long long>(st.total_blocks),
+               static_cast<unsigned long long>(st.free_blocks));
+}
+
 void batch_transform_all(Curare& cur, const std::string& source) {
   cur.load_program(source);
+  // Loading evaluated every top-level form; surface what they printed.
+  const std::string out = cur.interp().take_output();
+  if (!out.empty()) std::printf("%s", out.c_str());
 
-  // Find every defun in the program and try to restructure it.
+  // Find every defun in the program and try to restructure it. The
+  // re-read forms live in a plain C++ vector, so they are pinned for
+  // the duration of the walk — transforms and top-level runs inside the
+  // loop may trigger collections.
   curare::sexpr::Ctx& ctx = cur.interp().ctx();
-  for (Value form : curare::sexpr::read_all(ctx, source)) {
+  curare::gc::GcHeap& gc = ctx.heap.gc();
+  curare::gc::RootScope roots(gc);
+  std::vector<Value> forms;
+  {
+    curare::gc::MutatorScope ms(gc);
+    forms = curare::sexpr::read_all(ctx, source);
+    for (Value f : forms) roots.add(f);
+  }
+  for (Value form : forms) {
+    gc.maybe_collect();
     if (!form.is(curare::sexpr::Kind::Cons)) continue;
     Value head = curare::sexpr::car(form);
     if (!head.is(curare::sexpr::Kind::Symbol)) continue;
@@ -109,14 +172,24 @@ int repl(Curare& cur) {
         iss >> servers;
         std::string call;
         std::getline(iss, call);
-        Value form = curare::sexpr::read_one(ctx, call);
+        curare::gc::RootScope arg_roots(ctx.heap.gc());
+        Value form;
+        std::vector<Value> args;
+        {
+          // The parsed form and each evaluated argument must survive
+          // the evaluation of the next one (and the parallel run).
+          curare::gc::MutatorScope ms(ctx.heap.gc());
+          form = curare::sexpr::read_one(ctx, call);
+          arg_roots.add(form);
+          for (Value a = curare::sexpr::cdr(form); !a.is_nil();
+               a = curare::sexpr::cdr(a)) {
+            Value v = cur.interp().eval_top(curare::sexpr::car(a));
+            args.push_back(v);
+            arg_roots.add(v);
+          }
+        }
         const std::string fname =
             curare::sexpr::as_symbol(curare::sexpr::car(form))->name;
-        std::vector<Value> args;
-        for (Value a = curare::sexpr::cdr(form); !a.is_nil();
-             a = curare::sexpr::cdr(a)) {
-          args.push_back(cur.interp().eval_top(curare::sexpr::car(a)));
-        }
         Value out = cur.run_parallel(fname, args, servers);
         std::printf("%s\n", curare::sexpr::write_str(out).c_str());
       } else if (line.rfind(":sapp ", 0) == 0) {
@@ -126,6 +199,12 @@ int repl(Curare& cur) {
                     r.holds ? "SAPP holds" : "SAPP violated",
                     r.instances, r.violation.empty() ? "" : ": ",
                     r.violation.c_str());
+      } else if (line == ":gc") {
+        const std::uint64_t freed = ctx.heap.gc().collect("repl");
+        std::printf("collected: %llu byte(s) reclaimed, %zu object(s) "
+                    "live\n",
+                    static_cast<unsigned long long>(freed),
+                    ctx.heap.live_objects());
       } else if (line == ":stats") {
         std::printf("%s",
                     curare::obs::full_report(cur.runtime().obs()).c_str());
@@ -136,7 +215,7 @@ int repl(Curare& cur) {
         write_trace_file(cur.runtime().obs(), line.substr(7));
       } else if (line[0] == ':') {
         std::printf("unknown command; try :analyze :transform :par "
-                    ":sapp :stats :trace :quit\n");
+                    ":sapp :stats :trace :gc :quit\n");
       } else {
         // Plain Lisp. Loading through the driver keeps defuns known to
         // the transformer.
@@ -147,6 +226,9 @@ int repl(Curare& cur) {
     } catch (const std::exception& e) {
       std::printf("error: %s\n", e.what());
     }
+    // Each REPL line is a quiescent point: nothing typed so far holds
+    // unrooted Values on this stack.
+    ctx.heap.gc().maybe_collect();
     std::printf("curare> ");
   }
   return 0;
@@ -157,13 +239,27 @@ int repl(Curare& cur) {
 int main(int argc, char** argv) {
   std::string trace_path;
   bool stats = false;
+  bool gc_stats = false;
+  bool have_threshold = false;
+  std::size_t gc_threshold = 0;
   std::string eval_expr;
   bool have_eval = false;
   std::string file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--trace" || arg == "-e") {
+    if (arg == "--gc-threshold") {
+      if (i + 1 >= argc || !parse_bytes(argv[i + 1], gc_threshold)) {
+        std::fprintf(stderr,
+                     "--gc-threshold requires a byte count (k/m/g "
+                     "suffixes accepted)\n");
+        return 2;
+      }
+      have_threshold = true;
+      ++i;
+    } else if (arg == "--gc-stats") {
+      gc_stats = true;
+    } else if (arg == "--trace" || arg == "-e") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
@@ -179,7 +275,8 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "unknown option %s\nusage: curare [--trace out.json] "
-                   "[--stats] [-e EXPR | program.lisp]\n",
+                   "[--stats] [--gc-threshold N] [--gc-stats] "
+                   "[-e EXPR | program.lisp]\n",
                    arg.c_str());
       return 2;
     } else {
@@ -190,6 +287,7 @@ int main(int argc, char** argv) {
   curare::sexpr::Ctx ctx;
   Curare cur(ctx);
   cur.interp().set_echo(false);
+  if (have_threshold) ctx.heap.gc().set_threshold(gc_threshold);
   if (!trace_path.empty()) cur.runtime().obs().tracer.set_enabled(true);
 
   // Deferred reporting so every mode (batch, -e, REPL) flushes the
@@ -203,6 +301,7 @@ int main(int argc, char** argv) {
       std::printf("%s",
                   curare::obs::full_report(cur.runtime().obs()).c_str());
     }
+    if (gc_stats) print_gc_stats(ctx.heap.gc(), stdout);
     return code;
   };
 

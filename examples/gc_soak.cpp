@@ -17,12 +17,65 @@
 // the early-iteration baseline.
 //
 // Build: cmake --build build && ./build/examples/gc_soak
+//
+// Chaos mode: CURARE_CHAOS=seed:rate[:kinds] (kinds ⊆ delay,throw,wake,
+// comma-separated; default all) arms the deterministic fault injector
+// for the whole soak. Iterations aborted by an injected throw skip the
+// exact-total check — the invariants that remain are "no hang" and the
+// steady-state live bound, i.e. aborted runs must not leak.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "curare/curare.hpp"
 #include "gc/gc.hpp"
+#include "runtime/fault_injector.hpp"
 #include "sexpr/heap.hpp"
+
+namespace {
+
+// Parses seed:rate[:kinds]; returns false (injector untouched) on a
+// malformed spec so CI fails loudly rather than soaking without faults.
+bool configure_chaos(const char* spec) {
+  using curare::runtime::FaultInjector;
+  std::string s(spec);
+  const std::size_t c1 = s.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = s.find(':', c1 + 1);
+  try {
+    const std::uint64_t seed = std::stoull(s.substr(0, c1), nullptr, 0);
+    const double rate =
+        std::stod(s.substr(c1 + 1, c2 == std::string::npos
+                                       ? std::string::npos
+                                       : c2 - c1 - 1));
+    unsigned kinds = 0;
+    if (c2 == std::string::npos) {
+      kinds = FaultInjector::kAllKinds;
+    } else {
+      std::string rest = s.substr(c2 + 1);
+      for (std::size_t pos = 0; pos <= rest.size();) {
+        std::size_t comma = rest.find(',', pos);
+        if (comma == std::string::npos) comma = rest.size();
+        const std::string word = rest.substr(pos, comma - pos);
+        if (word == "delay") kinds |= FaultInjector::kDelay;
+        else if (word == "throw") kinds |= FaultInjector::kThrow;
+        else if (word == "wake") kinds |= FaultInjector::kWake;
+        else if (word == "all") kinds |= FaultInjector::kAllKinds;
+        else return false;
+        pos = comma + 1;
+      }
+    }
+    if (rate <= 0.0 || rate > 1.0 || kinds == 0) return false;
+    FaultInjector::instance().configure(seed, rate, kinds);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
 
 int main() {
   curare::sexpr::Ctx ctx;
@@ -40,37 +93,65 @@ int main() {
     return 1;
   }
 
+  const char* chaos_spec = std::getenv("CURARE_CHAOS");
+  if (chaos_spec != nullptr && !configure_chaos(chaos_spec)) {
+    std::printf("gc_soak: bad CURARE_CHAOS spec '%s' "
+                "(want seed:rate[:kinds])\n", chaos_spec);
+    return 1;
+  }
+  const bool chaos = chaos_spec != nullptr;
+
   constexpr int kIters = 120;
   constexpr int kListLen = 200;
   constexpr long long kExpected =
       2LL * kListLen * (kListLen + 1) / 2;  // two runs per iteration
 
+  int aborted = 0;
   std::vector<std::size_t> live;
   live.reserve(kIters);
   for (int it = 0; it < kIters; ++it) {
     curare::gc::RootScope roots(gc);
-    curare::Value list = curare::Value::nil();
-    {
-      curare::gc::MutatorScope ms(gc);
-      for (int i = 1; i <= kListLen; ++i)
-        list = ctx.heap.cons(curare::Value::fixnum(i), list);
-      roots.add(list);
-    }
+    try {
+      curare::Value list = curare::Value::nil();
+      {
+        curare::gc::MutatorScope ms(gc);
+        for (int i = 1; i <= kListLen; ++i)
+          list = ctx.heap.cons(curare::Value::fixnum(i), list);
+        roots.add(list);
+      }
 
-    cur.interp().eval_program("(setq total 0)");
-    const curare::Value args[] = {list};
-    cur.run_parallel("tally", args, 4);
-    cur.run_parallel("tally", args, 4);
-    const long long got =
-        cur.interp().eval_program("total").as_fixnum();
-    if (got != kExpected) {
-      std::printf("gc_soak: iteration %d: total %lld != %lld\n", it, got,
-                  kExpected);
-      return 1;
+      cur.interp().eval_program("(setq total 0)");
+      const curare::Value args[] = {list};
+      cur.run_parallel("tally", args, 4);
+      cur.run_parallel("tally", args, 4);
+      const long long got =
+          cur.interp().eval_program("total").as_fixnum();
+      if (got != kExpected) {
+        std::printf("gc_soak: iteration %d: total %lld != %lld\n", it,
+                    got, kExpected);
+        return 1;
+      }
+    } catch (const curare::sexpr::LispError& e) {
+      if (!chaos) {
+        std::printf("gc_soak: iteration %d: %s\n", it, e.what());
+        return 1;
+      }
+      // Injected fault aborted the run mid-flight; a throw between a
+      // lock and its unlock may leak a hold — reset is the documented
+      // recovery. The iteration's total is meaningless, but its
+      // allocations must still be reclaimed below.
+      ++aborted;
+      cur.runtime().locks().reset();
     }
 
     gc.collect("soak");
     live.push_back(ctx.heap.live_objects());
+  }
+  if (chaos) {
+    std::printf("gc_soak: chaos '%s': %d/%d iterations aborted\n%s",
+                chaos_spec, aborted, kIters,
+                curare::runtime::FaultInjector::instance()
+                    .report().c_str());
   }
 
   // Steady state: after warm-up (interned symbols, transformed defuns,

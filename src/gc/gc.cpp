@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "runtime/fault_injector.hpp"
+
 namespace curare::gc {
 
 namespace {
@@ -178,6 +180,12 @@ void GcHeap::retire_cache(ThreadCache* tc) {
 // ---- allocation --------------------------------------------------------
 
 GcHeap::AllocCell GcHeap::allocate(std::size_t payload_size) {
+  // Fault site: an injected throw exercises every allocation path's
+  // unwind (make() keeps the unsafe region balanced; callers see a
+  // LispError like any other body failure). Header-only hook — gc
+  // stays link-independent of the runtime library.
+  runtime::FaultInjector::instance().check(
+      runtime::FaultInjector::Site::kGcAlloc);
   ThreadCache& tc = cache();
   std::size_t cell = sizeof(GcHeader) + payload_size;
   cell = (cell + (kCellAlign - 1)) & ~(kCellAlign - 1);

@@ -171,13 +171,17 @@ class GcHeap {
                   "GcHeap only manages sexpr::Obj subclasses");
     static_assert(alignof(T) <= kCellAlign, "cell alignment is 8");
     enter_unsafe();
-    AllocCell c = allocate(sizeof(T));
+    AllocCell c;
     T* obj;
     try {
+      // allocate() can throw too (bad_alloc, injected gc.alloc fault);
+      // it must not leak the unsafe region or the thread could never
+      // be stopped again.
+      c = allocate(sizeof(T));
       obj = new (c.payload) T(std::forward<Args>(args)...);
     } catch (...) {
-      // Cell stays kCellFree: sweep skips it, the block reclaims it
-      // when fully dead. Counters were never bumped.
+      // Cell (if carved) stays kCellFree: sweep skips it, the block
+      // reclaims it when fully dead. Counters were never bumped.
       exit_unsafe();
       throw;
     }
@@ -260,9 +264,9 @@ class GcHeap {
   friend class RootScope;
   friend class StackRoots;
   struct AllocCell {
-    GcHeader* header;
-    void* payload;
-    ThreadCache* tc;
+    GcHeader* header = nullptr;
+    void* payload = nullptr;
+    ThreadCache* tc = nullptr;
   };
 
   AllocCell allocate(std::size_t payload_size);

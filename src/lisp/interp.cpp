@@ -3,6 +3,7 @@
 #include <cassert>
 #include <iostream>
 
+#include "runtime/resilience.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
@@ -363,6 +364,15 @@ Value Interp::eval(Value form, EnvPtr env) {
   EvalFrame gc_frame(gc_, &form, &env);
   DepthGuard guard(depth_, max_depth_);
   for (;;) {
+    // Cancellation check (DESIGN.md §10): tail-call elimination funnels
+    // every loop a program can write through this point, so polling
+    // here bounds how long a busy (not blocked) server can outlive its
+    // run's deadline. Sampled 1-in-64 so the cost is a thread-local
+    // counter bump per eval step.
+    {
+      static thread_local unsigned cancel_tick = 0;
+      if ((++cancel_tick & 0x3F) == 0) runtime::poll_cancellation();
+    }
     // Self-evaluating atoms.
     if (!form.is_object()) return form;  // nil, fixnum
     switch (form.obj()->kind) {

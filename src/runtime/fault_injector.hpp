@@ -1,0 +1,238 @@
+// Deterministic fault injection for the runtime's blocking paths.
+//
+// The paper's correctness argument (§3.2) covers programs produced by
+// the transformations; the error paths the runtime grew around them —
+// abort-and-re-run after a body throw, mid-run collections, cancelled
+// waits — only get exercised when something goes wrong. The injector
+// makes "something goes wrong" reproducible: five named sites cover
+// every class of blocking or allocating step, and a seeded splitmix64
+// stream decides, per site and per arrival, whether to perturb it with
+// a delay (schedule skew), a throw (forced error path), or a spurious
+// wakeup (cv robustness).
+//
+// Sites:
+//   lock.acquire   LockManager::lock, before the shard is examined
+//   queue.push     both TaskQueues impls, before the task is enqueued
+//   future.spawn   FuturePool::spawn, before the state exists
+//   task.run       CriRun server bodies and FuturePool task bodies
+//   gc.alloc       GcHeap::allocate, before the cell is carved
+//
+// Determinism: each site keeps its own arrival counter; the decision
+// for arrival n at site s is a pure function of (seed, s, n). Thread
+// interleaving changes which thread draws which arrival, never the
+// multiset of injected faults — a fixed seed yields a reproducible
+// fault mix.
+//
+// Cost when disabled: exactly one relaxed atomic load per site visit
+// (the acceptance bar for bench_queue/bench_heap regressions).
+//
+// Header-only on purpose: gc (a lower layer than runtime) hooks the
+// gc.alloc site without gaining a link dependency on curare_runtime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "sexpr/value.hpp"
+
+namespace curare::runtime {
+
+/// Thrown by a `throw`-kind injection. A LispError subclass so every
+/// consumer (server bodies, future tasks, builtins) treats it exactly
+/// like a user-program error — the paths under test.
+class FaultInjectedError : public sexpr::LispError {
+ public:
+  explicit FaultInjectedError(std::string msg)
+      : LispError(std::move(msg)) {}
+};
+
+class FaultInjector {
+ public:
+  enum class Site : unsigned {
+    kLockAcquire = 0,
+    kQueuePush,
+    kFutureSpawn,
+    kTaskRun,
+    kGcAlloc,
+  };
+  static constexpr std::size_t kNumSites = 5;
+
+  /// Fault kinds, combinable as a bitmask.
+  enum Kind : unsigned {
+    kDelay = 1u << 0,  ///< sleep 10–200 µs at the site
+    kThrow = 1u << 1,  ///< throw FaultInjectedError out of the site
+    kWake = 1u << 2,   ///< spurious wakeup: check() returns true and the
+                       ///< site notifies its condition variable
+    kAllKinds = kDelay | kThrow | kWake,
+  };
+
+  static const char* site_name(Site s) {
+    static constexpr const char* kNames[kNumSites] = {
+        "lock.acquire", "queue.push", "future.spawn", "task.run",
+        "gc.alloc"};
+    return kNames[static_cast<unsigned>(s)];
+  }
+
+  /// Process-wide singleton: GcHeap and the queues have no path to a
+  /// per-runtime object, and chaos runs are process-scoped anyway.
+  static FaultInjector& instance() {
+    static FaultInjector fi;
+    return fi;
+  }
+
+  /// Arm the injector. `rate` in [0,1] is the per-visit fault
+  /// probability; `kinds` selects which faults may fire. Not meant to
+  /// race in-flight check() calls with a *reconfigure* (enable/disable
+  /// are fine): tests configure at quiescent points.
+  void configure(std::uint64_t seed, double rate,
+                 unsigned kinds = kAllKinds) {
+    seed_.store(seed, std::memory_order_relaxed);
+    if (rate < 0) rate = 0;
+    if (rate > 1) rate = 1;
+    rate_bits_.store(
+        rate >= 1.0 ? UINT64_MAX
+                    : static_cast<std::uint64_t>(
+                          rate * 18446744073709551616.0 /* 2^64 */),
+        std::memory_order_relaxed);
+    kinds_.store(kinds, std::memory_order_relaxed);
+    for (auto& c : seq_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : delays_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : throws_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : wakes_) c.store(0, std::memory_order_relaxed);
+    enabled_.store(kinds != 0 && rate > 0, std::memory_order_release);
+  }
+
+  void disable() { enabled_.store(false, std::memory_order_release); }
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The per-site hook. Disabled cost: one relaxed load. Returns true
+  /// when a spurious-wakeup fault fired — the caller should notify the
+  /// condition variable guarding its waiters (callers without one may
+  /// ignore the result). May sleep (delay fault) or throw
+  /// FaultInjectedError (throw fault).
+  bool check(Site s) {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    return act(s);
+  }
+
+  struct SiteStats {
+    std::uint64_t visits = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t throws = 0;
+    std::uint64_t wakes = 0;
+  };
+
+  SiteStats stats(Site s) const {
+    const auto i = static_cast<unsigned>(s);
+    return SiteStats{seq_[i].load(std::memory_order_relaxed),
+                     delays_[i].load(std::memory_order_relaxed),
+                     throws_[i].load(std::memory_order_relaxed),
+                     wakes_[i].load(std::memory_order_relaxed)};
+  }
+
+  std::uint64_t total_injected() const {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kNumSites; ++i) {
+      n += delays_[i].load(std::memory_order_relaxed) +
+           throws_[i].load(std::memory_order_relaxed) +
+           wakes_[i].load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  /// Human-readable state (the :resilience REPL payload).
+  std::string report() const {
+    std::string out;
+    if (!enabled()) {
+      out = "fault injector: disabled\n";
+    } else {
+      out = "fault injector: seed=" +
+            std::to_string(seed_.load(std::memory_order_relaxed)) +
+            " kinds=" + kinds_string() + "\n";
+    }
+    for (unsigned i = 0; i < kNumSites; ++i) {
+      const SiteStats st = stats(static_cast<Site>(i));
+      if (st.visits == 0 && !enabled()) continue;
+      out += "  ";
+      out += site_name(static_cast<Site>(i));
+      out += ": " + std::to_string(st.visits) + " visit(s), " +
+             std::to_string(st.delays) + " delay(s), " +
+             std::to_string(st.throws) + " throw(s), " +
+             std::to_string(st.wakes) + " wake(s)\n";
+    }
+    return out;
+  }
+
+ private:
+  FaultInjector() = default;
+
+  /// splitmix64 finalizer (same mixer as LocKeyHash).
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::string kinds_string() const {
+    const unsigned k = kinds_.load(std::memory_order_relaxed);
+    std::string s;
+    if (k & kDelay) s += "delay,";
+    if (k & kThrow) s += "throw,";
+    if (k & kWake) s += "wake,";
+    if (!s.empty()) s.pop_back();
+    return s;
+  }
+
+  bool act(Site s) {
+    const auto i = static_cast<unsigned>(s);
+    const std::uint64_t n = seq_[i].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seed = seed_.load(std::memory_order_relaxed);
+    const std::uint64_t x = mix(seed ^ mix((i + 1) * 0x9E3779B97F4A7C15ull) ^ mix(n));
+    if (x >= rate_bits_.load(std::memory_order_relaxed)) return false;
+
+    // Pick among the enabled kinds with fresh bits so the kind choice
+    // is independent of the fire decision.
+    const unsigned kinds = kinds_.load(std::memory_order_relaxed);
+    unsigned avail[3];
+    unsigned count = 0;
+    if (kinds & kDelay) avail[count++] = kDelay;
+    if (kinds & kThrow) avail[count++] = kThrow;
+    if (kinds & kWake) avail[count++] = kWake;
+    if (count == 0) return false;
+    const std::uint64_t y = mix(x);
+    switch (avail[y % count]) {
+      case kDelay: {
+        delays_[i].fetch_add(1, std::memory_order_relaxed);
+        const auto us = 10 + static_cast<long>((y >> 8) % 190);
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+        return false;
+      }
+      case kThrow:
+        throws_[i].fetch_add(1, std::memory_order_relaxed);
+        throw FaultInjectedError(
+            std::string("fault injected at ") + site_name(s) + " (seed " +
+            std::to_string(seed) + ", arrival " + std::to_string(n) + ")");
+      default:
+        wakes_[i].fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> rate_bits_{0};
+  std::atomic<unsigned> kinds_{0};
+  std::atomic<std::uint64_t> seq_[kNumSites] = {};
+  std::atomic<std::uint64_t> delays_[kNumSites] = {};
+  std::atomic<std::uint64_t> throws_[kNumSites] = {};
+  std::atomic<std::uint64_t> wakes_[kNumSites] = {};
+};
+
+}  // namespace curare::runtime

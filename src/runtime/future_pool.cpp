@@ -1,7 +1,11 @@
 #include "runtime/future_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
+
+#include "runtime/fault_injector.hpp"
+#include "runtime/resilience.hpp"
 
 namespace curare::runtime {
 
@@ -29,6 +33,9 @@ FuturePool::~FuturePool() {
   }
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // The workers are gone: any thread still blocked in touch() on an
+  // unresolved future would now wait forever — wake it into a throw.
+  abort_waiters();
   // Unregister only after the workers are gone: tasks draining during
   // shutdown still rely on the pool's roots.
   if (gc::GcHeap* gc = gc_.load(std::memory_order_acquire))
@@ -55,8 +62,22 @@ void FuturePool::gc_roots(std::vector<Value>& out) {
   }
 }
 
+void FuturePool::abort_waiters() {
+  aborted_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& w : states_) {
+    if (auto s = w.lock()) {
+      // Take the state's mutex before notifying: a toucher between its
+      // predicate check and its wait must not miss the signal.
+      std::lock_guard<std::mutex> sg(s->mu);
+      s->cv.notify_all();
+    }
+  }
+}
+
 std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn,
                                                Value root) {
+  FaultInjector::instance().check(FaultInjector::Site::kFutureSpawn);
   auto state = std::make_shared<FutureState>();
   const std::uint64_t id =
       spawned_.fetch_add(1, std::memory_order_relaxed);
@@ -90,6 +111,7 @@ void FuturePool::run_task(Task& t) {
   Value v;
   std::exception_ptr err;
   try {
+    FaultInjector::instance().check(FaultInjector::Site::kTaskRun);
     v = t.fn();
   } catch (...) {
     err = std::current_exception();
@@ -184,10 +206,25 @@ Value FuturePool::touch(const std::shared_ptr<FutureState>& f) {
     } else {
       // Nothing left to help with: the target was already dequeued (a
       // task is pushed exactly once, before it can resolve), so some
-      // thread is executing it and will notify f->cv on completion — a
-      // plain predicate wait, with no polling timeout, cannot miss it.
+      // thread is executing it and will notify f->cv on completion —
+      // unless that thread died with the pool (abort_waiters) or this
+      // thread's run was cancelled. Both exits are checked each slice;
+      // the timeout is only their backstop, a completion notify still
+      // ends the wait immediately.
+      poll_cancellation();
       std::unique_lock<std::mutex> g(f->mu);
-      f->cv.wait(g, [&] { return f->done; });
+      if (aborted_.load(std::memory_order_acquire) && !f->done) {
+        throw sexpr::LispError(
+            "touch of an unresolved future after its pool shut down");
+      }
+      f->cv.wait_for(g,
+                     current_cancel() != nullptr
+                         ? std::chrono::milliseconds(10)
+                         : std::chrono::milliseconds(250),
+                     [&] {
+                       return f->done ||
+                              aborted_.load(std::memory_order_acquire);
+                     });
     }
   }
 }

@@ -72,8 +72,22 @@ class FuturePool : public gc::RootSource {
                                      Value root = Value::nil());
 
   /// Block until the future resolves, helping with queued tasks while
-  /// waiting. Rethrows the task's exception, if any.
+  /// waiting. Rethrows the task's exception, if any. Throws StallError
+  /// if the calling thread's CancelState fires while blocked, and
+  /// LispError if the pool shuts down while the future is unresolved
+  /// (instead of hanging on a cv no worker will ever signal).
   Value touch(const std::shared_ptr<FutureState>& f);
+
+  /// Wake every blocked toucher and make unresolved touches throw.
+  /// Called by the destructor after the workers are joined; also
+  /// callable by tests/harnesses to flush stuck waiters.
+  void abort_waiters();
+
+  /// Tasks queued but not yet started (diagnostics).
+  std::size_t pending_tasks() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return queue_.size();
+  }
 
   /// Participate in collections: queued/in-flight task roots and every
   /// live future's resolved value (a future dropped by the program
@@ -98,7 +112,7 @@ class FuturePool : public gc::RootSource {
   bool run_one_task();
   void run_task(Task& t);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   /// Roots of tasks popped but not yet finished. The pop and the
@@ -110,6 +124,8 @@ class FuturePool : public gc::RootSource {
   /// resolved values of futures the program still holds.
   std::vector<std::weak_ptr<FutureState>> states_;
   bool shutdown_ = false;
+  /// Set by abort_waiters(): touches of unresolved futures now throw.
+  std::atomic<bool> aborted_{false};
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> spawned_{0};
 

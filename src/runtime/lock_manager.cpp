@@ -1,8 +1,32 @@
 #include "runtime/lock_manager.hpp"
 
+#include <chrono>
+#include <sstream>
+
+#include "runtime/fault_injector.hpp"
+#include "runtime/resilience.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::runtime {
+
+namespace {
+
+/// Name a location the way a Lisp programmer would recognize it: global
+/// variables carry their symbol, object fields their field symbol.
+std::string describe_key(const LocKey& k) {
+  std::ostringstream os;
+  if (k.field == nullptr && k.object != nullptr &&
+      k.object->kind == sexpr::Kind::Symbol) {
+    os << "(var "
+       << static_cast<const sexpr::Symbol*>(k.object)->name << ")";
+    return os.str();
+  }
+  os << "obj@" << static_cast<const void*>(k.object);
+  if (k.field != nullptr) os << "." << k.field->name;
+  return os.str();
+}
+
+}  // namespace
 
 void LockManager::set_recorder(obs::Recorder* rec) {
   rec_ = rec;
@@ -19,6 +43,12 @@ void LockManager::set_recorder(obs::Recorder* rec) {
 void LockManager::lock(const LocKey& key, bool exclusive) {
   ops_.fetch_add(1, std::memory_order_relaxed);
   if (rec_) acquisitions_->add();
+  FaultInjector& fi = FaultInjector::instance();
+  if (fi.check(FaultInjector::Site::kLockAcquire)) {
+    // Spurious-wakeup fault: poke this key's shard so its waiters get
+    // an extra predicate re-check.
+    shard_for(key).cv.notify_all();
+  }
   Shard& s = shard_for(key);
   std::unique_lock<std::mutex> g(s.mu);
   const auto self = std::this_thread::get_id();
@@ -27,6 +57,7 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
   // attempt only, so a multi-wakeup wait counts once with its full span.
   bool waited = false;
   std::uint64_t wait_start = 0;
+  std::chrono::steady_clock::time_point budget_start{};
   const std::uint64_t key_id = LocKeyHash{}(key);
 
   // unlock() erases entries whose counts reach zero, so references into
@@ -46,10 +77,32 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
         e.writer = self;
         e.writer_depth = 1;
         acquired = true;
+      } else if (e.holds_by(self) > 0) {
+        // Read→write upgrade by the holder: exclusive cannot be
+        // granted until readers == 0, and this thread's own shared
+        // hold can never drain while it is parked here. Waiting is a
+        // guaranteed self-deadlock — fail fast instead.
+        g.unlock();
+        throw sexpr::LispError(
+            "read->write lock upgrade on " + describe_key(key) +
+            ": this thread already holds the location shared and "
+            "would deadlock waiting for itself; release the read "
+            "lock first or acquire exclusive up front");
       }
     } else {
       if (e.writer_depth == 0) {
         ++e.readers;
+        // Record the hold so a later exclusive request by this thread
+        // is recognized as an upgrade.
+        bool found = false;
+        for (auto& [tid, n] : e.reader_holds) {
+          if (tid == self) {
+            ++n;
+            found = true;
+            break;
+          }
+        }
+        if (!found) e.reader_holds.emplace_back(self, 1);
         acquired = true;
       }
     }
@@ -67,12 +120,41 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
       }
       return;
     }
-    if (rec_ && !waited) {
+    if (!waited) {
       waited = true;
-      wait_start = rec_->tracer.now_ns();
-      contended_->add();
+      budget_start = std::chrono::steady_clock::now();
+      if (rec_) {
+        wait_start = rec_->tracer.now_ns();
+        contended_->add();
+      }
     }
-    s.cv.wait(g);
+    // Bounded slice instead of an open-ended wait: a notify still wakes
+    // us immediately; the timeout is only the cancellation/budget
+    // backstop. Under fault injection the slice shrinks so injected
+    // spurious wakeups actually churn the predicate.
+    s.cv.wait_for(g, fi.enabled() ? std::chrono::milliseconds(1)
+                                  : std::chrono::milliseconds(10));
+
+    // Only the cheap flag/clock reads run under the shard mutex.
+    // should_abort() captures a diagnostic dump, and that dump walks
+    // every shard — calling it with ours held would self-deadlock, so
+    // it (and raise, and dump_held) run after g is released.
+    const std::int64_t budget =
+        wait_budget_ms_.load(std::memory_order_relaxed);
+    const bool over_budget =
+        budget > 0 && std::chrono::steady_clock::now() - budget_start >=
+                          std::chrono::milliseconds(budget);
+    CancelState* tok = current_cancel();
+    const bool tok_fired =
+        tok != nullptr && (tok->cancelled() || tok->deadline_expired());
+    if (over_budget || tok_fired) {
+      g.unlock();
+      if (tok_fired && tok->should_abort()) tok->raise();
+      throw StallError("lock wait budget (" + std::to_string(budget) +
+                           " ms) exceeded waiting for " +
+                           describe_key(key),
+                       dump_held());
+    }
   }
 }
 
@@ -105,6 +187,16 @@ void LockManager::unlock(const LocKey& key, bool exclusive) {
   }
 
   if (!exclusive && e.readers > 0) {
+    // Drop this thread's recorded hold. Permissive when absent — a
+    // hand-off pattern (lock on one server, unlock on another) keeps
+    // the historical semantics; it just won't be upgrade-protected.
+    for (auto hit = e.reader_holds.begin(); hit != e.reader_holds.end();
+         ++hit) {
+      if (hit->first == self) {
+        if (--hit->second == 0) e.reader_holds.erase(hit);
+        break;
+      }
+    }
     if (--e.readers == 0 && e.writer_depth == 0) {
       s.entries.erase(it);
       s.cv.notify_all();
@@ -123,6 +215,37 @@ std::size_t LockManager::live_entries() const {
     n += s.entries.size();
   }
   return n;
+}
+
+std::string LockManager::dump_held() const {
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (const auto& [key, e] : s.entries) {
+      os << "  " << describe_key(key) << ": ";
+      if (e.writer_depth > 0) {
+        os << "exclusive depth=" << e.writer_depth << " by thread "
+           << e.writer;
+      }
+      if (e.readers > 0) {
+        if (e.writer_depth > 0) os << ", ";
+        os << "shared readers=" << e.readers;
+      }
+      os << "\n";
+      ++n;
+    }
+  }
+  if (n == 0) return "held locks: none\n";
+  return "held locks (" + std::to_string(n) + "):\n" + os.str();
+}
+
+void LockManager::reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    s.entries.clear();
+    s.cv.notify_all();
+  }
 }
 
 }  // namespace curare::runtime

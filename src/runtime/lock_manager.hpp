@@ -27,8 +27,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/recorder.hpp"
 #include "sexpr/value.hpp"
@@ -70,8 +73,33 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
+  /// Acquire `key`. Throws LispError on a same-thread read→write
+  /// upgrade (the thread would wait for its own shared hold to drain —
+  /// a guaranteed self-deadlock, see DESIGN.md §10), StallError when
+  /// the caller's CancelState fires or the wait budget is exceeded.
   void lock(const LocKey& key, bool exclusive);
   void unlock(const LocKey& key, bool exclusive);
+
+  /// Cap any single blocked acquisition at `ms` milliseconds (0 = no
+  /// budget, the default). On exceed, lock() throws a StallError whose
+  /// dump is the held-lock table.
+  void set_wait_budget_ms(std::int64_t ms) {
+    wait_budget_ms_.store(ms, std::memory_order_relaxed);
+  }
+  std::int64_t wait_budget_ms() const {
+    return wait_budget_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable table of currently held entries — the lock half of
+  /// every stall dump. Takes each shard mutex briefly; callers must not
+  /// hold one (lock() drops its shard before building diagnostics).
+  std::string dump_held() const;
+
+  /// Drop every entry and wake all waiters. For tests and the chaos
+  /// harness only: an injected throw between a Lisp-level lock and its
+  /// unlock leaks the hold, and reset() is the documented way to
+  /// recover the manager between chaos iterations.
+  void reset();
 
   /// Attach an observability recorder (§3.2.1's lock-cost question made
   /// measurable: acquisition counts, contention counts, wait-time
@@ -93,6 +121,16 @@ class LockManager {
     int readers = 0;
     std::thread::id writer{};
     int writer_depth = 0;
+    /// Which threads hold shared and how many times each — what makes
+    /// the read→write upgrade detectable. Tiny in practice (readers of
+    /// one location at one instant), so a flat vector beats a map.
+    std::vector<std::pair<std::thread::id, int>> reader_holds;
+
+    int holds_by(std::thread::id t) const {
+      for (const auto& [tid, n] : reader_holds)
+        if (tid == t) return n;
+      return 0;
+    }
   };
 
   static constexpr std::size_t kShards = 64;
@@ -112,6 +150,7 @@ class LockManager {
 
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::int64_t> wait_budget_ms_{0};
 
   // Resolved once in set_recorder so lock() never touches the metrics
   // registry's mutex.

@@ -1,0 +1,100 @@
+#include "runtime/resilience.hpp"
+
+#include <algorithm>
+
+#include "obs/recorder.hpp"
+
+namespace curare::runtime {
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::set_recorder(obs::Recorder* rec) {
+  if (rec != nullptr) stalls_ctr_ = &rec->metrics.counter("cri.stalls");
+}
+
+std::uint64_t Watchdog::arm(std::shared_ptr<CancelState> tok,
+                            std::function<std::uint64_t()> progress,
+                            std::chrono::milliseconds stall,
+                            std::string label) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, std::move(tok), std::move(progress),
+                             stall, std::move(label), 0,
+                             std::chrono::steady_clock::now()});
+    entries_.back().last_value = entries_.back().progress();
+    if (!started_) {
+      started_ = true;
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void Watchdog::disarm(std::uint64_t id) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::erase_if(entries_, [id](const Entry& e) { return e.id == id; });
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> g(mu_);
+  for (;;) {
+    if (stop_) return;
+    // Wake often enough to detect the tightest armed stall window with
+    // ~25% slack, but never spin: idle (no entries) waits indefinitely.
+    auto period = std::chrono::milliseconds(250);
+    for (const Entry& e : entries_) {
+      period = std::min(period, std::max(e.stall / 4,
+                                         std::chrono::milliseconds(5)));
+    }
+    if (entries_.empty()) {
+      cv_.wait(g, [this] { return stop_ || !entries_.empty(); });
+      continue;
+    }
+    cv_.wait_for(g, period);
+    if (stop_) return;
+
+    const auto now = std::chrono::steady_clock::now();
+    // Collect fired tokens first, then cancel them OUTSIDE mu_: a
+    // dump_fn may take arbitrary runtime locks, and arm()/disarm()
+    // callers must never wait on a dump in progress.
+    std::vector<std::pair<std::shared_ptr<CancelState>, std::string>>
+        to_fire;
+    for (Entry& e : entries_) {
+      if (e.fired) continue;
+      const std::uint64_t v = e.progress();
+      if (v != e.last_value) {
+        e.last_value = v;
+        e.last_change = now;
+        continue;
+      }
+      if (now - e.last_change >= e.stall) {
+        e.fired = true;
+        to_fire.emplace_back(
+            e.tok, "watchdog: no task completed in " +
+                       std::to_string(e.stall.count()) + " ms (" +
+                       e.label + ")");
+      }
+    }
+    if (!to_fire.empty()) {
+      g.unlock();
+      for (auto& [tok, why] : to_fire) {
+        tok->cancel(why);
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        if (stalls_ctr_ != nullptr) stalls_ctr_->add();
+      }
+      g.lock();
+    }
+  }
+}
+
+}  // namespace curare::runtime

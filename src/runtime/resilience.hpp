@@ -1,0 +1,237 @@
+// Deadlines, cancellation, and the stall watchdog.
+//
+// The paper's §3.2 guarantee — transformed programs cannot deadlock —
+// holds only for programs the transformer produced. This runtime also
+// executes hand-written %lock/%future code, where one bad program used
+// to hang the process: LockManager::lock waited forever, CriRun::run
+// joined servers that never finished, FuturePool::touch blocked on a
+// cv nobody would signal. The resilience layer makes every one of
+// those blocking points interruptible:
+//
+//   * CancelState is a shared token: an atomic cancelled flag, an
+//     atomic monotonic-clock deadline, and (under a mutex) the reason
+//     plus a diagnostic dump captured at cancel time.
+//   * CancelScope installs a token as the calling thread's *current*
+//     token (thread-local); every blocking wait in the runtime — and
+//     the interpreter's eval loop — polls it via poll_cancellation().
+//   * Cancellation raises StallError, which carries the dump (queue
+//     depths, held-lock table, server state) so a hung run dies with
+//     an explanation instead of a stack of parked threads.
+//   * Watchdog is a lazily-started thread that arms per CriRun: if the
+//     run's completion counter stops advancing for the configured
+//     stall window, the watchdog fires the run's token and bumps
+//     cri.stalls.
+//
+// All waits stay notify-driven; the wait_for slices added around them
+// are a cancellation backstop, not a polling protocol — an uncancelled
+// run never observes different behavior, just a periodic predicate
+// re-check.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sexpr/value.hpp"
+
+namespace curare::obs {
+struct Recorder;
+class Counter;
+}  // namespace curare::obs
+
+namespace curare::runtime {
+
+/// A cancelled or timed-out blocking operation. The message says what
+/// was exceeded; dump() carries the diagnostic state captured when the
+/// token fired (queue depths, held locks, per-server progress).
+class StallError : public sexpr::LispError {
+ public:
+  explicit StallError(std::string msg, std::string dump = {})
+      : LispError(std::move(msg)), dump_(std::move(dump)) {}
+  const std::string& dump() const { return dump_; }
+
+ private:
+  std::string dump_;
+};
+
+/// Shared cancellation token. One per CriRun::run invocation (a fresh
+/// token each run keeps aborted runs re-runnable), or constructed
+/// standalone by the CLI to bound a whole batch evaluation.
+class CancelState {
+ public:
+  /// Diagnostic snapshot, captured once at cancel time (not at raise
+  /// time: the raiser may be the thread whose state is interesting).
+  std::function<std::string()> dump_fn;
+
+  /// Arm an absolute deadline `ms` from now (0 disarms).
+  void set_deadline_ms(std::int64_t ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+            ms * 1'000'000,
+        std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool deadline_expired() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+               .count() >= d;
+  }
+
+  /// True when a blocked thread should give up: already cancelled, or
+  /// past the deadline (in which case this call performs the cancel so
+  /// reason/dump get captured exactly once).
+  bool should_abort() {
+    if (cancelled()) return true;
+    if (deadline_expired()) {
+      cancel("deadline exceeded");
+      return true;
+    }
+    return false;
+  }
+
+  /// Fire the token: capture reason + dump, then publish the flag.
+  /// Idempotent — the first caller wins; later reasons are dropped.
+  void cancel(const std::string& why) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    reason_ = why;
+    if (dump_fn) {
+      try {
+        dump_ = dump_fn();
+      } catch (...) {
+        dump_ = "(diagnostic dump failed)";
+      }
+    }
+    // Release-store after the fields are filled: a raise() that sees
+    // the flag also sees reason_/dump_ (it re-acquires mu_ anyway, but
+    // should_abort()'s lock-free read path relies on the ordering).
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Throw the StallError for a fired token. Pre: cancelled().
+  [[noreturn]] void raise() {
+    std::string why, dump;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      why = reason_.empty() ? "cancelled" : reason_;
+      dump = dump_;
+    }
+    throw StallError("run aborted: " + why, std::move(dump));
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock nanoseconds-since-epoch; 0 = no deadline.
+  std::atomic<std::int64_t> deadline_ns_{0};
+  std::mutex mu_;
+  std::string reason_;
+  std::string dump_;
+};
+
+namespace detail {
+inline thread_local CancelState* g_current_cancel = nullptr;
+}
+
+/// The calling thread's active token, if any. Blocking primitives
+/// (LockManager, FuturePool) read this instead of taking a token
+/// parameter — the token follows the thread, not the call graph.
+inline CancelState* current_cancel() {
+  return detail::g_current_cancel;
+}
+
+/// RAII installation of a token as the thread's current one. A null
+/// token is a no-op scope, so callers can install unconditionally.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelState* tok)
+      : prev_(detail::g_current_cancel) {
+    if (tok != nullptr) detail::g_current_cancel = tok;
+  }
+  ~CancelScope() { detail::g_current_cancel = prev_; }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelState* prev_;
+};
+
+/// Throw StallError if the thread's current token has fired (or its
+/// deadline has passed). The hot-path cost with no token installed is
+/// one thread-local load.
+inline void poll_cancellation() {
+  CancelState* tok = detail::g_current_cancel;
+  if (tok != nullptr && tok->should_abort()) tok->raise();
+}
+
+/// Stall detector. One instance per Runtime; the thread starts lazily
+/// on the first arm() and exits with the Watchdog. Each armed entry
+/// watches a monotone progress counter (completed tasks): if it stops
+/// advancing for the stall window, the watchdog cancels the entry's
+/// token with a diagnostic reason and bumps cri.stalls.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Resolve the cri.stalls counter; call before the first arm().
+  void set_recorder(obs::Recorder* rec);
+
+  /// Watch `progress` (monotone, cheap, callable from the watchdog
+  /// thread) on behalf of `tok`. Returns an id for disarm().
+  std::uint64_t arm(std::shared_ptr<CancelState> tok,
+                    std::function<std::uint64_t()> progress,
+                    std::chrono::milliseconds stall, std::string label);
+
+  /// Stop watching. Safe to call with an already-fired entry.
+  void disarm(std::uint64_t id);
+
+  std::uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::shared_ptr<CancelState> tok;
+    std::function<std::uint64_t()> progress;
+    std::chrono::milliseconds stall;
+    std::string label;
+    std::uint64_t last_value;
+    std::chrono::steady_clock::time_point last_change;
+    bool fired = false;
+  };
+
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::atomic<std::uint64_t> stalls_{0};
+  obs::Counter* stalls_ctr_ = nullptr;
+};
+
+}  // namespace curare::runtime

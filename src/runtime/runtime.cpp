@@ -1,8 +1,10 @@
 #include "runtime/runtime.hpp"
 
+#include <sstream>
 #include <vector>
 
 #include "lisp/function.hpp"
+#include "runtime/fault_injector.hpp"
 #include "sexpr/printer.hpp"
 
 namespace curare::runtime {
@@ -46,6 +48,12 @@ LocKey cell_key(Value cell, Value field) {
 Runtime::Runtime(Interp& interp, std::size_t workers)
     : interp_(interp), futures_(workers, &recorder_) {
   locks_.set_recorder(&recorder_);
+  watchdog_.set_recorder(&recorder_);
+  // Pre-register the resilience counters so clean runs report them as
+  // explicit zeros in --stats (a BENCH run asserting "no stalls" needs
+  // the row to exist).
+  recorder_.metrics.counter("cri.stalls");
+  recorder_.metrics.counter("cri.aborts");
   gc::GcHeap& gc = interp_.ctx().heap.gc();
   futures_.attach_gc(&gc);
   gc.add_root_source(this);
@@ -97,10 +105,44 @@ CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
   CriRun run(interp_, fn, num_sites, servers, &recorder_,
              std::move(label));
   run.set_batch_limit(batch);
+  ResilienceConfig rc;
+  rc.deadline_ms = deadline_ms_.load(std::memory_order_relaxed);
+  rc.stall_ms = stall_ms_.load(std::memory_order_relaxed);
+  rc.watchdog = &watchdog_;
+  // The run can describe its own queues; the state only the Runtime
+  // sees — held locks, future-pool backlog — rides in via extra_dump.
+  rc.extra_dump = [this] {
+    std::string s = locks_.dump_held();
+    s += "future pool: " + std::to_string(futures_.pending_tasks()) +
+         " task(s) queued\n";
+    return s;
+  };
+  run.set_resilience(std::move(rc));
   CriStats stats = run.run(std::move(initial_args));
   std::lock_guard<std::mutex> g(stats_mu_);
   last_stats_ = stats;
   return last_stats_;
+}
+
+std::string Runtime::resilience_report() {
+  std::ostringstream os;
+  const std::int64_t dl = deadline_ms_.load(std::memory_order_relaxed);
+  const std::int64_t st = stall_ms_.load(std::memory_order_relaxed);
+  const std::int64_t wb = locks_.wait_budget_ms();
+  os << "resilience:\n";
+  os << "  deadline: "
+     << (dl > 0 ? std::to_string(dl) + " ms" : std::string("off"))
+     << ", stall watchdog: "
+     << (st > 0 ? std::to_string(st) + " ms" : std::string("off"))
+     << ", lock wait budget: "
+     << (wb > 0 ? std::to_string(wb) + " ms" : std::string("off"))
+     << "\n";
+  os << "  stalls detected: " << watchdog_.stalls_detected()
+     << ", runs aborted: "
+     << recorder_.metrics.counter("cri.aborts").get() << "\n";
+  os << FaultInjector::instance().report();
+  os << locks_.dump_held();
+  return os.str();
 }
 
 Value Runtime::force_tree(Value v) {

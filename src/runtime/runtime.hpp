@@ -23,6 +23,7 @@
 #include "obs/recorder.hpp"
 #include "runtime/future_pool.hpp"
 #include "runtime/lock_manager.hpp"
+#include "runtime/resilience.hpp"
 #include "runtime/server_pool.hpp"
 
 namespace curare::runtime {
@@ -44,6 +45,31 @@ class Runtime : public gc::RootSource {
 
   LockManager& locks() { return locks_; }
   FuturePool& futures() { return futures_; }
+  Watchdog& watchdog() { return watchdog_; }
+
+  /// Whole-run wall-clock budget applied to every subsequent CRI run
+  /// (0 = unlimited). The CLI's --deadline-ms lands here.
+  void set_deadline_ms(std::int64_t ms) {
+    deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+  std::int64_t deadline_ms() const {
+    return deadline_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// No-completion window before the watchdog aborts a CRI run
+  /// (0 = watchdog off). The CLI's --stall-ms lands here.
+  void set_stall_ms(std::int64_t ms) {
+    stall_ms_.store(ms, std::memory_order_relaxed);
+  }
+  std::int64_t stall_ms() const {
+    return stall_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable resilience state: configured limits, stall/abort
+  /// counters, fault-injector report, currently held locks. Backs the
+  /// REPL's :resilience command. (Non-const: reading a counter through
+  /// the registry may create it.)
+  std::string resilience_report();
 
   /// The observability bundle every component reports into: tracer
   /// (off by default — obs().tracer.set_enabled(true) to record),
@@ -73,6 +99,9 @@ class Runtime : public gc::RootSource {
   obs::Recorder recorder_;  ///< before locks_/futures_: they point at it
   LockManager locks_;
   FuturePool futures_;
+  Watchdog watchdog_;
+  std::atomic<std::int64_t> deadline_ms_{0};
+  std::atomic<std::int64_t> stall_ms_{0};
   /// Guards last_stats_.result against the collector's gc_roots
   /// (run_cri stores it outside any unsafe region).
   std::mutex stats_mu_;

@@ -1,6 +1,9 @@
 #include "runtime/server_pool.hpp"
 
+#include <sstream>
 #include <vector>
+
+#include "runtime/fault_injector.hpp"
 
 namespace curare::runtime {
 
@@ -59,7 +62,17 @@ void CriRun::gc_roots(std::vector<sexpr::Value>& out) {
 
 void CriRun::enqueue(std::size_t site, TaskArgs args) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  const std::size_t depth = queues_.push(site, std::move(args));
+  std::size_t depth = 0;
+  try {
+    depth = queues_.push(site, std::move(args));
+  } catch (...) {
+    // A push that throws (bad site, injected fault) enqueued nothing:
+    // take the increment back or the run never terminates. The count
+    // cannot reach zero here — the calling task still holds its own
+    // pending unit until it completes — so no close() is needed.
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
   if (rec_) {
     g_last_enqueue_ns = rec_->tracer.now_ns();
     enqueues_.fetch_add(1, std::memory_order_relaxed);
@@ -82,8 +95,36 @@ void CriRun::finish(sexpr::Value result) {
   queues_.close();  // kill tokens for every server
 }
 
+std::string CriRun::dump_state() const {
+  std::ostringstream os;
+  os << "cri run '" << (label_.empty() ? "<unlabelled>" : label_)
+     << "': " << servers_ << " server(s), " << queues_.sites()
+     << " site(s)\n";
+  os << "  pending tasks: " << pending_.load(std::memory_order_relaxed)
+     << ", queue depth: " << queues_.depth() << " (max "
+     << queues_.max_length() << ")\n";
+  os << "  invocations started: "
+     << invocations_.load(std::memory_order_relaxed)
+     << ", completed: " << completions_.load(std::memory_order_relaxed)
+     << ", enqueues: " << enqueues_.load(std::memory_order_relaxed)
+     << "\n";
+  std::string out = os.str();
+  if (resil_.extra_dump) {
+    try {
+      out += resil_.extra_dump();
+    } catch (...) {
+      out += "(extra diagnostics failed)\n";
+    }
+  }
+  return out;
+}
+
 void CriRun::serve(std::size_t server_index) {
   CurrentRunGuard guard(this);
+  // Make this run's token the thread's current one: every blocking
+  // primitive the body reaches (eval loop, lock waits, touch) now
+  // polls it. Null-token scope when resilience is off.
+  CancelScope cancel_scope(token_.get());
   if (rec_) {
     rec_->tracer.name_thread("cri-server-" +
                              std::to_string(server_index));
@@ -118,6 +159,25 @@ void CriRun::serve(std::size_t server_index) {
     if (got == 0) break;  // kill token
 
     for (std::size_t k = 0; k < got; ++k) {
+      // Deadline/watchdog abort: record the StallError as the run's
+      // first error and switch to drain mode — exactly the body-throw
+      // path, so re-runnability follows for free. Busy servers reach
+      // the same state through the eval loop's poll_cancellation().
+      if (token_ && !stop_.load(std::memory_order_acquire) &&
+          token_->should_abort()) {
+        {
+          std::lock_guard<std::mutex> g(err_mu_);
+          if (!first_error_) {
+            try {
+              token_->raise();
+            } catch (...) {
+              first_error_ = std::current_exception();
+            }
+          }
+        }
+        stop_.store(true, std::memory_order_release);
+        queues_.close();
+      }
       // After %cri-finish or a body error, drain without executing —
       // but every popped task still decrements pending_ exactly once,
       // so the termination accounting stays consistent and the run can
@@ -128,6 +188,8 @@ void CriRun::serve(std::size_t server_index) {
         g_last_enqueue_ns = 0;
         bool failed = false;
         try {
+          FaultInjector::instance().check(
+              FaultInjector::Site::kTaskRun);
           interp_.apply(fn_, batch[k]);
         } catch (...) {
           {
@@ -138,6 +200,12 @@ void CriRun::serve(std::size_t server_index) {
           queues_.close();
           failed = true;
         }
+        // The watchdog's progress signal: bodies that *finish*, pass
+        // or fail. (Starts can't be the signal — a wedged body starts
+        // and never ends; enqueues can't either — an infinite
+        // re-enqueue loop "progresses" forever, and bounding that is
+        // the deadline's job.)
+        completions_.fetch_add(1, std::memory_order_relaxed);
         if (rec_ && !failed) {
           const std::uint64_t t1 = rec_->tracer.now_ns();
           busy += t1 - t0;
@@ -175,6 +243,7 @@ CriStats CriRun::run(TaskArgs initial_args) {
   queues_.reopen();
   stop_.store(false, std::memory_order_relaxed);
   invocations_.store(0, std::memory_order_relaxed);
+  completions_.store(0, std::memory_order_relaxed);
   enqueues_.store(0, std::memory_order_relaxed);
   head_ns_.store(0, std::memory_order_relaxed);
   tail_ns_.store(0, std::memory_order_relaxed);
@@ -190,6 +259,21 @@ CriStats CriRun::run(TaskArgs initial_args) {
   busy_ns_.assign(servers_, 0);
   idle_ns_.assign(servers_, 0);
   tasks_per_server_.assign(servers_, 0);
+
+  // A fresh token every run: a fired token from an aborted run must
+  // not poison the retry. Servers read token_ only between here and
+  // the join below.
+  token_ = std::make_shared<CancelState>();
+  token_->dump_fn = [this] { return dump_state(); };
+  if (resil_.deadline_ms > 0) token_->set_deadline_ms(resil_.deadline_ms);
+  std::uint64_t wd_id = 0;
+  if (resil_.watchdog != nullptr && resil_.stall_ms > 0) {
+    wd_id = resil_.watchdog->arm(
+        token_,
+        [this] { return completions_.load(std::memory_order_relaxed); },
+        std::chrono::milliseconds(resil_.stall_ms),
+        label_.empty() ? std::string("cri-run") : label_);
+  }
 
   std::uint64_t t_start = 0;
   if (rec_) t_start = rec_->tracer.now_ns();
@@ -216,9 +300,16 @@ CriStats CriRun::run(TaskArgs initial_args) {
   for (std::size_t i = 0; i < servers_; ++i)
     threads.emplace_back([this, i] { serve(i); });
   for (std::thread& t : threads) t.join();
+  // Disarm before reacquiring: blocking_reacquire may park behind a
+  // long stop-the-world, and a still-armed watchdog would read that
+  // pause as a stall of an already-finished run.
+  if (wd_id != 0) resil_.watchdog->disarm(wd_id);
   gc_.blocking_reacquire(gc_depth);
 
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_) {
+    if (rec_) rec_->metrics.counter("cri.aborts").add();
+    std::rethrow_exception(first_error_);
+  }
 
   CriStats stats;
   stats.invocations = invocations_.load(std::memory_order_relaxed);

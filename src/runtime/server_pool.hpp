@@ -22,6 +22,8 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -30,6 +32,7 @@
 #include "gc/gc.hpp"
 #include "lisp/interp.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/resilience.hpp"
 #include "runtime/task_queue.hpp"
 
 namespace curare::runtime {
@@ -76,6 +79,17 @@ struct CriStats {
   }
 };
 
+/// Per-run abort policy (DESIGN.md §10). Zeroes disable each feature;
+/// the watchdog pointer is borrowed (the Runtime owns it).
+struct ResilienceConfig {
+  std::int64_t deadline_ms = 0;  ///< whole-run wall-clock budget
+  std::int64_t stall_ms = 0;     ///< no-completion window before abort
+  Watchdog* watchdog = nullptr;  ///< required for stall_ms to act
+  /// Appended to the run's diagnostic dump (held locks, future-pool
+  /// backlog — state the run cannot see itself).
+  std::function<std::string()> extra_dump;
+};
+
 class CriRun : public gc::RootSource {
  public:
   /// `fn` is the transformed server-body function (a Closure value);
@@ -115,6 +129,23 @@ class CriRun : public gc::RootSource {
   /// search").
   void finish(sexpr::Value result);
 
+  /// Install the abort policy for subsequent run() calls. A fresh
+  /// CancelState is minted per run, so an aborted run leaves no fired
+  /// token behind and the CriRun stays re-runnable.
+  void set_resilience(ResilienceConfig cfg) { resil_ = std::move(cfg); }
+
+  /// Diagnostic snapshot: servers, pending count, queue depths,
+  /// invocation progress, plus the config's extra_dump. Safe from any
+  /// thread (atomics + O(1) queue reads only).
+  std::string dump_state() const;
+
+  /// Tasks whose bodies finished (successfully or not) — the watchdog's
+  /// progress signal. invocations() counts starts; a wedged body starts
+  /// but never completes.
+  std::uint64_t completions() const {
+    return completions_.load(std::memory_order_relaxed);
+  }
+
   /// The CriRun the calling server thread is executing for, if any.
   static CriRun* current();
 
@@ -134,6 +165,12 @@ class CriRun : public gc::RootSource {
   std::size_t batch_limit_ = 1;
   std::atomic<std::int64_t> pending_{0};
   std::atomic<std::uint64_t> invocations_{0};
+  std::atomic<std::uint64_t> completions_{0};
+  ResilienceConfig resil_;
+  /// This run's cancellation token; replaced at every run() start.
+  /// Server threads read the pointer only between run()'s reset and
+  /// join, where it is stable.
+  std::shared_ptr<CancelState> token_;
   /// Set by finish() and by the first body error: remaining queued
   /// tasks are discarded (with exact pending_ accounting) instead of
   /// executed, so servers stop promptly and a later run() starts from

@@ -38,6 +38,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "gc/gc.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/mpmc_ring.hpp"
 #include "sexpr/value.hpp"
 
@@ -80,6 +82,8 @@ class SingleMutexTaskQueues {
   /// the total queued depth after the push (an observability sample —
   /// §4.1's queue-growth discussion made measurable).
   std::size_t push(std::size_t site, TaskArgs args) {
+    if (FaultInjector::instance().check(FaultInjector::Site::kQueuePush))
+      cv_.notify_all();  // injected spurious wakeup
     std::size_t total = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
@@ -112,8 +116,11 @@ class SingleMutexTaskQueues {
       // Park hook: a server sleeping here is at a quiescent point — the
       // values it will consume on wake are still queue-rooted — so it
       // must not hold its unsafe region and stall the collector.
+      // Bounded slice: close()/push() still wake us immediately; the
+      // timeout only bounds how long a cancelled server can stay parked
+      // before its serve loop re-checks the token.
       const std::size_t gcd = gc_ ? gc_->blocking_release() : 0;
-      cv_.wait(g);
+      cv_.wait_for(g, std::chrono::milliseconds(100));
       if (gcd != 0) {
         // Re-enter outside the queue lock: reacquire may block on a
         // stop-the-world whose root enumeration needs this mutex.
@@ -197,6 +204,12 @@ class ShardedTaskQueues {
   /// push (O(1): one atomic word, no scan — the seed queue recomputed
   /// this with an O(sites) walk under the global lock on every push).
   std::size_t push(std::size_t site, TaskArgs args) {
+    if (FaultInjector::instance().check(
+            FaultInjector::Site::kQueuePush)) {
+      // Injected spurious wakeup for any sleeping server.
+      std::lock_guard<std::mutex> g(wait_mu_);
+      wait_cv_.notify_all();
+    }
     if (site >= sites_.size())
       throw sexpr::LispError("cri: call-site index out of range");
     Site& s = *sites_[site];
@@ -457,8 +470,11 @@ class ShardedTaskQueues {
         // Park hook: a sleeping server is at a quiescent point (the
         // values it will consume on wake are still queue-rooted), so
         // it releases its GC unsafe region for the duration.
+        // Bounded slice: push()/close() still wake us immediately; the
+        // timeout only bounds how long a cancelled server stays parked
+        // before its serve loop re-checks the token.
         const std::size_t gcd = gc_ ? gc_->blocking_release() : 0;
-        wait_cv_.wait(lk);
+        wait_cv_.wait_for(lk, std::chrono::milliseconds(100));
         if (gcd != 0) {
           // Re-enter outside wait_mu_: reacquire may block on a
           // stop-the-world, and nobody should hold queue locks then.

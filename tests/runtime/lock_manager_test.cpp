@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -56,6 +58,51 @@ TEST_F(LockManagerTest, WriterMayAlsoTakeReadLock) {
   lm.lock(key(), false);  // read inside write: counts as reentrant hold
   lm.unlock(key(), false);
   lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, ReadToWriteUpgradeThrowsInsteadOfDeadlocking) {
+  // A reader that asks for the write lock on the same location would
+  // wait for its own read hold to drain — a self-deadlock. The manager
+  // must detect this and throw while the read hold stays intact.
+  lm.lock(key(), false);
+  try {
+    lm.lock(key(), true);
+    FAIL() << "upgrade must throw, not acquire (or hang)";
+  } catch (const sexpr::LispError& e) {
+    EXPECT_NE(std::string(e.what()).find("upgrade"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(lm.live_entries(), 1u) << "the read hold must survive";
+  lm.unlock(key(), false);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, UpgradeDetectionIsPerThread) {
+  // Another thread's read hold is ordinary contention, not an upgrade:
+  // the writer must wait for it, then acquire.
+  lm.lock(key(), false);
+  std::atomic<bool> acquired{false};
+  std::thread writer([&] {
+    lm.lock(key(), true);  // blocks until the main thread releases
+    acquired.store(true);
+    lm.unlock(key(), true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load()) << "writer ran through a live read hold";
+  lm.unlock(key(), false);
+  writer.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, DumpHeldNamesLocationsAndReset) {
+  EXPECT_NE(lm.dump_held().find("none"), std::string::npos);
+  lm.lock(key(), true);
+  const std::string dump = lm.dump_held();
+  EXPECT_NE(dump.find("held locks (1)"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("car"), std::string::npos) << dump;
+  lm.reset();  // recovery path after an aborted run
   EXPECT_EQ(lm.live_entries(), 0u);
 }
 

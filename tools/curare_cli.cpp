@@ -27,7 +27,17 @@
 //                  trigger — explicit :gc still collects)
 //   --gc-stats     print collector statistics (pauses, reclaimed,
 //                  live) on exit
+//   --deadline-ms N    abort any CRI run (and batch/-e evaluation) that
+//                  exceeds N ms of wall clock with a StallError +
+//                  diagnostic dump (exit code 3)
+//   --stall-ms N   arm the per-run watchdog: abort a CRI run in which
+//                  no task completes for N ms (exit code 3)
+//   --lock-budget-ms N  cap any single blocked lock acquisition
+//   --chaos SEED:RATE[:KINDS]  arm the deterministic fault injector
+//                  (KINDS ⊆ delay,throw,wake — default all); see
+//                  :resilience for per-site counts
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +46,8 @@
 #include "curare/curare.hpp"
 #include "curare/struct_sapp.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/resilience.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
@@ -64,6 +76,51 @@ bool parse_bytes(const std::string& text, std::size_t& out) {
   }
   out = n * mult;
   return true;
+}
+
+/// "1234:0.02" or "0x4d2:0.02:delay,throw" → injector configuration.
+/// Base 0 so hex seeds (the convention in CI) parse as written.
+bool parse_chaos(const std::string& text, std::uint64_t& seed,
+                 double& rate, unsigned& kinds) {
+  const auto c1 = text.find(':');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = text.find(':', c1 + 1);
+  try {
+    seed = std::stoull(text.substr(0, c1), nullptr, 0);
+    rate = std::stod(text.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1));
+  } catch (...) {
+    return false;
+  }
+  kinds = curare::runtime::FaultInjector::kAllKinds;
+  if (c2 != std::string::npos) {
+    kinds = 0;
+    std::istringstream iss(text.substr(c2 + 1));
+    std::string k;
+    while (std::getline(iss, k, ',')) {
+      if (k == "delay") {
+        kinds |= curare::runtime::FaultInjector::kDelay;
+      } else if (k == "throw") {
+        kinds |= curare::runtime::FaultInjector::kThrow;
+      } else if (k == "wake") {
+        kinds |= curare::runtime::FaultInjector::kWake;
+      } else if (k == "all") {
+        kinds |= curare::runtime::FaultInjector::kAllKinds;
+      } else {
+        return false;
+      }
+    }
+    if (kinds == 0) return false;
+  }
+  return rate > 0.0 && rate <= 1.0;
+}
+
+/// A stalled run is its own exit condition (code 3), with the dump on
+/// stderr so CI logs show *why* — not just that — a program died.
+void print_stall(const curare::runtime::StallError& e) {
+  std::fprintf(stderr, "stall: %s\n", e.what());
+  if (!e.dump().empty()) std::fprintf(stderr, "%s", e.dump().c_str());
 }
 
 void print_gc_stats(const curare::gc::GcHeap& gc, std::FILE* to) {
@@ -208,6 +265,8 @@ int repl(Curare& cur) {
       } else if (line == ":stats") {
         std::printf("%s",
                     curare::obs::full_report(cur.runtime().obs()).c_str());
+      } else if (line == ":resilience") {
+        std::printf("%s", cur.runtime().resilience_report().c_str());
       } else if (line.rfind(":trace ", 0) == 0) {
         // Dumps what the ring buffers currently hold; recording must
         // have been enabled (run the CLI with --trace, which also
@@ -215,7 +274,7 @@ int repl(Curare& cur) {
         write_trace_file(cur.runtime().obs(), line.substr(7));
       } else if (line[0] == ':') {
         std::printf("unknown command; try :analyze :transform :par "
-                    ":sapp :stats :trace :gc :quit\n");
+                    ":sapp :stats :resilience :trace :gc :quit\n");
       } else {
         // Plain Lisp. Loading through the driver keeps defuns known to
         // the transformer.
@@ -223,6 +282,10 @@ int repl(Curare& cur) {
         std::string out = cur.interp().take_output();
         if (!out.empty()) std::printf("%s", out.c_str());
       }
+    } catch (const curare::runtime::StallError& e) {
+      // The run died but the session survives: the CriRun drained its
+      // queues on abort and a fresh run mints a fresh token.
+      print_stall(e);
     } catch (const std::exception& e) {
       std::printf("error: %s\n", e.what());
     }
@@ -245,6 +308,31 @@ int main(int argc, char** argv) {
   std::string eval_expr;
   bool have_eval = false;
   std::string file;
+  std::int64_t deadline_ms = 0;
+  std::int64_t stall_ms = 0;
+  std::int64_t lock_budget_ms = 0;
+  bool have_chaos = false;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0;
+  unsigned chaos_kinds = 0;
+
+  auto parse_ms = [&](const char* flag, int& i,
+                      std::int64_t& out) -> bool {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a millisecond count\n", flag);
+      return false;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "%s: bad millisecond count '%s'\n", flag,
+                   argv[i + 1]);
+      return false;
+    }
+    out = v;
+    ++i;
+    return true;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -259,6 +347,23 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--gc-stats") {
       gc_stats = true;
+    } else if (arg == "--deadline-ms") {
+      if (!parse_ms("--deadline-ms", i, deadline_ms)) return 2;
+    } else if (arg == "--stall-ms") {
+      if (!parse_ms("--stall-ms", i, stall_ms)) return 2;
+    } else if (arg == "--lock-budget-ms") {
+      if (!parse_ms("--lock-budget-ms", i, lock_budget_ms)) return 2;
+    } else if (arg == "--chaos") {
+      if (i + 1 >= argc ||
+          !parse_chaos(argv[i + 1], chaos_seed, chaos_rate,
+                       chaos_kinds)) {
+        std::fprintf(stderr,
+                     "--chaos requires SEED:RATE[:KINDS] with RATE in "
+                     "(0,1] and KINDS from delay,throw,wake,all\n");
+        return 2;
+      }
+      have_chaos = true;
+      ++i;
     } else if (arg == "--trace" || arg == "-e") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
@@ -276,6 +381,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown option %s\nusage: curare [--trace out.json] "
                    "[--stats] [--gc-threshold N] [--gc-stats] "
+                   "[--deadline-ms N] [--stall-ms N] "
+                   "[--lock-budget-ms N] [--chaos SEED:RATE[:KINDS]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
       return 2;
@@ -289,6 +396,31 @@ int main(int argc, char** argv) {
   cur.interp().set_echo(false);
   if (have_threshold) ctx.heap.gc().set_threshold(gc_threshold);
   if (!trace_path.empty()) cur.runtime().obs().tracer.set_enabled(true);
+  cur.runtime().set_deadline_ms(deadline_ms);
+  cur.runtime().set_stall_ms(stall_ms);
+  cur.runtime().locks().set_wait_budget_ms(lock_budget_ms);
+  // Armed only now: chaos targets the user's program, and a fault
+  // thrown during interpreter bootstrap would escape every handler.
+  if (have_chaos) {
+    curare::runtime::FaultInjector::instance().configure(
+        chaos_seed, chaos_rate, chaos_kinds);
+  }
+
+  // Batch/-e evaluations get a top-level token too, so a deadline also
+  // bounds Lisp that hangs *outside* any CRI run (top-level infinite
+  // recursion, a lock wait on the main thread). CRI runs install their
+  // own per-run token on their server threads; this one governs the
+  // main thread only.
+  curare::runtime::CancelState top_token;
+  top_token.dump_fn = [&cur] {
+    return cur.runtime().locks().dump_held();
+  };
+  if (deadline_ms > 0 && (have_eval || !file.empty())) {
+    top_token.set_deadline_ms(deadline_ms);
+  }
+  curare::runtime::CancelScope top_scope(
+      deadline_ms > 0 && (have_eval || !file.empty()) ? &top_token
+                                                      : nullptr);
 
   // Deferred reporting so every mode (batch, -e, REPL) flushes the
   // trace and stats on the way out, including on error exits.
@@ -312,6 +444,9 @@ int main(int argc, char** argv) {
       if (!out.empty()) std::printf("%s", out.c_str());
       std::printf("%s\n", curare::sexpr::write_str(v).c_str());
       return finish(0);
+    } catch (const curare::runtime::StallError& e) {
+      print_stall(e);
+      return finish(3);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return finish(1);
@@ -329,6 +464,9 @@ int main(int argc, char** argv) {
     try {
       batch_transform_all(cur, ss.str());
       return finish(0);
+    } catch (const curare::runtime::StallError& e) {
+      print_stall(e);
+      return finish(3);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return finish(1);

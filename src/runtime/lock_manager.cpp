@@ -187,15 +187,28 @@ void LockManager::unlock(const LocKey& key, bool exclusive) {
   }
 
   if (!exclusive && e.readers > 0) {
-    // Drop this thread's recorded hold. Permissive when absent — a
-    // hand-off pattern (lock on one server, unlock on another) keeps
-    // the historical semantics; it just won't be upgrade-protected.
+    // Drop this thread's recorded hold. When no record matches — the
+    // hand-off pattern, lock on one server thread and unlock on
+    // another — retire the oldest record instead, so the table tracks
+    // *counts* and a record can never outlive the holds it stands for.
+    // (A stale record would later throw a false "read->write upgrade"
+    // at a thread that no longer holds anything. The count view errs
+    // only the other way: with several concurrent readers plus
+    // hand-offs, the retired record may belong to a thread that still
+    // holds, so its upgrade degrades from fail-fast to a budget- or
+    // watchdog-bounded wait.)
+    bool dropped = false;
     for (auto hit = e.reader_holds.begin(); hit != e.reader_holds.end();
          ++hit) {
       if (hit->first == self) {
         if (--hit->second == 0) e.reader_holds.erase(hit);
+        dropped = true;
         break;
       }
+    }
+    if (!dropped && !e.reader_holds.empty()) {
+      auto hit = e.reader_holds.begin();
+      if (--hit->second == 0) e.reader_holds.erase(hit);
     }
     if (--e.readers == 0 && e.writer_depth == 0) {
       s.entries.erase(it);

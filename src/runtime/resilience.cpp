@@ -41,8 +41,16 @@ std::uint64_t Watchdog::arm(std::shared_ptr<CancelState> tok,
 }
 
 void Watchdog::disarm(std::uint64_t id) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::unique_lock<std::mutex> g(mu_);
   std::erase_if(entries_, [id](const Entry& e) { return e.id == id; });
+  // If the loop snapshotted this entry and is firing its token right
+  // now (outside mu_, possibly inside a dump_fn that walks state owned
+  // by the disarming caller), returning early would let the caller
+  // destroy that state mid-dump. Wait the fire out.
+  fire_cv_.wait(g, [this, id] {
+    return std::find(firing_ids_.begin(), firing_ids_.end(), id) ==
+           firing_ids_.end();
+  });
 }
 
 void Watchdog::loop() {
@@ -65,10 +73,17 @@ void Watchdog::loop() {
 
     const auto now = std::chrono::steady_clock::now();
     // Collect fired tokens first, then cancel them OUTSIDE mu_: a
-    // dump_fn may take arbitrary runtime locks, and arm()/disarm()
-    // callers must never wait on a dump in progress.
-    std::vector<std::pair<std::shared_ptr<CancelState>, std::string>>
-        to_fire;
+    // dump_fn may take arbitrary runtime locks, and arm() callers must
+    // never wait on a dump in progress. Each fired id is published in
+    // firing_ids_ while its cancel runs, so disarm() can tell "erased"
+    // apart from "erased but still being dumped" and block on the
+    // latter.
+    struct Fire {
+      std::uint64_t id;
+      std::shared_ptr<CancelState> tok;
+      std::string why;
+    };
+    std::vector<Fire> to_fire;
     for (Entry& e : entries_) {
       if (e.fired) continue;
       const std::uint64_t v = e.progress();
@@ -79,20 +94,24 @@ void Watchdog::loop() {
       }
       if (now - e.last_change >= e.stall) {
         e.fired = true;
-        to_fire.emplace_back(
-            e.tok, "watchdog: no task completed in " +
-                       std::to_string(e.stall.count()) + " ms (" +
-                       e.label + ")");
+        firing_ids_.push_back(e.id);
+        to_fire.push_back(Fire{
+            e.id, e.tok,
+            "watchdog: no task completed in " +
+                std::to_string(e.stall.count()) + " ms (" + e.label +
+                ")"});
       }
     }
     if (!to_fire.empty()) {
       g.unlock();
-      for (auto& [tok, why] : to_fire) {
-        tok->cancel(why);
+      for (Fire& f : to_fire) {
+        f.tok->cancel(f.why);
         stalls_.fetch_add(1, std::memory_order_relaxed);
         if (stalls_ctr_ != nullptr) stalls_ctr_->add();
       }
       g.lock();
+      for (const Fire& f : to_fire) std::erase(firing_ids_, f.id);
+      fire_cv_.notify_all();
     }
   }
 }

@@ -196,13 +196,19 @@ class Watchdog {
   /// Resolve the cri.stalls counter; call before the first arm().
   void set_recorder(obs::Recorder* rec);
 
-  /// Watch `progress` (monotone, cheap, callable from the watchdog
-  /// thread) on behalf of `tok`. Returns an id for disarm().
+  /// Watch `progress` (monotone) on behalf of `tok`. `progress` runs
+  /// on the watchdog thread *with the watchdog mutex held*: it must be
+  /// a lock-free read — a relaxed atomic load, nothing that blocks or
+  /// takes a lock — or it stalls arm()/disarm() for every run in the
+  /// process. Returns an id for disarm().
   std::uint64_t arm(std::shared_ptr<CancelState> tok,
                     std::function<std::uint64_t()> progress,
                     std::chrono::milliseconds stall, std::string label);
 
-  /// Stop watching. Safe to call with an already-fired entry.
+  /// Stop watching. Safe to call with an already-fired entry. Blocks
+  /// until any in-flight fire of this entry has finished — its dump_fn
+  /// may read caller-owned state, so only after disarm() returns may
+  /// the caller destroy the watched object.
   void disarm(std::uint64_t id);
 
   std::uint64_t stalls_detected() const {
@@ -225,7 +231,11 @@ class Watchdog {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals completion of an out-of-lock fire; disarm() waits on it.
+  std::condition_variable fire_cv_;
   std::vector<Entry> entries_;
+  /// Ids whose tokens the loop is currently cancelling outside mu_.
+  std::vector<std::uint64_t> firing_ids_;
   std::uint64_t next_id_ = 1;
   bool stop_ = false;
   bool started_ = false;

@@ -266,9 +266,25 @@ CriStats CriRun::run(TaskArgs initial_args) {
   token_ = std::make_shared<CancelState>();
   token_->dump_fn = [this] { return dump_state(); };
   if (resil_.deadline_ms > 0) token_->set_deadline_ms(resil_.deadline_ms);
-  std::uint64_t wd_id = 0;
+  // Scope guard rather than a bare id: the initial push and the server
+  // spawns below can throw (an injected kQueuePush fault, or
+  // std::system_error out of std::thread), and an entry left armed past
+  // this frame would have the watchdog call progress()/dump_state() on
+  // a destroyed CriRun.
+  struct WatchdogGuard {
+    Watchdog* wd = nullptr;
+    std::uint64_t id = 0;
+    void disarm() {
+      if (wd != nullptr && id != 0) {
+        wd->disarm(id);
+        id = 0;
+      }
+    }
+    ~WatchdogGuard() { disarm(); }
+  } wd_guard;
   if (resil_.watchdog != nullptr && resil_.stall_ms > 0) {
-    wd_id = resil_.watchdog->arm(
+    wd_guard.wd = resil_.watchdog;
+    wd_guard.id = resil_.watchdog->arm(
         token_,
         [this] { return completions_.load(std::memory_order_relaxed); },
         std::chrono::milliseconds(resil_.stall_ms),
@@ -297,13 +313,28 @@ CriStats CriRun::run(TaskArgs initial_args) {
   // through their EvalFrame shadow-stack roots; this run's own state is
   // rooted by gc_roots() above.
   const std::size_t gc_depth = gc_.blocking_release();
-  for (std::size_t i = 0; i < servers_; ++i)
-    threads.emplace_back([this, i] { serve(i); });
-  for (std::thread& t : threads) t.join();
+  try {
+    for (std::size_t i = 0; i < servers_; ++i)
+      threads.emplace_back([this, i] { serve(i); });
+    for (std::thread& t : threads) t.join();
+  } catch (...) {
+    // A failed spawn leaves the earlier servers running: close the
+    // queues so they drain out and join them (a still-joinable thread
+    // in ~thread terminates the process), then restore the guard
+    // ordering below — disarm before reacquire — before unwinding.
+    stop_.store(true, std::memory_order_release);
+    queues_.close();
+    for (std::thread& t : threads) t.join();
+    wd_guard.disarm();
+    gc_.blocking_reacquire(gc_depth);
+    throw;
+  }
   // Disarm before reacquiring: blocking_reacquire may park behind a
   // long stop-the-world, and a still-armed watchdog would read that
-  // pause as a stall of an already-finished run.
-  if (wd_id != 0) resil_.watchdog->disarm(wd_id);
+  // pause as a stall of an already-finished run. disarm() also waits
+  // out any in-flight fire, so no dump_state() can still be running
+  // once this frame (and with it the CriRun) goes away.
+  wd_guard.disarm();
   gc_.blocking_reacquire(gc_depth);
 
   if (first_error_) {

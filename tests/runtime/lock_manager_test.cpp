@@ -96,6 +96,40 @@ TEST_F(LockManagerTest, UpgradeDetectionIsPerThread) {
   EXPECT_EQ(lm.live_entries(), 0u);
 }
 
+TEST_F(LockManagerTest, HandOffUnlockLeavesNoStaleUpgradeRecord) {
+  // Hand-off pattern: lock shared on one thread, unlock on another.
+  // Regression: the locker's reader_holds record used to survive the
+  // other thread's unlock, so the locker's later exclusive request on
+  // the same key threw a false "read->write upgrade" error even though
+  // it no longer held anything.
+  lm.lock(key(), false);
+  std::thread other([&] { lm.unlock(key(), false); });
+  other.join();
+  EXPECT_EQ(lm.live_entries(), 0u);
+  EXPECT_NO_THROW(lm.lock(key(), true))
+      << "stale reader record misread as an upgrade";
+  lm.unlock(key(), true);
+  EXPECT_EQ(lm.live_entries(), 0u);
+}
+
+TEST_F(LockManagerTest, HandOffUnlockWithOtherReadersTracksCounts) {
+  // Two live read holds, one of them handed off: the hand-off unlock
+  // must retire exactly one record so the count view stays exact and
+  // a later fresh exclusive acquisition (after the second release)
+  // succeeds.
+  lm.lock(key(), false);
+  std::thread t([&] {
+    lm.lock(key(), false);
+    lm.unlock(key(), false);  // its own hold: ordinary unlock
+  });
+  t.join();
+  std::thread other([&] { lm.unlock(key(), false); });  // hand-off
+  other.join();
+  EXPECT_EQ(lm.live_entries(), 0u);
+  EXPECT_NO_THROW(lm.lock(key(), true));
+  lm.unlock(key(), true);
+}
+
 TEST_F(LockManagerTest, DumpHeldNamesLocationsAndReset) {
   EXPECT_NE(lm.dump_held().find("none"), std::string::npos);
   lm.lock(key(), true);

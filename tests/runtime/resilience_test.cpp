@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -126,6 +127,64 @@ TEST_F(ResilienceTest, WatchdogFiresOnDeadlockedLockProgram) {
   run_src("(%unlock-var 'wd-shared)");
   CriStats stats = run.run({Value::fixnum(0)});
   EXPECT_EQ(stats.invocations, 1u);
+}
+
+TEST_F(ResilienceTest, WatchdogDisarmedWhenInitialPushThrows) {
+  // Regression: CriRun::run armed the watchdog before the initial
+  // queue push, and a push that threw (the kQueuePush fault here)
+  // unwound past the disarm — the leaked entry then called progress()
+  // and dump_state() on the destroyed CriRun.
+  run_src("(defun noop-cri (i) nil)");
+  Value fn = in.global("noop-cri");
+  const std::uint64_t stalls_before = rt.watchdog().stalls_detected();
+  {
+    CriRun run(in, fn, 1, 2);
+    ResilienceConfig rc;
+    rc.stall_ms = 50;
+    rc.watchdog = &rt.watchdog();
+    run.set_resilience(rc);
+    FaultInjector::instance().configure(7, 1.0, FaultInjector::kThrow);
+    EXPECT_THROW(run.run({Value::fixnum(0)}), sexpr::LispError);
+    FaultInjector::instance().disable();
+  }  // CriRun gone: a leaked entry would now watch freed memory
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(rt.watchdog().stalls_detected(), stalls_before)
+      << "a watchdog entry survived an aborted run";
+}
+
+TEST_F(ResilienceTest, WatchdogDisarmWaitsForInFlightFire) {
+  // Regression: disarm() used to only erase the entry, so a run that
+  // finished right at the stall boundary could destroy the CriRun
+  // while the watchdog was still inside dump_fn.
+  Watchdog wd;
+  auto tok = std::make_shared<CancelState>();
+  std::atomic<bool> in_dump{false};
+  std::atomic<bool> release_dump{false};
+  tok->dump_fn = [&] {
+    in_dump.store(true);
+    while (!release_dump.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return std::string("dump");
+  };
+  const std::uint64_t id =
+      wd.arm(tok, [] { return std::uint64_t{0}; },
+             std::chrono::milliseconds(20), "stuck");
+  while (!in_dump.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<bool> disarmed{false};
+  std::thread d([&] {
+    wd.disarm(id);
+    disarmed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(disarmed.load())
+      << "disarm returned while the dump was still running";
+  release_dump.store(true);
+  d.join();
+  EXPECT_TRUE(tok->cancelled());
+  EXPECT_EQ(wd.stalls_detected(), 1u);
 }
 
 TEST_F(ResilienceTest, TouchHonorsCancelDeadline) {

@@ -1,0 +1,276 @@
+// E21: serving-layer load generator (DESIGN.md §11).
+//
+// An in-process ServeDaemon plus C closed-loop clients over real TCP:
+// each client connects (getting its own isolated session), defines a
+// small recursive workload, then fires eval requests back-to-back —
+// the next request leaves only when the previous response arrived.
+// Sweeping C maps the daemon's throughput curve and tail latency under
+// multi-session contention: every session shares the heap, symbol
+// table, future pool, and admission controller.
+//
+// Output: one human table line per client count, and a JSON-lines
+// record per sweep point appended to BENCH_serve.json
+// (CURARE_BENCH_SERVE_JSON overrides):
+//
+//   {"bench":"serve_load","clients":C,"requests":N,"wall_s":…,
+//    "throughput_rps":…,"p50_ms":…,"p99_ms":…,"rejected":R}
+//
+// CURARE_BENCH_SMOKE=1 shrinks the sweep for CI. CURARE_CHAOS=
+// seed:rate[:kinds[:sites]] arms the deterministic fault injector for
+// the whole run (the TSan CI job targets queue.push and task.run), in
+// which case non-ok responses are counted, not fatal: the invariants
+// under chaos are "no hang" and "every request gets a response".
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/fault_injector.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "sexpr/ctx.hpp"
+
+using namespace curare;
+using namespace curare::bench;
+
+namespace {
+
+/// seed:rate[:kinds[:sites]] — gc_soak's grammar plus the site list.
+bool configure_chaos(const std::string& spec) {
+  using runtime::FaultInjector;
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto colon = spec.find(':', pos);
+    parts.push_back(spec.substr(
+        pos, colon == std::string::npos ? std::string::npos
+                                        : colon - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (parts.size() < 2) return false;
+  std::uint64_t seed = 0;
+  double rate = 0;
+  try {
+    seed = std::stoull(parts[0], nullptr, 0);
+    rate = std::stod(parts[1]);
+  } catch (...) {
+    return false;
+  }
+  if (!(rate > 0.0 && rate <= 1.0)) return false;
+  unsigned kinds = FaultInjector::kAllKinds;
+  if (parts.size() >= 3 && !parts[2].empty() && parts[2] != "all") {
+    kinds = 0;
+    std::size_t kp = 0;
+    const std::string& kt = parts[2];
+    while (kp <= kt.size()) {
+      const auto comma = kt.find(',', kp);
+      const std::string k = kt.substr(
+          kp, comma == std::string::npos ? std::string::npos
+                                         : comma - kp);
+      if (k == "delay") kinds |= FaultInjector::kDelay;
+      else if (k == "throw") kinds |= FaultInjector::kThrow;
+      else if (k == "wake") kinds |= FaultInjector::kWake;
+      else if (k == "all") kinds |= FaultInjector::kAllKinds;
+      else return false;
+      if (comma == std::string::npos) break;
+      kp = comma + 1;
+    }
+    if (kinds == 0) return false;
+  }
+  unsigned sites = FaultInjector::kAllSites;
+  if (parts.size() >= 4 && !parts[3].empty() && parts[3] != "all") {
+    sites = 0;
+    std::size_t sp = 0;
+    const std::string& st = parts[3];
+    while (sp <= st.size()) {
+      const auto comma = st.find(',', sp);
+      const std::string s = st.substr(
+          sp, comma == std::string::npos ? std::string::npos
+                                         : comma - sp);
+      unsigned bit = 0;
+      if (!FaultInjector::site_bit(s, bit)) return false;
+      sites |= bit;
+      if (comma == std::string::npos) break;
+      sp = comma + 1;
+    }
+    if (sites == 0) return false;
+  }
+  FaultInjector::instance().configure(seed, rate, kinds, sites);
+  return true;
+}
+
+struct SweepResult {
+  int clients = 0;
+  std::size_t requests = 0;
+  double wall_s = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::size_t rejected = 0;  ///< non-ok responses (overload/chaos)
+  std::size_t transport_errors = 0;
+};
+
+/// The per-session workload: a recursive countdown the interpreter
+/// actually walks, so each request costs real eval work (and polls
+/// cancellation), not just socket round-trips.
+constexpr const char* kDefineWorkload =
+    "(defun bench-count (n acc) (if (< n 1) acc "
+    "(bench-count (- n 1) (+ acc 1))))";
+
+SweepResult run_sweep(int clients, std::size_t requests_per_client,
+                      int workload_n, bool chaos) {
+  sexpr::Ctx ctx;
+  serve::ServeOptions opts;
+  opts.max_inflight = static_cast<std::size_t>(clients);
+  opts.queue_limit = static_cast<std::size_t>(clients) * 2;
+  serve::ServeDaemon daemon(ctx, opts);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    std::exit(1);
+  }
+
+  const std::string eval_src =
+      "(bench-count " + std::to_string(workload_n) + " 0)";
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> transport_errors{0};
+
+  const double wall_s = time_s([&] {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::ClientConnection conn;
+        if (!conn.connect("127.0.0.1", daemon.port())) {
+          ++transport_errors;
+          return;
+        }
+        // Session setup: define the workload, then restructure it so
+        // the session owns a transformed bench-count$parallel entry.
+        serve::Request def;
+        def.op = "restructure";
+        def.name = "bench-count";
+        def.program = kDefineWorkload;
+        if (!conn.request(def)) {
+          ++transport_errors;
+          return;
+        }
+        serve::Request plain;
+        plain.op = "eval";
+        plain.program = eval_src;
+        // Every 4th request runs the transformed version under a CRI
+        // pool — the shared task queue and server threads are part of
+        // the serving story (and the chaos sites queue.push/task.run
+        // only fire on this path).
+        serve::Request cri;
+        cri.op = "eval";
+        cri.program = "(bench-count$parallel 2 " +
+                      std::to_string(workload_n) + " 0)";
+        auto& lat = latencies[static_cast<std::size_t>(c)];
+        lat.reserve(requests_per_client);
+        for (std::size_t i = 0; i < requests_per_client; ++i) {
+          const serve::Request& req = (i % 4 == 3) ? cri : plain;
+          double ms = 0;
+          const double s = time_s([&] {
+            auto resp = conn.request(req);
+            if (!resp) {
+              ++transport_errors;
+            } else if (resp->status != "ok") {
+              ++rejected;
+            }
+          });
+          ms = s * 1e3;
+          lat.push_back(ms);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  daemon.shutdown();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double q) {
+    if (all.empty()) return 0.0;
+    const std::size_t i = std::min(
+        all.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(all.size())));
+    return all[i];
+  };
+
+  SweepResult r;
+  r.clients = clients;
+  r.requests = all.size();
+  r.wall_s = wall_s;
+  r.throughput_rps =
+      wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0;
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  r.rejected = rejected.load();
+  r.transport_errors = transport_errors.load();
+  if (!chaos && (r.rejected != 0 || r.transport_errors != 0)) {
+    std::fprintf(stderr,
+                 "bench_serve: %zu rejected / %zu transport errors "
+                 "without chaos — the daemon dropped load it had "
+                 "capacity for\n",
+                 r.rejected, r.transport_errors);
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const char* chaos_spec = std::getenv("CURARE_CHAOS");
+  if (chaos_spec != nullptr && !configure_chaos(chaos_spec)) {
+    std::fprintf(stderr,
+                 "bench_serve: bad CURARE_CHAOS spec '%s' "
+                 "(want seed:rate[:kinds[:sites]])\n",
+                 chaos_spec);
+    return 1;
+  }
+  const bool chaos = chaos_spec != nullptr;
+  const bool smoke = smoke_mode();
+
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{1, 4, 8}
+            : std::vector<int>{1, 2, 4, 8, 16};
+  const std::size_t requests = smoke ? 40 : 300;
+  const int workload_n = smoke ? 100 : 400;
+
+  const char* path = std::getenv("CURARE_BENCH_SERVE_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_serve.json";
+  std::FILE* js = std::fopen(path, "w");
+
+  std::printf("== serve load (closed loop, %zu req/client, workload "
+              "bench-count %d) ==\n",
+              requests, workload_n);
+  std::printf("%8s %9s %8s %12s %9s %9s %9s\n", "clients", "requests",
+              "wall_s", "throughput", "p50_ms", "p99_ms", "rejected");
+  for (const int c : sweep) {
+    const SweepResult r = run_sweep(c, requests, workload_n, chaos);
+    std::printf("%8d %9zu %8.3f %10.0f/s %9.3f %9.3f %9zu\n",
+                r.clients, r.requests, r.wall_s, r.throughput_rps,
+                r.p50_ms, r.p99_ms, r.rejected);
+    if (js != nullptr) {
+      std::fprintf(js,
+                   "{\"bench\":\"serve_load\",\"clients\":%d,"
+                   "\"requests\":%zu,\"wall_s\":%.6f,"
+                   "\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
+                   "\"p99_ms\":%.4f,\"rejected\":%zu}\n",
+                   r.clients, r.requests, r.wall_s, r.throughput_rps,
+                   r.p50_ms, r.p99_ms, r.rejected);
+    }
+  }
+  if (js != nullptr) std::fclose(js);
+  std::printf("JSON %s\n", path);
+  return 0;
+}

@@ -1,0 +1,27 @@
+;; serve_session.lisp — session isolation demo for the serving daemon.
+;;
+;; Start the daemon, then load this file from TWO concurrent clients:
+;;
+;;   ./build/tools/curare_serve --port-file=/tmp/curare.port &
+;;   PORT=$(cat /tmp/curare.port)
+;;   ./build/tools/curare_client --port $PORT examples/lisp/serve_session.lisp &
+;;   ./build/tools/curare_client --port $PORT examples/lisp/serve_session.lisp &
+;;   wait
+;;
+;; Both clients print (session-counter 2 fib-10 55): each connection is
+;; its own session with its own top-level environment, so `counter`
+;; below starts at 0 for every client — if sessions shared globals, the
+;; second client would see the first one's bumps (counter 4). The heap,
+;; symbol table, future pool, and lock manager behind the sessions are
+;; shared process-wide; only the bindings are per-session.
+
+(setq counter 0)
+(defun bump () (setq counter (+ counter 1)))
+
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+
+(bump)
+(bump)
+
+(list 'session-counter counter 'fib-10 (fib 10))

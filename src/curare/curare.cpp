@@ -77,8 +77,21 @@ std::string TransformPlan::to_string() const {
 }
 
 Curare::Curare(sexpr::Ctx& ctx, std::size_t workers)
-    : ctx_(ctx), interp_(ctx), runtime_(interp_, workers), decls_(ctx) {
-  runtime_.install();
+    : ctx_(ctx),
+      interp_(ctx),
+      owned_runtime_(
+          std::make_unique<runtime::Runtime>(interp_, workers)),
+      runtime_(owned_runtime_.get()),
+      decls_(ctx) {
+  runtime_->install();
+  ctx_.heap.gc().add_root_source(this);
+}
+
+Curare::Curare(sexpr::Ctx& ctx, runtime::Runtime& shared_runtime)
+    : ctx_(ctx), interp_(ctx), runtime_(&shared_runtime), decls_(ctx) {
+  // Same primitives, but bound to the shared lock manager / future
+  // pool / recorder; %cri-run executes in *this* interpreter.
+  runtime_->install_into(interp_);
   ctx_.heap.gc().add_root_source(this);
 }
 
@@ -91,12 +104,13 @@ void Curare::gc_roots(std::vector<Value>& out) {
     out.insert(out.end(), plan.forms.begin(), plan.forms.end());
 }
 
-void Curare::load_program(std::string_view src) {
+Value Curare::load_program(std::string_view src) {
   // One unsafe region for the whole load: the freshly read forms and
   // the containers under mutation stay out of the collector's sight.
   gc::MutatorScope gc_scope(ctx_.heap.gc());
   std::vector<Value> forms = sexpr::read_all(ctx_, src);
   decls_.load_program(forms);
+  Value last = Value::nil();
   for (Value form : forms) {
     program_forms_.push_back(form);
     if (form.is(Kind::Cons) && car(form).is(Kind::Symbol)) {
@@ -104,7 +118,7 @@ void Curare::load_program(std::string_view src) {
       if (head == "curare-declare") continue;  // advice, not code
       if (head == "defun") defuns_[as_symbol(cadr(form))] = form;
     }
-    interp_.eval_top(form);
+    last = interp_.eval_top(form);
     // defstruct feeds the analyzer too: its field classes ARE the §6
     // structure declaration.
     if (form.is(Kind::Cons) && car(form).is(Kind::Symbol) &&
@@ -121,6 +135,7 @@ void Curare::load_program(std::string_view src) {
   std::vector<Value> all_defuns;
   for (const auto& [name, form] : defuns_) all_defuns.push_back(form);
   summaries_ = analysis::compute_summaries(ctx_, decls_, all_defuns);
+  return last;
 }
 
 Value Curare::source_of(std::string_view fn_name) const {

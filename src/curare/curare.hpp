@@ -26,6 +26,7 @@
 // and which declaration would unblock it.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,16 +87,29 @@ struct TransformPlan {
 class Curare : public gc::RootSource {
  public:
   explicit Curare(sexpr::Ctx& ctx, std::size_t workers = 0);
+
+  /// Serving-layer construction: a driver with its own interpreter and
+  /// global environment (session isolation) sharing an existing
+  /// process-wide Runtime — one lock manager, future pool, watchdog,
+  /// and recorder across all sessions. The shared runtime's primitives
+  /// are installed into this driver's interpreter; CRI runs started
+  /// here execute against *this* interpreter's environment.
+  Curare(sexpr::Ctx& ctx, runtime::Runtime& shared_runtime);
+
   ~Curare() override;
 
   /// Read a program: defuns are evaluated (defining the sequential
-  /// versions), declarations are collected.
-  void load_program(std::string_view src);
+  /// versions), declarations are collected. Returns the value of the
+  /// last top-level form (nil for an empty program). The returned
+  /// Value is NOT rooted once the caller leaves its own MutatorScope /
+  /// RootScope — serving-mode callers must root it before the next
+  /// quiescent point.
+  Value load_program(std::string_view src);
 
   const decl::Declarations& declarations() const { return decls_; }
   decl::Declarations& declarations() { return decls_; }
   lisp::Interp& interp() { return interp_; }
-  runtime::Runtime& runtime() { return runtime_; }
+  runtime::Runtime& runtime() { return *runtime_; }
 
   /// Analyze a loaded function (paper §2–3).
   AnalysisReport analyze(std::string_view fn_name);
@@ -135,7 +149,10 @@ class Curare : public gc::RootSource {
 
   sexpr::Ctx& ctx_;
   lisp::Interp interp_;
-  runtime::Runtime runtime_;
+  /// Owned in the classic single-process shape; null when borrowing a
+  /// process-wide runtime (serving layer).
+  std::unique_ptr<runtime::Runtime> owned_runtime_;
+  runtime::Runtime* runtime_;
   decl::Declarations decls_;
   std::vector<Value> program_forms_;
   std::unordered_map<Symbol*, Value> defuns_;

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "sexpr/value.hpp"
@@ -76,6 +77,22 @@ class FaultInjector {
     return kNames[static_cast<unsigned>(s)];
   }
 
+  /// All-sites bitmask (bit i = Site i); the default scope of a chaos
+  /// run. Narrow with configure()'s `sites` to aim faults at specific
+  /// subsystems (e.g. queue.push|task.run for the serving smoke).
+  static constexpr unsigned kAllSites = (1u << kNumSites) - 1;
+
+  /// Resolve "queue.push" → its mask bit; false on unknown names.
+  static bool site_bit(std::string_view name, unsigned& bit) {
+    for (unsigned i = 0; i < kNumSites; ++i) {
+      if (name == site_name(static_cast<Site>(i))) {
+        bit = 1u << i;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Process-wide singleton: GcHeap and the queues have no path to a
   /// per-runtime object, and chaos runs are process-scoped anyway.
   static FaultInjector& instance() {
@@ -88,8 +105,9 @@ class FaultInjector {
   /// race in-flight check() calls with a *reconfigure* (enable/disable
   /// are fine): tests configure at quiescent points.
   void configure(std::uint64_t seed, double rate,
-                 unsigned kinds = kAllKinds) {
+                 unsigned kinds = kAllKinds, unsigned sites = kAllSites) {
     seed_.store(seed, std::memory_order_relaxed);
+    site_mask_.store(sites & kAllSites, std::memory_order_relaxed);
     if (rate < 0) rate = 0;
     if (rate > 1) rate = 1;
     rate_bits_.store(
@@ -118,6 +136,10 @@ class FaultInjector {
   /// FaultInjectedError (throw fault).
   bool check(Site s) {
     if (!enabled_.load(std::memory_order_relaxed)) return false;
+    if ((site_mask_.load(std::memory_order_relaxed) &
+         (1u << static_cast<unsigned>(s))) == 0) {
+      return false;
+    }
     return act(s);
   }
 
@@ -226,6 +248,7 @@ class FaultInjector {
   }
 
   std::atomic<bool> enabled_{false};
+  std::atomic<unsigned> site_mask_{kAllSites};
   std::atomic<std::uint64_t> seed_{0};
   std::atomic<std::uint64_t> rate_bits_{0};
   std::atomic<unsigned> kinds_{0};

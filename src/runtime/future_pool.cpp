@@ -148,8 +148,32 @@ bool FuturePool::run_one_task() {
   {
     std::lock_guard<std::mutex> g(mu_);
     in_flight_.erase(root_it);
+    if (queue_.empty() && in_flight_.empty()) idle_cv_.notify_all();
   }
   return true;
+}
+
+void FuturePool::wait_idle() {
+  // A waiter may sit here across a collection (another thread's task
+  // may be what drains the queue), so release any unsafe region the
+  // caller holds — mirror of the scheduler's blocking waits. The
+  // wait_for slice is the usual cancellation backstop: a session drain
+  // with a fired token must not hang on an orphaned future.
+  gc::GcHeap* gc = gc_.load(std::memory_order_acquire);
+  const std::size_t depth = gc != nullptr ? gc->blocking_release() : 0;
+  try {
+    std::unique_lock<std::mutex> g(mu_);
+    while (!(queue_.empty() && in_flight_.empty())) {
+      poll_cancellation();
+      idle_cv_.wait_for(g, std::chrono::milliseconds(50), [this] {
+        return queue_.empty() && in_flight_.empty();
+      });
+    }
+  } catch (...) {
+    if (gc != nullptr) gc->blocking_reacquire(depth);
+    throw;
+  }
+  if (gc != nullptr) gc->blocking_reacquire(depth);
 }
 
 void FuturePool::worker_loop(std::size_t worker_index) {

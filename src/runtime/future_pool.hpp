@@ -89,6 +89,13 @@ class FuturePool : public gc::RootSource {
     return queue_.size();
   }
 
+  /// Block until no task is queued or executing. A departing serving
+  /// session calls this before destroying its interpreter: tasks it
+  /// spawned capture that interpreter by reference, so they must all
+  /// have finished first. Honors the calling thread's CancelState
+  /// (throws StallError if it fires mid-wait).
+  void wait_idle();
+
   /// Participate in collections: queued/in-flight task roots and every
   /// live future's resolved value (a future dropped by the program
   /// stops pinning its value as soon as its state expires).
@@ -114,6 +121,9 @@ class FuturePool : public gc::RootSource {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signalled when the pool goes idle (queue and in-flight both
+  /// empty); wait_idle() parks here.
+  std::condition_variable idle_cv_;
   std::deque<Task> queue_;
   /// Roots of tasks popped but not yet finished. The pop and the
   /// insertion here happen in one mu_ critical section, so the

@@ -63,7 +63,11 @@ class StallError : public sexpr::LispError {
 
 /// Shared cancellation token. One per CriRun::run invocation (a fresh
 /// token each run keeps aborted runs re-runnable), or constructed
-/// standalone by the CLI to bound a whole batch evaluation.
+/// standalone by the CLI to bound a whole batch evaluation, or minted
+/// per request by the serving layer. Tokens can be *chained*: a run's
+/// token with a parent observes the parent's cancellation and deadline
+/// too, so a per-request token fired by the daemon (client deadline,
+/// graceful drain) aborts exactly the CRI run it admitted.
 class CancelState {
  public:
   /// Diagnostic snapshot, captured once at cancel time (not at raise
@@ -95,13 +99,35 @@ class CancelState {
                .count() >= d;
   }
 
+  /// Chain this token under `parent` (nullptr unchains): should_abort
+  /// then also observes the parent's flag and deadline, propagating the
+  /// parent's reason into this token. The parent is borrowed, not
+  /// owned — the caller must guarantee it outlives every poll of this
+  /// token (the serving layer's request frame encloses the whole run).
+  void set_parent(CancelState* p) {
+    parent_.store(p, std::memory_order_release);
+  }
+
+  /// This token's cancel reason (empty until fired).
+  std::string reason() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return reason_;
+  }
+
   /// True when a blocked thread should give up: already cancelled, or
   /// past the deadline (in which case this call performs the cancel so
-  /// reason/dump get captured exactly once).
+  /// reason/dump get captured exactly once), or a chained parent token
+  /// has fired / passed its own deadline.
   bool should_abort() {
     if (cancelled()) return true;
     if (deadline_expired()) {
       cancel("deadline exceeded");
+      return true;
+    }
+    CancelState* p = parent_.load(std::memory_order_acquire);
+    if (p != nullptr && p->should_abort()) {
+      const std::string why = p->reason();
+      cancel(why.empty() ? "cancelled" : why);
       return true;
     }
     return false;
@@ -141,7 +167,9 @@ class CancelState {
   std::atomic<bool> cancelled_{false};
   /// steady_clock nanoseconds-since-epoch; 0 = no deadline.
   std::atomic<std::int64_t> deadline_ns_{0};
-  std::mutex mu_;
+  /// Chained request-level token (borrowed); see set_parent().
+  std::atomic<CancelState*> parent_{nullptr};
+  mutable std::mutex mu_;
   std::string reason_;
   std::string dump_;
 };

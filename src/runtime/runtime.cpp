@@ -93,6 +93,13 @@ void Runtime::gc_roots(std::vector<sexpr::Value>& out) {
 CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
                           std::size_t servers, TaskArgs initial_args,
                           std::string label, std::size_t batch) {
+  return run_cri_in(interp_, fn, num_sites, servers,
+                    std::move(initial_args), std::move(label), batch);
+}
+
+CriStats Runtime::run_cri_in(Interp& in, Value fn, std::size_t num_sites,
+                             std::size_t servers, TaskArgs initial_args,
+                             std::string label, std::size_t batch) {
   if (label.empty()) {
     // Name the speedup-report row after the server function when it has
     // a printable name.
@@ -102,13 +109,16 @@ CriStats Runtime::run_cri(Value fn, std::size_t num_sites,
       label = static_cast<lisp::Closure*>(fn.obj())->name;
     }
   }
-  CriRun run(interp_, fn, num_sites, servers, &recorder_,
-             std::move(label));
+  CriRun run(in, fn, num_sites, servers, &recorder_, std::move(label));
   run.set_batch_limit(batch);
   ResilienceConfig rc;
   rc.deadline_ms = deadline_ms_.load(std::memory_order_relaxed);
   rc.stall_ms = stall_ms_.load(std::memory_order_relaxed);
   rc.watchdog = &watchdog_;
+  // Chain the run under the caller's token (request deadline, CLI batch
+  // deadline, daemon drain): firing that token aborts this run too. The
+  // caller's frame encloses run() below, so the borrow is safe.
+  rc.parent = current_cancel();
   // The run can describe its own queues; the state only the Runtime
   // sees — held locks, future-pool backlog — rides in via extra_dump.
   rc.extra_dump = [this] {
@@ -168,9 +178,9 @@ Value Runtime::force_tree(Value v) {
   return v;
 }
 
-void Runtime::install() {
-  Interp& in = interp_;
+void Runtime::install() { install_into(interp_); }
 
+void Runtime::install_into(Interp& in) {
   // ---- location locks (§3.2.1) ---------------------------------------
   in.define_builtin("%lock", 2, 3, [this](Interp&,
                                           std::span<const Value> a) {
@@ -354,13 +364,15 @@ void Runtime::install() {
                       return Value::nil();
                     });
   in.define_builtin(
-      "%cri-run", 3, -1, [this](Interp&, std::span<const Value> a) {
+      "%cri-run", 3, -1, [this](Interp& i, std::span<const Value> a) {
         Value fn = a[0];
         const auto num_sites =
             static_cast<std::size_t>(lisp::as_int(a[1]));
         const auto servers = static_cast<std::size_t>(lisp::as_int(a[2]));
-        CriStats stats = run_cri(fn, num_sites, servers,
-                                 TaskArgs(a.begin() + 3, a.end()));
+        // The *calling* interpreter hosts the run, so a session's CRI
+        // servers resolve globals in that session's environment.
+        CriStats stats = run_cri_in(i, fn, num_sites, servers,
+                                    TaskArgs(a.begin() + 3, a.end()));
         // Any-result searches deliver their value through finish; plain
         // recursions yield nil here (results come via result variables
         // or DPS destinations).

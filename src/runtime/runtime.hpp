@@ -43,6 +43,16 @@ class Runtime : public gc::RootSource {
 
   void install();
 
+  /// Register the primitives in an *additional* interpreter that shares
+  /// this Runtime's lock manager, future pool, watchdog, and recorder.
+  /// This is the serving layer's multi-session shape: one process-wide
+  /// Runtime, one Interp per session (isolated globals), all sessions
+  /// contending on the same locks and drawing from the same pools.
+  /// Interp-dependent primitives (%cri-run, futures, %locked-update-var)
+  /// route through the *calling* interpreter, so a session's CRI run
+  /// resolves functions in that session's environment.
+  void install_into(lisp::Interp& in);
+
   LockManager& locks() { return locks_; }
   FuturePool& futures() { return futures_; }
   Watchdog& watchdog() { return watchdog_; }
@@ -80,9 +90,19 @@ class Runtime : public gc::RootSource {
   /// Run a transformed server-body function under a CRI pool. `label`
   /// names the run in the speedup report (§4.1 T(S) comparison);
   /// `batch` is the per-server dequeue batch limit (1 = classic).
+  /// If the calling thread has a CancelState installed (a CLI batch
+  /// token or a serving-layer request token), the run's own token is
+  /// chained under it, so cancelling the request aborts the run.
   CriStats run_cri(sexpr::Value fn, std::size_t num_sites,
                    std::size_t servers, TaskArgs initial_args,
                    std::string label = {}, std::size_t batch = 1);
+
+  /// Same, but executing in an explicit interpreter — the per-session
+  /// entry point used by install_into()'s %cri-run.
+  CriStats run_cri_in(lisp::Interp& in, sexpr::Value fn,
+                      std::size_t num_sites, std::size_t servers,
+                      TaskArgs initial_args, std::string label = {},
+                      std::size_t batch = 1);
 
   const CriStats& last_cri_stats() const { return last_stats_; }
 

@@ -266,6 +266,7 @@ CriStats CriRun::run(TaskArgs initial_args) {
   token_ = std::make_shared<CancelState>();
   token_->dump_fn = [this] { return dump_state(); };
   if (resil_.deadline_ms > 0) token_->set_deadline_ms(resil_.deadline_ms);
+  token_->set_parent(resil_.parent);
   // Scope guard rather than a bare id: the initial push and the server
   // spawns below can throw (an injected kQueuePush fault, or
   // std::system_error out of std::thread), and an entry left armed past
@@ -325,10 +326,14 @@ CriStats CriRun::run(TaskArgs initial_args) {
     stop_.store(true, std::memory_order_release);
     queues_.close();
     for (std::thread& t : threads) t.join();
+    token_->set_parent(nullptr);  // the borrowed parent may die with us
     wd_guard.disarm();
     gc_.blocking_reacquire(gc_depth);
     throw;
   }
+  // Unchain before the borrowed parent token's frame can unwind: the
+  // member token_ outlives this run() call.
+  token_->set_parent(nullptr);
   // Disarm before reacquiring: blocking_reacquire may park behind a
   // long stop-the-world, and a still-armed watchdog would read that
   // pause as a stall of an already-finished run. disarm() also waits

@@ -85,6 +85,10 @@ struct ResilienceConfig {
   std::int64_t deadline_ms = 0;  ///< whole-run wall-clock budget
   std::int64_t stall_ms = 0;     ///< no-completion window before abort
   Watchdog* watchdog = nullptr;  ///< required for stall_ms to act
+  /// Caller-level token (borrowed; must outlive run()): the run's own
+  /// per-run token is chained under it, so a fired request token —
+  /// per-request deadline, daemon drain — aborts this run as well.
+  CancelState* parent = nullptr;
   /// Appended to the run's diagnostic dump (held locks, future-pool
   /// backlog — state the run cannot see itself).
   std::function<std::string()> extra_dump;

@@ -1,0 +1,92 @@
+#include "serve/admission.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace curare::serve {
+
+AdmissionController::AdmissionController(std::size_t max_inflight,
+                                         std::size_t max_queue,
+                                         obs::Metrics& metrics)
+    : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+      max_queue_(max_queue),
+      inflight_g_(metrics.gauge("serve.inflight")),
+      queue_depth_g_(metrics.gauge("serve.queue_depth")),
+      admitted_c_(metrics.counter("serve.admitted")),
+      rej_overload_c_(metrics.counter("serve.rejected.overload")),
+      rej_deadline_c_(metrics.counter("serve.rejected.deadline")),
+      queue_wait_h_(metrics.histogram("serve.queue_wait_ns")) {}
+
+AdmissionController::Outcome AdmissionController::admit(
+    runtime::CancelState* tok) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> g(mu_);
+  if (closed_) return Outcome::kShutdown;
+  if (inflight_ >= max_inflight_) {
+    if (queued_ >= max_queue_) {
+      rej_overload_c_.add();
+      return Outcome::kOverloaded;
+    }
+    ++queued_;
+    queue_depth_g_.set(static_cast<std::int64_t>(queued_));
+    // Sliced wait: cv notify covers slot frees and close(); the 10ms
+    // slice is only the backstop for the request token's own deadline,
+    // which nobody signals this cv for.
+    while (inflight_ >= max_inflight_ && !closed_ &&
+           !(tok != nullptr && tok->should_abort())) {
+      cv_.wait_for(g, std::chrono::milliseconds(10), [&] {
+        return inflight_ < max_inflight_ || closed_;
+      });
+    }
+    --queued_;
+    queue_depth_g_.set(static_cast<std::int64_t>(queued_));
+    if (closed_) return Outcome::kShutdown;
+    if (inflight_ >= max_inflight_) {
+      rej_deadline_c_.add();
+      return Outcome::kDeadline;
+    }
+  }
+  ++inflight_;
+  inflight_g_.set(static_cast<std::int64_t>(inflight_));
+  admitted_c_.add();
+  queue_wait_h_.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::release() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (inflight_ > 0) --inflight_;
+    inflight_g_.set(static_cast<std::int64_t>(inflight_));
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::close() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::idle() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return inflight_ == 0 && queued_ == 0;
+}
+
+std::size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return queued_;
+}
+
+}  // namespace curare::serve

@@ -1,0 +1,112 @@
+// Admission control for the serving daemon.
+//
+// Two bounds, both explicit (ISSUE: "bounded in-flight semaphore plus
+// a bounded accept queue with explicit rejection when full"):
+//
+//   max_inflight   requests executing concurrently. Each one owns a
+//                  session interp and may fan out onto the shared
+//                  ServerPool, so this bounds runtime pressure.
+//   max_queue      requests *waiting* for an in-flight slot. When the
+//                  wait queue is also full the request is rejected
+//                  immediately with status="overloaded" — the client
+//                  learns in microseconds instead of timing out.
+//
+// A queued request still honors its own deadline/cancel token: if the
+// token fires while waiting (client deadline shorter than the queue
+// wait, or the daemon starts draining) admit() returns kDeadline /
+// kShutdown without ever consuming a slot.
+//
+// Metrics (obs registry, names are API for :stats and the bench):
+//   serve.inflight          gauge     executing now
+//   serve.queue_depth       gauge     waiting for a slot now
+//   serve.admitted          counter   requests that got a slot
+//   serve.rejected.overload counter   bounced: wait queue full
+//   serve.rejected.deadline counter   token fired while queued
+//   serve.queue_wait_ns     histogram admission wait per admitted req
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "runtime/resilience.hpp"
+
+namespace curare::obs {
+class Metrics;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace curare::obs
+
+namespace curare::serve {
+
+class AdmissionController {
+ public:
+  enum class Outcome {
+    kAdmitted,    ///< slot acquired; pair with release()
+    kOverloaded,  ///< wait queue full, rejected without blocking
+    kDeadline,    ///< the request's own token fired while queued
+    kShutdown,    ///< controller closed (daemon draining)
+  };
+
+  AdmissionController(std::size_t max_inflight, std::size_t max_queue,
+                      obs::Metrics& metrics);
+
+  /// Block until a slot frees, the token fires, or the controller
+  /// closes. Never throws. On kAdmitted the caller owns one slot and
+  /// must call release() exactly once (see Ticket).
+  Outcome admit(runtime::CancelState* tok);
+
+  /// Return a slot acquired by a kAdmitted admit().
+  void release();
+
+  /// Drain mode: reject new admits with kShutdown and wake all
+  /// waiters. In-flight slots stay valid until their release().
+  void close();
+
+  /// True once every admitted slot has been released (close() first).
+  bool idle() const;
+
+  std::size_t inflight() const;
+  std::size_t queued() const;
+
+ private:
+  const std::size_t max_inflight_;
+  const std::size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;
+  std::size_t queued_ = 0;
+  bool closed_ = false;
+
+  obs::Gauge& inflight_g_;
+  obs::Gauge& queue_depth_g_;
+  obs::Counter& admitted_c_;
+  obs::Counter& rej_overload_c_;
+  obs::Counter& rej_deadline_c_;
+  obs::Histogram& queue_wait_h_;
+};
+
+/// RAII slot: releases on destruction iff the admit succeeded.
+class AdmissionTicket {
+ public:
+  AdmissionTicket(AdmissionController& ctl, runtime::CancelState* tok)
+      : ctl_(ctl), outcome_(ctl.admit(tok)) {}
+  ~AdmissionTicket() {
+    if (outcome_ == AdmissionController::Outcome::kAdmitted)
+      ctl_.release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  AdmissionController::Outcome outcome() const { return outcome_; }
+  bool admitted() const {
+    return outcome_ == AdmissionController::Outcome::kAdmitted;
+  }
+
+ private:
+  AdmissionController& ctl_;
+  AdmissionController::Outcome outcome_;
+};
+
+}  // namespace curare::serve

@@ -1,0 +1,40 @@
+// Client side of the serving protocol, shared by the curare_client
+// tool, the serve tests, and bench_serve. Blocking, one request at a
+// time per connection (the protocol is strictly request/response).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace curare::serve {
+
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection() { close(); }
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ClientConnection(ClientConnection&& other) noexcept
+      : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+
+  /// Connect to host:port; false (with *err filled) on failure.
+  bool connect(const std::string& host, int port,
+               std::string* err = nullptr);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip. nullopt on a transport failure (torn connection,
+  /// malformed frame); protocol-level failures come back as a Response
+  /// with a non-ok status.
+  std::optional<Response> request(const Request& req);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace curare::serve

@@ -1,0 +1,48 @@
+// Process exit codes shared by every Curare front end (curare_cli,
+// curare_serve, curare_client). One table, named constants — CI
+// scripts assert on these numbers, so they are API.
+//
+//   0  kExitOk          success
+//   1  kExitError       program or I/O error (Lisp error, bad file, …)
+//   2  kExitUsage       bad command line
+//   3  kExitStall       run aborted by the stall watchdog / cancelled
+//   4  kExitDeadline    run exceeded its deadline (CLI --deadline-ms,
+//                       or a request's deadline_ms in serving mode)
+//   5  kExitOverloaded  request rejected by the daemon's admission
+//                       controller (accept queue full)
+//
+// The serving protocol carries the same taxonomy as the response's
+// "status" string; status_exit_code() maps one onto the other so
+// curare_client's exit code equals what a local run would have
+// returned.
+#pragma once
+
+#include <string_view>
+
+namespace curare::serve {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitStall = 3;
+inline constexpr int kExitDeadline = 4;
+inline constexpr int kExitOverloaded = 5;
+
+/// Wire statuses (Response.status) in the serving protocol.
+inline constexpr std::string_view kStatusOk = "ok";
+inline constexpr std::string_view kStatusError = "error";
+inline constexpr std::string_view kStatusStall = "stall";
+inline constexpr std::string_view kStatusDeadline = "deadline";
+inline constexpr std::string_view kStatusOverloaded = "overloaded";
+
+/// Map a wire status onto the shared exit-code table (unknown statuses
+/// conservatively map to kExitError).
+inline int status_exit_code(std::string_view status) {
+  if (status == kStatusOk) return kExitOk;
+  if (status == kStatusStall) return kExitStall;
+  if (status == kStatusDeadline) return kExitDeadline;
+  if (status == kStatusOverloaded) return kExitOverloaded;
+  return kExitError;
+}
+
+}  // namespace curare::serve

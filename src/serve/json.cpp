@@ -1,0 +1,367 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace curare::serve {
+
+namespace {
+
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+
+/// Recursive-descent parser over a bounded cursor. All failures are
+/// reported by returning false; the caller turns that into nullopt.
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool eof() const { return pos >= in.size(); }
+  char peek() const { return in[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = in[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos + 4 > in.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = in[pos++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (eof() || in[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (!eof()) {
+      const char c = in[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char e = in[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          // Surrogate pair: a high surrogate must be followed by
+          // \uDC00–\uDFFF; lone surrogates are rejected.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos + 2 > in.size() || in[pos] != '\\' ||
+                in[pos + 1] != 'u') {
+              return false;
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo) || lo < 0xDC00 || lo > 0xDFFF)
+              return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos;
+    if (!eof() && in[pos] == '-') ++pos;
+    if (eof() || in[pos] < '0' || in[pos] > '9') return false;
+    if (in[pos] == '0') {
+      ++pos;  // JSON: a leading zero stands alone ("01" is malformed)
+      if (!eof() && in[pos] >= '0' && in[pos] <= '9') return false;
+    } else {
+      while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    if (!eof() && in[pos] == '.') {
+      ++pos;
+      if (eof() || in[pos] < '0' || in[pos] > '9') return false;
+      while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    if (!eof() && (in[pos] == 'e' || in[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (in[pos] == '+' || in[pos] == '-')) ++pos;
+      if (eof() || in[pos] < '0' || in[pos] > '9') return false;
+      while (!eof() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    // The slice is a valid JSON number by construction; strtod accepts
+    // a superset, so no further validation is needed.
+    out = std::strtod(std::string(in.substr(start, pos - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      JsonObject obj;
+      skip_ws();
+      if (!eof() && peek() == '}') {
+        ++pos;
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) break;
+          skip_ws();
+          if (eof() || in[pos] != ':') break;
+          ++pos;
+          Json v;
+          if (!parse_value(v)) break;
+          obj[std::move(key)] = std::move(v);
+          skip_ws();
+          if (!eof() && peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (!eof() && peek() == '}') {
+            ++pos;
+            ok = true;
+          }
+          break;
+        }
+      }
+      if (ok) out = Json(std::move(obj));
+    } else if (c == '[') {
+      ++pos;
+      JsonArray arr;
+      skip_ws();
+      if (!eof() && peek() == ']') {
+        ++pos;
+        ok = true;
+      } else {
+        for (;;) {
+          Json v;
+          if (!parse_value(v)) break;
+          arr.push_back(std::move(v));
+          skip_ws();
+          if (!eof() && peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (!eof() && peek() == ']') {
+            ++pos;
+            ok = true;
+          }
+          break;
+        }
+      }
+      if (ok) out = Json(std::move(arr));
+    } else if (c == '"') {
+      std::string s;
+      ok = parse_string(s);
+      if (ok) out = Json(std::move(s));
+    } else if (c == 't') {
+      ok = literal("true");
+      if (ok) out = Json(true);
+    } else if (c == 'f') {
+      ok = literal("false");
+      if (ok) out = Json(false);
+    } else if (c == 'n') {
+      ok = literal("null");
+      if (ok) out = Json();
+    } else {
+      double d = 0;
+      ok = parse_number(d);
+      if (ok) out = Json(d);
+    }
+    --depth;
+    return ok;
+  }
+};
+
+void dump_to(const Json& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN; null is the least-bad lie
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void dump_to(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: dump_number(v.as_number(), out); break;
+    case Json::Type::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_to(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        dump_to(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const Json& Json::get(const std::string& key) const {
+  if (type_ != Type::kObject) return null_json();
+  auto it = obj_.find(key);
+  return it != obj_.end() ? it->second : null_json();
+}
+
+std::string Json::get_string(const std::string& key,
+                             std::string dflt) const {
+  const Json& v = get(key);
+  return v.is_string() ? v.as_string() : std::move(dflt);
+}
+
+std::int64_t Json::get_int(const std::string& key,
+                           std::int64_t dflt) const {
+  const Json& v = get(key);
+  return v.is_number() ? v.as_int() : dflt;
+}
+
+bool Json::has(const std::string& key) const {
+  return type_ == Type::kObject && obj_.count(key) != 0;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v;
+  if (!p.parse_value(v)) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace curare::serve

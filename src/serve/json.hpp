@@ -1,0 +1,100 @@
+// Minimal JSON for the serving protocol.
+//
+// The daemon speaks length-prefixed JSON frames (see protocol.hpp);
+// request and response bodies are small, flat-ish objects, so this is
+// a deliberately small value type — no SAX, no streaming, no
+// allocation tricks. It exists because the repo has JSON *writers*
+// (trace export, metrics to_json) but the serving layer is the first
+// component that must also *parse* untrusted bytes off a socket:
+// parse() is strict (full-input, UTF-8 passthrough, \uXXXX escapes,
+// nesting-depth cap) and never throws on malformed input — it returns
+// nullopt and the connection handler answers with a protocol error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace curare::serve {
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(std::int64_t n)
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(int n) : type_(Type::kNumber), num_(n) {}
+  Json(std::uint64_t n)
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  /// Typed accessors with defaults — the protocol treats a missing and
+  /// a wrong-typed field identically (use the default).
+  bool as_bool(bool dflt = false) const {
+    return type_ == Type::kBool ? bool_ : dflt;
+  }
+  double as_number(double dflt = 0) const {
+    return type_ == Type::kNumber ? num_ : dflt;
+  }
+  std::int64_t as_int(std::int64_t dflt = 0) const {
+    return type_ == Type::kNumber ? static_cast<std::int64_t>(num_)
+                                  : dflt;
+  }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+  JsonObject& as_object() { return obj_; }
+
+  /// Object field lookup; a shared null when absent or not an object.
+  const Json& get(const std::string& key) const;
+  /// Convenience: string field or default.
+  std::string get_string(const std::string& key,
+                         std::string dflt = {}) const;
+  /// Convenience: integer field or default.
+  std::int64_t get_int(const std::string& key,
+                       std::int64_t dflt = 0) const;
+  bool has(const std::string& key) const;
+
+  /// Compact serialization (no whitespace). Numbers that are integral
+  /// print without a fraction so protocol fields stay greppable.
+  std::string dump() const;
+
+  /// Strict whole-input parse; nullopt on any syntax error, trailing
+  /// garbage, or nesting deeper than 64.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escape `s` as JSON string *contents* (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace curare::serve

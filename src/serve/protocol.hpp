@@ -1,0 +1,92 @@
+// The curare_serve wire protocol.
+//
+// Transport: a local TCP stream carrying length-prefixed JSON frames.
+// Each frame is
+//
+//     <decimal byte length of payload> '\n' <payload bytes> '\n'
+//
+// — a JSON-lines protocol with an explicit length prefix, so the
+// reader never has to scan the payload for newlines (programs contain
+// them) and a scripting client can speak it with printf + head -c.
+//
+// Requests (client → daemon), one JSON object per frame:
+//
+//     {"op": "eval",        "program": "(+ 1 2)", "deadline_ms": 500}
+//     {"op": "restructure", "program": "(defun f …)", "name": "f"}
+//     {"op": "stats"}
+//     {"op": "ping"}
+//
+//   op          required: eval | restructure | stats | ping
+//   program     Lisp source (eval: evaluated top-level form by form in
+//               the session's environment; restructure: loaded first)
+//   name        restructure only: the defun to transform (default:
+//               every recursive defun loaded so far)
+//   deadline_ms optional wall-clock budget for this request; the
+//               daemon cancels exactly this session's run when it
+//               expires and answers status="deadline"
+//
+// Responses (daemon → client), one per request, same framing:
+//
+//     {"status": "ok", "result": "3", "metrics": {…}}
+//     {"status": "deadline", "error": "run aborted: …", "metrics": {…}}
+//
+//   status      ok | error | stall | deadline | overloaded
+//               (exit_codes.hpp maps these to process exit codes)
+//   result      printed value / report text (ok only)
+//   output      anything the program printed (eval, when non-empty)
+//   error       human-readable failure (non-ok only)
+//   metrics     per-request measurements: wall_us, session id, and the
+//               admission controller's view at completion
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace curare::serve {
+
+/// Frame size guard: a single request/response payload larger than
+/// this is a protocol error, not a memory-allocation adventure.
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
+
+struct Request {
+  std::string op;
+  std::string program;
+  std::string name;
+  std::int64_t deadline_ms = 0;
+
+  Json to_json() const;
+  /// nullopt when the payload is not a JSON object or has no "op".
+  static std::optional<Request> from_json(const Json& v);
+};
+
+struct Response {
+  std::string status = "ok";  ///< see exit_codes.hpp kStatus*
+  std::string result;
+  std::string output;
+  std::string error;
+  Json metrics;  ///< object; null when the op reports none
+
+  Json to_json() const;
+  static Response from_json(const Json& v);
+  /// Shorthand constructors for the common shapes.
+  static Response ok(std::string result, std::string output = {});
+  static Response fail(std::string_view status, std::string error);
+};
+
+// ---- framing over a file descriptor ---------------------------------
+// Blocking, EINTR-safe, and partial-read/-write-safe. Errors are
+// reported by return value, never exceptions — a torn connection is a
+// normal event for a server.
+
+/// Write one frame. Returns false on any write error.
+bool write_frame(int fd, std::string_view payload);
+
+/// Read one frame into `out`. Returns false on EOF before a complete
+/// frame, a malformed length line, an oversized frame, or a read error.
+bool read_frame(int fd, std::string& out,
+                std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace curare::serve

@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/exit_codes.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace curare::serve {
+
+ServeDaemon::ServeDaemon(sexpr::Ctx& ctx, ServeOptions opts)
+    : ctx_(ctx),
+      opts_(std::move(opts)),
+      host_interp_(ctx),
+      runtime_(host_interp_, opts_.workers),
+      admission_(opts_.max_inflight, opts_.queue_limit,
+                 runtime_.obs().metrics),
+      sessions_g_(runtime_.obs().metrics.gauge("serve.sessions")),
+      requests_c_(runtime_.obs().metrics.counter("serve.requests")),
+      request_ns_h_(
+          runtime_.obs().metrics.histogram("serve.request_ns")) {}
+
+ServeDaemon::~ServeDaemon() { shutdown(); }
+
+bool ServeDaemon::start(std::string* err) {
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) *err = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    started_ = true;
+  }
+  return true;
+}
+
+void ServeDaemon::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() shut the listen socket down; any other error on a
+      // listening socket is equally terminal for the accept loop.
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    const std::uint64_t id =
+        conn_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> g(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread =
+        std::thread([this, raw, id] { serve_connection(raw, id); });
+    reap_finished();
+  }
+}
+
+void ServeDaemon::reap_finished() {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : dead) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
+  sessions_g_.add(1);
+  {
+    // The Session's Interp registers with the GC and its destructor
+    // drains the shared future pool, so scope it tighter than the
+    // connection bookkeeping below.
+    Session session(session_id, ctx_, runtime_);
+    std::string payload;
+    while (read_frame(conn->fd, payload)) {
+      Response resp;
+      std::optional<Request> req;
+      if (auto parsed = Json::parse(payload)) {
+        req = Request::from_json(*parsed);
+      }
+      if (!req) {
+        resp = Response::fail(kStatusError,
+                              "malformed request (want a JSON object "
+                              "with an \"op\" field)");
+        if (!write_frame(conn->fd, resp.to_json().dump())) break;
+        continue;
+      }
+
+      auto tok = std::make_shared<runtime::CancelState>();
+      const std::int64_t deadline = req->deadline_ms > 0
+                                        ? req->deadline_ms
+                                        : opts_.default_deadline_ms;
+      if (deadline > 0) tok->set_deadline_ms(deadline);
+      {
+        std::lock_guard<std::mutex> g(conn->mu);
+        conn->active = tok;
+      }
+
+      const auto t0 = std::chrono::steady_clock::now();
+      {
+        AdmissionTicket ticket(admission_, tok.get());
+        switch (ticket.outcome()) {
+          case AdmissionController::Outcome::kAdmitted: {
+            runtime::CancelScope scope(tok.get());
+            resp = session.handle(*req, tok.get());
+            break;
+          }
+          case AdmissionController::Outcome::kOverloaded:
+            resp = Response::fail(kStatusOverloaded,
+                                  "server overloaded: admission queue "
+                                  "full");
+            break;
+          case AdmissionController::Outcome::kDeadline:
+            resp = Response::fail(kStatusDeadline,
+                                  "deadline exceeded while queued for "
+                                  "admission");
+            break;
+          case AdmissionController::Outcome::kShutdown:
+            resp = Response::fail(kStatusError, "server draining");
+            break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> g(conn->mu);
+        conn->active.reset();
+      }
+      requests_c_.add();
+      request_ns_h_.observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+
+      if (!resp.metrics.is_object()) resp.metrics = Json(JsonObject{});
+      resp.metrics.as_object()["inflight"] =
+          static_cast<std::int64_t>(admission_.inflight());
+      resp.metrics.as_object()["queued"] =
+          static_cast<std::int64_t>(admission_.queued());
+      if (!write_frame(conn->fd, resp.to_json().dump())) break;
+    }
+  }
+  sessions_g_.add(-1);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->done.store(true, std::memory_order_release);
+}
+
+void ServeDaemon::shutdown() {
+  {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: wake the accept thread out of accept(2).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Queued requests bounce with "server draining".
+  admission_.close();
+
+  // 3. Give in-flight requests the grace window, then cancel.
+  const auto grace_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opts_.drain_grace_ms);
+  while (!admission_.idle() &&
+         std::chrono::steady_clock::now() < grace_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!admission_.idle()) {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    for (auto& c : conns_) {
+      std::lock_guard<std::mutex> cg(c->mu);
+      if (c->active) c->active->cancel("server draining");
+    }
+  }
+
+  // 4. Wake idle readers: a read-side shutdown makes their blocked
+  //    read return 0 without tearing a response that is mid-write.
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+
+  // 5. Join everything (threads close their own fds on exit).
+  std::vector<std::unique_ptr<Conn>> all;
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    all.swap(conns_);
+  }
+  for (auto& c : all) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    drained_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void ServeDaemon::join() {
+  std::unique_lock<std::mutex> g(lifecycle_mu_);
+  lifecycle_cv_.wait(g, [this] { return drained_; });
+}
+
+}  // namespace curare::serve

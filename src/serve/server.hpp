@@ -1,0 +1,129 @@
+// The multi-session serving daemon.
+//
+// One ServeDaemon per process: it listens on a local TCP socket,
+// spawns a thread per connection, and gives each connection a Session
+// (own Interp + global Env) over the shared process infrastructure —
+// one sexpr::Ctx (heap + symbols), one runtime::Runtime (lock manager,
+// future pool, watchdog, recorder). Request flow per frame:
+//
+//   read_frame → parse → mint CancelState (+deadline_ms)
+//     → AdmissionTicket (bounded in-flight + bounded wait queue;
+//        reject "overloaded" when both are full)
+//     → CancelScope installs the token on this thread
+//     → Session::handle (eval / restructure / stats / ping)
+//     → write_frame(response)
+//
+// The request token chains into any CRI run the program starts
+// (Runtime::run_cri_in reads current_cancel()), so a deadline or a
+// drain cancels exactly that session's run; the daemon and every other
+// session keep going.
+//
+// Graceful drain (SIGTERM → shutdown()):
+//   1. stop accepting: the listen socket is shut down;
+//   2. the admission controller closes — queued requests answer
+//      "server draining", new frames on open connections too;
+//   3. in-flight requests get drain_grace_ms to finish, then their
+//      tokens are cancelled ("server draining") — they answer with a
+//      structured stall response, not a dropped connection;
+//   4. idle connections are shut down read-side so their reader
+//      threads wake, all threads are joined, stats are flushed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lisp/interp.hpp"
+#include "runtime/runtime.hpp"
+#include "sexpr/ctx.hpp"
+#include "serve/admission.hpp"
+
+namespace curare::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound one via port()
+  std::size_t max_inflight = 8;
+  std::size_t queue_limit = 32;
+  /// Applied when a request carries no deadline_ms (0 = none).
+  std::int64_t default_deadline_ms = 0;
+  /// How long shutdown() waits for in-flight requests before
+  /// cancelling their tokens.
+  std::int64_t drain_grace_ms = 2000;
+  std::size_t workers = 0;  ///< future-pool size (0 = hw concurrency)
+};
+
+class ServeDaemon {
+ public:
+  ServeDaemon(sexpr::Ctx& ctx, ServeOptions opts);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Bind + listen + start the accept thread. False (with *err filled)
+  /// on any socket failure; the daemon is then inert.
+  bool start(std::string* err = nullptr);
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  /// Graceful drain as documented above. Idempotent; blocks until all
+  /// connection threads have exited.
+  void shutdown();
+
+  /// Block until shutdown() has been called (from any thread) and the
+  /// daemon has fully drained.
+  void join();
+
+  runtime::Runtime& runtime() { return runtime_; }
+  std::uint64_t connections_accepted() const {
+    return conn_ids_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    /// The in-flight request's token, if any (drain cancels it).
+    std::shared_ptr<runtime::CancelState> active;
+    std::mutex mu;  ///< guards `active`
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn, std::uint64_t session_id);
+  void reap_finished();
+
+  sexpr::Ctx& ctx_;
+  ServeOptions opts_;
+  /// The runtime needs a host interpreter at construction; sessions
+  /// never evaluate through it.
+  lisp::Interp host_interp_;
+  runtime::Runtime runtime_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> conn_ids_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool stopped_ = false;   ///< shutdown() entered
+  bool drained_ = false;   ///< shutdown() finished; join() returns
+
+  obs::Gauge& sessions_g_;
+  obs::Counter& requests_c_;
+  obs::Histogram& request_ns_h_;
+};
+
+}  // namespace curare::serve

@@ -1,0 +1,141 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "gc/gc.hpp"
+#include "obs/recorder.hpp"
+#include "sexpr/printer.hpp"
+#include "serve/exit_codes.hpp"
+
+namespace curare::serve {
+
+namespace {
+
+/// A fired token's reason decides deadline vs. stall: the daemon and
+/// the watchdog both cancel through the same CancelState machinery,
+/// and only deadline cancels carry this phrase (resilience.hpp).
+bool is_deadline(const std::string& msg) {
+  return msg.find("deadline exceeded") != std::string::npos;
+}
+
+}  // namespace
+
+Session::Session(std::uint64_t id, sexpr::Ctx& ctx,
+                 runtime::Runtime& shared_runtime)
+    : id_(id), driver_(ctx, shared_runtime) {}
+
+Session::~Session() {
+  // Futures spawned by this session's programs capture driver_.interp()
+  // by reference; the shared pool outlives us, so drain it before the
+  // interpreter is destroyed.
+  try {
+    driver_.runtime().futures().wait_idle();
+  } catch (...) {
+    // Cancellation during teardown: the remaining tasks belong to other
+    // sessions or have already observed their own tokens.
+  }
+}
+
+Response Session::handle(const Request& req,
+                         runtime::CancelState* tok) {
+  ++requests_;
+  const auto t0 = std::chrono::steady_clock::now();
+  Response resp;
+  try {
+    if (req.op == "eval") {
+      resp = do_eval(req);
+    } else if (req.op == "restructure") {
+      resp = do_restructure(req);
+    } else if (req.op == "stats") {
+      resp = do_stats();
+    } else if (req.op == "ping") {
+      resp = Response::ok("pong");
+    } else {
+      resp = Response::fail(kStatusError, "unknown op: " + req.op);
+    }
+  } catch (const runtime::StallError& e) {
+    const std::string why =
+        tok != nullptr && tok->cancelled() ? tok->reason() : e.what();
+    resp = Response::fail(
+        is_deadline(why) || is_deadline(e.what()) ? kStatusDeadline
+                                                  : kStatusStall,
+        e.what());
+  } catch (const sexpr::LispError& e) {
+    resp = Response::fail(kStatusError, e.what());
+  } catch (const std::exception& e) {
+    resp = Response::fail(kStatusError, e.what());
+  }
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  JsonObject m;
+  m["session"] = id_;
+  m["wall_us"] = static_cast<std::int64_t>(wall.count());
+  resp.metrics = Json(std::move(m));
+  return resp;
+}
+
+Response Session::do_eval(const Request& req) {
+  sexpr::Ctx& ctx = driver_.interp().ctx();
+  gc::GcHeap& gc = ctx.heap.gc();
+  gc::RootScope roots(gc);
+  std::string printed;
+  {
+    gc::MutatorScope ms(gc);
+    sexpr::Value last = driver_.load_program(req.program);
+    roots.add(last);
+    printed = sexpr::write_str(last);
+  }
+  gc.maybe_collect();
+  return Response::ok(std::move(printed), driver_.interp().take_output());
+}
+
+Response Session::do_restructure(const Request& req) {
+  sexpr::Ctx& ctx = driver_.interp().ctx();
+  gc::GcHeap& gc = ctx.heap.gc();
+  if (!req.program.empty()) {
+    gc::MutatorScope ms(gc);
+    driver_.load_program(req.program);
+  }
+
+  std::vector<std::string> names;
+  if (!req.name.empty()) {
+    names.push_back(req.name);
+  } else {
+    // No name → every recursive defun loaded so far, in symbol order
+    // (the summary map is unordered; sort for a deterministic reply).
+    for (const auto& [sym, summary] : driver_.summaries())
+      names.push_back(sym->name);
+    std::sort(names.begin(), names.end());
+  }
+
+  std::string text;
+  std::string output = driver_.interp().take_output();
+  std::size_t transformed = 0;
+  for (const std::string& name : names) {
+    AnalysisReport report = driver_.analyze(name);
+    if (req.name.empty() && !report.info.is_recursive()) continue;
+    TransformPlan plan = driver_.transform(name);
+    text += ";; " + name + "\n";
+    text += plan.to_string();
+    {
+      gc::MutatorScope ms(gc);
+      for (sexpr::Value f : plan.forms)
+        text += sexpr::write_str(f) + "\n";
+    }
+    if (plan.ok) ++transformed;
+  }
+  if (names.empty()) {
+    return Response::fail(kStatusError,
+                          "restructure: no defuns loaded in this session");
+  }
+  text += "transformed " + std::to_string(transformed) + " of " +
+          std::to_string(names.size()) + " function(s)\n";
+  return Response::ok(std::move(text), std::move(output));
+}
+
+Response Session::do_stats() {
+  return Response::ok(obs::full_report(driver_.runtime().obs()));
+}
+
+}  // namespace curare::serve

@@ -1,0 +1,117 @@
+#include "serve/admission.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace serve = curare::serve;
+using Outcome = serve::AdmissionController::Outcome;
+
+TEST(Admission, AdmitsUpToLimitThenQueues) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(2, 4, m);
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  EXPECT_EQ(ctl.inflight(), 2u);
+
+  // A third admit must block until a slot frees.
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+    got.store(true);
+    ctl.release();
+  });
+  while (ctl.queued() == 0) std::this_thread::yield();
+  EXPECT_FALSE(got.load());
+  ctl.release();
+  t.join();
+  EXPECT_TRUE(got.load());
+  ctl.release();
+  EXPECT_EQ(ctl.inflight(), 0u);
+  EXPECT_EQ(m.counter("serve.admitted").get(), 3u);
+}
+
+TEST(Admission, RejectsWhenQueueFull) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(1, 0, m);  // no wait queue at all
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kOverloaded);
+  EXPECT_EQ(m.counter("serve.rejected.overload").get(), 1u);
+  ctl.release();
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  ctl.release();
+}
+
+TEST(Admission, QueuedRequestHonorsItsToken) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(1, 4, m);
+  ASSERT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+
+  curare::runtime::CancelState tok;
+  std::thread t([&] {
+    EXPECT_EQ(ctl.admit(&tok), Outcome::kDeadline);
+  });
+  while (ctl.queued() == 0) std::this_thread::yield();
+  tok.cancel("client deadline");
+  t.join();
+  EXPECT_EQ(m.counter("serve.rejected.deadline").get(), 1u);
+  ctl.release();
+  EXPECT_TRUE(ctl.idle());
+}
+
+TEST(Admission, CloseWakesWaitersWithShutdown) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(1, 8, m);
+  ASSERT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  std::vector<std::thread> ts;
+  std::atomic<int> shutdowns{0};
+  for (int i = 0; i < 3; ++i) {
+    ts.emplace_back([&] {
+      if (ctl.admit(nullptr) == Outcome::kShutdown) ++shutdowns;
+    });
+  }
+  while (ctl.queued() < 3) std::this_thread::yield();
+  ctl.close();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shutdowns.load(), 3);
+  EXPECT_EQ(ctl.admit(nullptr), Outcome::kShutdown);
+  ctl.release();  // the pre-close slot is still valid to release
+  EXPECT_TRUE(ctl.idle());
+}
+
+TEST(Admission, TicketReleasesOnlyWhenAdmitted) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(1, 0, m);
+  {
+    serve::AdmissionTicket outer(ctl, nullptr);
+    ASSERT_TRUE(outer.admitted());
+    serve::AdmissionTicket bounced(ctl, nullptr);
+    EXPECT_EQ(bounced.outcome(), Outcome::kOverloaded);
+    // bounced's destructor must NOT release outer's slot.
+  }
+  EXPECT_TRUE(ctl.idle());
+  serve::AdmissionTicket again(ctl, nullptr);
+  EXPECT_TRUE(again.admitted());
+}
+
+TEST(Admission, GaugesTrackDepth) {
+  curare::obs::Metrics m;
+  serve::AdmissionController ctl(1, 4, m);
+  ASSERT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+  EXPECT_EQ(m.gauge("serve.inflight").get(), 1);
+  std::thread t([&] {
+    EXPECT_EQ(ctl.admit(nullptr), Outcome::kAdmitted);
+    ctl.release();
+  });
+  while (m.gauge("serve.queue_depth").get() == 0)
+    std::this_thread::yield();
+  ctl.release();
+  t.join();
+  EXPECT_EQ(m.gauge("serve.inflight").get(), 0);
+  EXPECT_EQ(m.gauge("serve.queue_depth").get(), 0);
+  EXPECT_GE(m.histogram("serve.queue_wait_ns").count(), 2u);
+}

@@ -1,0 +1,90 @@
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace serve = curare::serve;
+using serve::Json;
+using serve::JsonArray;
+using serve::JsonObject;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5")->as_number(), -12.5);
+  EXPECT_EQ(Json::parse("42")->as_int(), 42);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+}
+
+TEST(Json, ParsesNested) {
+  auto v = Json::parse(
+      R"({"op":"eval","args":[1,2,{"k":true}],"deadline_ms":250})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("op"), "eval");
+  EXPECT_EQ(v->get_int("deadline_ms"), 250);
+  const JsonArray& args = v->get("args").as_array();
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_TRUE(args[2].get("k").as_bool());
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("treu").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("\"bad\\q\"").has_value());
+  EXPECT_FALSE(Json::parse("01").has_value());  // leading zero
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+  std::string ok(50, '[');
+  ok += std::string(50, ']');
+  EXPECT_TRUE(Json::parse(ok).has_value());
+}
+
+TEST(Json, StringEscapes) {
+  auto v = Json::parse(R"("a\n\t\"\\\u0041\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\n\t\"\\A\xc3\xa9");
+  // Surrogate pair → 4-byte UTF-8.
+  auto pair = Json::parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->as_string(), "\xf0\x9f\x98\x80");
+  // Lone surrogate is malformed.
+  EXPECT_FALSE(Json::parse(R"("\ud83d")").has_value());
+}
+
+TEST(Json, DumpRoundTrips) {
+  JsonObject o;
+  o["s"] = "line1\nline2 \"q\"";
+  o["n"] = 7;
+  o["f"] = 2.5;
+  o["b"] = true;
+  o["a"] = Json(JsonArray{Json(1), Json("x")});
+  const std::string text = Json(std::move(o)).dump();
+  auto back = Json::parse(text);
+  ASSERT_TRUE(back.has_value()) << text;
+  EXPECT_EQ(back->get_string("s"), "line1\nline2 \"q\"");
+  EXPECT_EQ(back->get_int("n"), 7);
+  EXPECT_DOUBLE_EQ(back->get("f").as_number(), 2.5);
+  EXPECT_TRUE(back->get("b").as_bool());
+  EXPECT_EQ(back->get("a").as_array()[1].as_string(), "x");
+  // Integral numbers print without a fraction.
+  EXPECT_NE(text.find("\"n\":7"), std::string::npos) << text;
+}
+
+TEST(Json, MissingFieldsUseDefaults) {
+  auto v = Json::parse(R"({"op":"eval"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("absent", "dflt"), "dflt");
+  EXPECT_EQ(v->get_int("absent", -1), -1);
+  EXPECT_TRUE(v->get("absent").is_null());
+  EXPECT_FALSE(v->has("absent"));
+}

@@ -1,0 +1,136 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/exit_codes.hpp"
+
+namespace serve = curare::serve;
+
+namespace {
+
+/// A connected fd pair; index 0 and 1 are the two ends.
+struct FdPair {
+  int fd[2] = {-1, -1};
+  FdPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fd), 0); }
+  ~FdPair() {
+    if (fd[0] >= 0) ::close(fd[0]);
+    if (fd[1] >= 0) ::close(fd[1]);
+  }
+};
+
+}  // namespace
+
+TEST(Protocol, FrameRoundTrip) {
+  FdPair p;
+  ASSERT_TRUE(serve::write_frame(p.fd[0], "hello"));
+  std::string got;
+  ASSERT_TRUE(serve::read_frame(p.fd[1], got));
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Protocol, EmptyAndBinaryPayloads) {
+  FdPair p;
+  ASSERT_TRUE(serve::write_frame(p.fd[0], ""));
+  std::string payload("a\0b\nc", 5);
+  ASSERT_TRUE(serve::write_frame(p.fd[0], payload));
+  std::string got;
+  ASSERT_TRUE(serve::read_frame(p.fd[1], got));
+  EXPECT_EQ(got, "");
+  ASSERT_TRUE(serve::read_frame(p.fd[1], got));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Protocol, LargeFrameCrossesPipeBuffers) {
+  FdPair p;
+  const std::string big(1 << 20, 'x');
+  // Writer on a thread: 1 MiB exceeds the socket buffer, so a
+  // single-threaded write-then-read would deadlock.
+  std::thread w([&] { EXPECT_TRUE(serve::write_frame(p.fd[0], big)); });
+  std::string got;
+  EXPECT_TRUE(serve::read_frame(p.fd[1], got));
+  w.join();
+  EXPECT_EQ(got.size(), big.size());
+  EXPECT_EQ(got, big);
+}
+
+TEST(Protocol, RejectsMalformedLengthLine) {
+  {
+    FdPair p;
+    ::write(p.fd[0], "notanumber\nxxxx\n", 16);
+    std::string got;
+    EXPECT_FALSE(serve::read_frame(p.fd[1], got));
+  }
+  {
+    FdPair p;
+    ::write(p.fd[0], "\n", 1);  // empty length line
+    std::string got;
+    EXPECT_FALSE(serve::read_frame(p.fd[1], got));
+  }
+}
+
+TEST(Protocol, RejectsOversizedFrame) {
+  FdPair p;
+  ::write(p.fd[0], "999999999\n", 10);
+  std::string got;
+  EXPECT_FALSE(serve::read_frame(p.fd[1], got, /*max_bytes=*/1024));
+}
+
+TEST(Protocol, EofMidFrameFails) {
+  FdPair p;
+  ::write(p.fd[0], "100\npartial", 11);
+  ::close(p.fd[0]);
+  p.fd[0] = -1;
+  std::string got;
+  EXPECT_FALSE(serve::read_frame(p.fd[1], got));
+}
+
+TEST(Protocol, RequestJsonRoundTrip) {
+  serve::Request req;
+  req.op = "eval";
+  req.program = "(+ 1\n 2)";
+  req.deadline_ms = 750;
+  auto back = serve::Request::from_json(
+      *serve::Json::parse(req.to_json().dump()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, "eval");
+  EXPECT_EQ(back->program, "(+ 1\n 2)");
+  EXPECT_EQ(back->deadline_ms, 750);
+}
+
+TEST(Protocol, RequestRequiresOp) {
+  EXPECT_FALSE(serve::Request::from_json(*serve::Json::parse("{}"))
+                   .has_value());
+  EXPECT_FALSE(serve::Request::from_json(*serve::Json::parse("[1]"))
+                   .has_value());
+  EXPECT_FALSE(
+      serve::Request::from_json(*serve::Json::parse("\"eval\""))
+          .has_value());
+}
+
+TEST(Protocol, ResponseJsonRoundTrip) {
+  serve::Response resp =
+      serve::Response::fail(serve::kStatusDeadline, "too slow");
+  serve::JsonObject m;
+  m["wall_us"] = 42;
+  resp.metrics = serve::Json(std::move(m));
+  serve::Response back = serve::Response::from_json(
+      *serve::Json::parse(resp.to_json().dump()));
+  EXPECT_EQ(back.status, "deadline");
+  EXPECT_EQ(back.error, "too slow");
+  EXPECT_EQ(back.metrics.get_int("wall_us"), 42);
+}
+
+TEST(Protocol, StatusExitCodeTable) {
+  EXPECT_EQ(serve::status_exit_code("ok"), serve::kExitOk);
+  EXPECT_EQ(serve::status_exit_code("error"), serve::kExitError);
+  EXPECT_EQ(serve::status_exit_code("stall"), serve::kExitStall);
+  EXPECT_EQ(serve::status_exit_code("deadline"), serve::kExitDeadline);
+  EXPECT_EQ(serve::status_exit_code("overloaded"),
+            serve::kExitOverloaded);
+  EXPECT_EQ(serve::status_exit_code("???"), serve::kExitError);
+}

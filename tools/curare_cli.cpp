@@ -48,6 +48,7 @@
 #include "obs/recorder.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/resilience.hpp"
+#include "serve/exit_codes.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
@@ -121,6 +122,17 @@ bool parse_chaos(const std::string& text, std::uint64_t& seed,
 void print_stall(const curare::runtime::StallError& e) {
   std::fprintf(stderr, "stall: %s\n", e.what());
   if (!e.dump().empty()) std::fprintf(stderr, "%s", e.dump().c_str());
+}
+
+/// Deadline-killed runs exit 4, watchdog/cancel stalls exit 3 — the
+/// shared table in serve/exit_codes.hpp, so a local run and a served
+/// one report the same way. The cancel reason is the discriminator
+/// ("deadline exceeded" is minted only by CancelState's deadline path).
+int stall_exit_code(const curare::runtime::StallError& e) {
+  return std::string_view(e.what()).find("deadline exceeded") !=
+                 std::string_view::npos
+             ? curare::serve::kExitDeadline
+             : curare::serve::kExitStall;
 }
 
 void print_gc_stats(const curare::gc::GcHeap& gc, std::FILE* to) {
@@ -316,65 +328,71 @@ int main(int argc, char** argv) {
   double chaos_rate = 0;
   unsigned chaos_kinds = 0;
 
-  auto parse_ms = [&](const char* flag, int& i,
-                      std::int64_t& out) -> bool {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s requires a millisecond count\n", flag);
-      return false;
+  // Every value flag accepts both "--flag VALUE" and "--flag=VALUE"
+  // spellings; take_value recognizes the flag and yields the value.
+  auto take_value = [&](int& i, const std::string& arg,
+                        const std::string& flag,
+                        std::string& out) -> bool {
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
     }
+    if (arg != flag) return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires an argument\n", flag.c_str());
+      std::exit(curare::serve::kExitUsage);
+    }
+    out = argv[++i];
+    return true;
+  };
+  auto parse_ms = [](const std::string& flag, const std::string& text,
+                     std::int64_t& out) -> bool {
     char* end = nullptr;
-    const long long v = std::strtoll(argv[i + 1], &end, 10);
-    if (end == argv[i + 1] || *end != '\0' || v < 0) {
-      std::fprintf(stderr, "%s: bad millisecond count '%s'\n", flag,
-                   argv[i + 1]);
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "%s: bad millisecond count '%s'\n",
+                   flag.c_str(), text.c_str());
       return false;
     }
     out = v;
-    ++i;
     return true;
   };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--gc-threshold") {
-      if (i + 1 >= argc || !parse_bytes(argv[i + 1], gc_threshold)) {
+    std::string v;
+    if (take_value(i, arg, "--gc-threshold", v)) {
+      if (!parse_bytes(v, gc_threshold)) {
         std::fprintf(stderr,
                      "--gc-threshold requires a byte count (k/m/g "
                      "suffixes accepted)\n");
-        return 2;
+        return curare::serve::kExitUsage;
       }
       have_threshold = true;
-      ++i;
     } else if (arg == "--gc-stats") {
       gc_stats = true;
-    } else if (arg == "--deadline-ms") {
-      if (!parse_ms("--deadline-ms", i, deadline_ms)) return 2;
-    } else if (arg == "--stall-ms") {
-      if (!parse_ms("--stall-ms", i, stall_ms)) return 2;
-    } else if (arg == "--lock-budget-ms") {
-      if (!parse_ms("--lock-budget-ms", i, lock_budget_ms)) return 2;
-    } else if (arg == "--chaos") {
-      if (i + 1 >= argc ||
-          !parse_chaos(argv[i + 1], chaos_seed, chaos_rate,
-                       chaos_kinds)) {
+    } else if (take_value(i, arg, "--deadline-ms", v)) {
+      if (!parse_ms("--deadline-ms", v, deadline_ms))
+        return curare::serve::kExitUsage;
+    } else if (take_value(i, arg, "--stall-ms", v)) {
+      if (!parse_ms("--stall-ms", v, stall_ms))
+        return curare::serve::kExitUsage;
+    } else if (take_value(i, arg, "--lock-budget-ms", v)) {
+      if (!parse_ms("--lock-budget-ms", v, lock_budget_ms))
+        return curare::serve::kExitUsage;
+    } else if (take_value(i, arg, "--chaos", v)) {
+      if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds)) {
         std::fprintf(stderr,
                      "--chaos requires SEED:RATE[:KINDS] with RATE in "
                      "(0,1] and KINDS from delay,throw,wake,all\n");
-        return 2;
+        return curare::serve::kExitUsage;
       }
       have_chaos = true;
-      ++i;
-    } else if (arg == "--trace" || arg == "-e") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
-        return 2;
-      }
-      if (arg == "--trace") {
-        trace_path = argv[++i];
-      } else {
-        eval_expr = argv[++i];
-        have_eval = true;
-      }
+    } else if (take_value(i, arg, "--trace", v)) {
+      trace_path = v;
+    } else if (take_value(i, arg, "-e", v)) {
+      eval_expr = v;
+      have_eval = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -385,7 +403,14 @@ int main(int argc, char** argv) {
                    "[--lock-budget-ms N] [--chaos SEED:RATE[:KINDS]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
-      return 2;
+      return curare::serve::kExitUsage;
+    } else if (!file.empty()) {
+      // A silently dropped first file is worse than an error: the user
+      // almost certainly misspelled a flag or forgot quoting.
+      std::fprintf(stderr,
+                   "multiple program files ('%s' and '%s'); pass one\n",
+                   file.c_str(), arg.c_str());
+      return curare::serve::kExitUsage;
     } else {
       file = arg;
     }
@@ -443,13 +468,13 @@ int main(int argc, char** argv) {
       std::string out = cur.interp().take_output();
       if (!out.empty()) std::printf("%s", out.c_str());
       std::printf("%s\n", curare::sexpr::write_str(v).c_str());
-      return finish(0);
+      return finish(curare::serve::kExitOk);
     } catch (const curare::runtime::StallError& e) {
       print_stall(e);
-      return finish(3);
+      return finish(stall_exit_code(e));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      return finish(1);
+      return finish(curare::serve::kExitError);
     }
   }
 
@@ -457,19 +482,19 @@ int main(int argc, char** argv) {
     std::ifstream in(file);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", file.c_str());
-      return 1;
+      return curare::serve::kExitError;
     }
     std::stringstream ss;
     ss << in.rdbuf();
     try {
       batch_transform_all(cur, ss.str());
-      return finish(0);
+      return finish(curare::serve::kExitOk);
     } catch (const curare::runtime::StallError& e) {
       print_stall(e);
-      return finish(3);
+      return finish(stall_exit_code(e));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      return finish(1);
+      return finish(curare::serve::kExitError);
     }
   }
 

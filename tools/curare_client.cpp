@@ -1,0 +1,149 @@
+// curare_client — command-line client for curare_serve.
+//
+//   curare_client --port N [opts] -e "(+ 1 2)"     eval one expression
+//   curare_client --port N [opts] program.lisp     eval a file
+//   curare_client --port N --op stats              server-side report
+//   curare_client --port N --op restructure [--name F] program.lisp
+//   curare_client --port N --op ping
+//
+// Options (every value flag also accepts --flag=value):
+//   --port N         server port (required)
+//   --host ADDR      server address (default 127.0.0.1)
+//   --deadline-ms N  per-request deadline; the server cancels the run
+//                    and answers status="deadline"
+//   --op OP          eval | restructure | stats | ping (default eval)
+//   --name F         restructure: the defun to transform
+//   -e EXPR          inline program instead of a file
+//
+// The exit code mirrors the response status via the shared table in
+// serve/exit_codes.hpp: ok=0, error=1, stall=3, deadline=4,
+// overloaded=5 — so scripts treat a remote run exactly like a local
+// `curare` invocation.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/exit_codes.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: curare_client --port N [--host ADDR] [--deadline-ms N]\n"
+      "                     [--op eval|restructure|stats|ping]\n"
+      "                     [--name FN] [-e EXPR | program.lisp]\n");
+  return curare::serve::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace curare::serve;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  Request req;
+  req.op = "eval";
+  std::string file;
+  bool have_program = false;
+
+  auto take_value = [&](int& i, const std::string& arg,
+                        const std::string& flag,
+                        std::string& out) -> bool {
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
+    }
+    if (arg != flag) return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+      std::exit(kExitUsage);
+    }
+    out = argv[++i];
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (take_value(i, arg, "--port", v)) {
+      port = std::atoi(v.c_str());
+    } else if (take_value(i, arg, "--host", v)) {
+      host = v;
+    } else if (take_value(i, arg, "--deadline-ms", v)) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || ms < 0) {
+        std::fprintf(stderr, "--deadline-ms: bad value '%s'\n",
+                     v.c_str());
+        return kExitUsage;
+      }
+      req.deadline_ms = ms;
+    } else if (take_value(i, arg, "--op", v)) {
+      req.op = v;
+    } else if (take_value(i, arg, "--name", v)) {
+      req.name = v;
+    } else if (take_value(i, arg, "-e", v)) {
+      req.program = v;
+      have_program = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else if (!file.empty()) {
+      std::fprintf(stderr,
+                   "multiple program files ('%s' and '%s'); pass one\n",
+                   file.c_str(), arg.c_str());
+      return kExitUsage;
+    } else {
+      file = arg;
+    }
+  }
+
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return usage();
+  }
+  if (!file.empty()) {
+    if (have_program) {
+      std::fprintf(stderr, "pass either -e or a file, not both\n");
+      return kExitUsage;
+    }
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return kExitError;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    req.program = ss.str();
+    have_program = true;
+  }
+  if ((req.op == "eval" || req.op == "restructure") && !have_program &&
+      req.name.empty()) {
+    std::fprintf(stderr, "op %s needs a program (-e or a file)\n",
+                 req.op.c_str());
+    return usage();
+  }
+
+  ClientConnection conn;
+  std::string err;
+  if (!conn.connect(host, port, &err)) {
+    std::fprintf(stderr, "curare_client: %s\n", err.c_str());
+    return kExitError;
+  }
+  auto resp = conn.request(req);
+  if (!resp) {
+    std::fprintf(stderr, "curare_client: connection lost\n");
+    return kExitError;
+  }
+  if (!resp->output.empty()) std::printf("%s", resp->output.c_str());
+  if (!resp->result.empty()) std::printf("%s\n", resp->result.c_str());
+  if (!resp->error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", resp->status.c_str(),
+                 resp->error.c_str());
+  }
+  return status_exit_code(resp->status);
+}

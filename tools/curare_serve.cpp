@@ -1,0 +1,278 @@
+// curare_serve — the multi-session serving daemon.
+//
+//   curare_serve [opts]
+//
+// Listens on a local TCP socket and serves the length-prefixed JSON
+// protocol (src/serve/protocol.hpp): each connection gets its own
+// session — an isolated interpreter and top-level environment — over
+// the shared heap, lock manager, future pool, and metrics. Use
+// curare_client to talk to it.
+//
+// Options (every value flag also accepts --flag=value):
+//   --port N            listen port (default 0 = kernel-assigned;
+//                       the bound port is printed on stdout)
+//   --port-file PATH    also write the bound port to PATH (for
+//                       scripts that must not parse stdout)
+//   --host ADDR         bind address (default 127.0.0.1)
+//   --max-inflight N    concurrent executing requests (default 8)
+//   --queue-limit N     waiting requests before "overloaded" (default 32)
+//   --deadline-ms N     default per-request deadline when the request
+//                       carries none (default 0 = unlimited)
+//   --drain-grace-ms N  how long SIGTERM waits for in-flight requests
+//                       before cancelling them (default 2000)
+//   --stall-ms N        per-CRI-run watchdog window (default 0 = off)
+//   --lock-budget-ms N  cap any single blocked lock acquisition
+//   --workers N         future-pool threads (default hw concurrency)
+//   --chaos SEED:RATE[:KINDS[:SITES]]  arm the fault injector; SITES
+//                       is a comma list of injection sites
+//                       (e.g. queue.push,task.run — default all)
+//   --stats             print the metrics report on exit
+//
+// Exit: 0 after a graceful SIGTERM/SIGINT drain; 1 on socket errors;
+// 2 on a bad command line (the shared table in serve/exit_codes.hpp).
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/recorder.hpp"
+#include "runtime/fault_injector.hpp"
+#include "serve/exit_codes.hpp"
+#include "serve/server.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char byte = 1;
+  // Best-effort: if the pipe is full a drain is already pending.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// SEED:RATE[:KINDS[:SITES]] — the CLI's --chaos grammar plus an
+/// optional site list (queue.push,task.run,…) for targeted injection.
+bool parse_chaos(const std::string& text, std::uint64_t& seed,
+                 double& rate, unsigned& kinds, unsigned& sites) {
+  using curare::runtime::FaultInjector;
+  kinds = FaultInjector::kAllKinds;
+  sites = FaultInjector::kAllSites;
+  const auto c1 = text.find(':');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = text.find(':', c1 + 1);
+  const auto c3 =
+      c2 == std::string::npos ? std::string::npos : text.find(':', c2 + 1);
+  try {
+    seed = std::stoull(text.substr(0, c1), nullptr, 0);
+    rate = std::stod(text.substr(
+        c1 + 1,
+        c2 == std::string::npos ? std::string::npos : c2 - c1 - 1));
+  } catch (...) {
+    return false;
+  }
+  if (c2 != std::string::npos) {
+    const std::string kinds_text = text.substr(
+        c2 + 1,
+        c3 == std::string::npos ? std::string::npos : c3 - c2 - 1);
+    if (!kinds_text.empty() && kinds_text != "all") {
+      kinds = 0;
+      std::size_t pos = 0;
+      while (pos <= kinds_text.size()) {
+        const auto comma = kinds_text.find(',', pos);
+        const std::string k = kinds_text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (k == "delay") {
+          kinds |= FaultInjector::kDelay;
+        } else if (k == "throw") {
+          kinds |= FaultInjector::kThrow;
+        } else if (k == "wake") {
+          kinds |= FaultInjector::kWake;
+        } else if (k == "all") {
+          kinds |= FaultInjector::kAllKinds;
+        } else {
+          return false;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (kinds == 0) return false;
+    }
+  }
+  if (c3 != std::string::npos) {
+    const std::string sites_text = text.substr(c3 + 1);
+    if (!sites_text.empty() && sites_text != "all") {
+      sites = 0;
+      std::size_t pos = 0;
+      while (pos <= sites_text.size()) {
+        const auto comma = sites_text.find(',', pos);
+        const std::string s = sites_text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        unsigned bit = 0;
+        if (!FaultInjector::site_bit(s, bit)) return false;
+        sites |= bit;
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (sites == 0) return false;
+    }
+  }
+  return rate > 0.0 && rate <= 1.0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: curare_serve [--port N] [--port-file PATH] [--host ADDR]\n"
+      "                    [--max-inflight N] [--queue-limit N]\n"
+      "                    [--deadline-ms N] [--drain-grace-ms N]\n"
+      "                    [--stall-ms N] [--lock-budget-ms N]\n"
+      "                    [--workers N] [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
+      "                    [--stats]\n");
+  return curare::serve::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  curare::serve::ServeOptions opts;
+  std::string port_file;
+  bool stats = false;
+  std::int64_t stall_ms = 0;
+  std::int64_t lock_budget_ms = 0;
+  bool have_chaos = false;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0;
+  unsigned chaos_kinds = 0;
+  unsigned chaos_sites = 0;
+
+  // Value flags accept both "--flag VALUE" and "--flag=VALUE".
+  auto take_value = [&](int& i, const std::string& arg,
+                        const std::string& flag,
+                        std::string& out) -> bool {
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
+    }
+    if (arg != flag) return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+      std::exit(curare::serve::kExitUsage);
+    }
+    out = argv[++i];
+    return true;
+  };
+  auto parse_nonneg = [](const std::string& flag, const std::string& text,
+                         std::int64_t& out) {
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "%s: bad value '%s'\n", flag.c_str(),
+                   text.c_str());
+      std::exit(curare::serve::kExitUsage);
+    }
+    out = v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    std::int64_t n = 0;
+    if (take_value(i, arg, "--port", v)) {
+      parse_nonneg("--port", v, n);
+      opts.port = static_cast<int>(n);
+    } else if (take_value(i, arg, "--port-file", v)) {
+      port_file = v;
+    } else if (take_value(i, arg, "--host", v)) {
+      opts.host = v;
+    } else if (take_value(i, arg, "--max-inflight", v)) {
+      parse_nonneg("--max-inflight", v, n);
+      opts.max_inflight = static_cast<std::size_t>(n);
+    } else if (take_value(i, arg, "--queue-limit", v)) {
+      parse_nonneg("--queue-limit", v, n);
+      opts.queue_limit = static_cast<std::size_t>(n);
+    } else if (take_value(i, arg, "--deadline-ms", v)) {
+      parse_nonneg("--deadline-ms", v, opts.default_deadline_ms);
+    } else if (take_value(i, arg, "--drain-grace-ms", v)) {
+      parse_nonneg("--drain-grace-ms", v, opts.drain_grace_ms);
+    } else if (take_value(i, arg, "--stall-ms", v)) {
+      parse_nonneg("--stall-ms", v, stall_ms);
+    } else if (take_value(i, arg, "--lock-budget-ms", v)) {
+      parse_nonneg("--lock-budget-ms", v, lock_budget_ms);
+    } else if (take_value(i, arg, "--workers", v)) {
+      parse_nonneg("--workers", v, n);
+      opts.workers = static_cast<std::size_t>(n);
+    } else if (take_value(i, arg, "--chaos", v)) {
+      if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
+                       chaos_sites)) {
+        std::fprintf(stderr,
+                     "--chaos wants SEED:RATE[:KINDS[:SITES]] with "
+                     "RATE in (0,1]\n");
+        return curare::serve::kExitUsage;
+      }
+      have_chaos = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return curare::serve::kExitError;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // torn clients are routine
+
+  curare::sexpr::Ctx ctx;
+  curare::serve::ServeDaemon daemon(ctx, opts);
+  daemon.runtime().set_stall_ms(stall_ms);
+  daemon.runtime().locks().set_wait_budget_ms(lock_budget_ms);
+  if (have_chaos) {
+    curare::runtime::FaultInjector::instance().configure(
+        chaos_seed, chaos_rate, chaos_kinds, chaos_sites);
+  }
+
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "curare_serve: %s\n", err.c_str());
+    return curare::serve::kExitError;
+  }
+  std::printf("curare_serve: listening on %s:%d\n", opts.host.c_str(),
+              daemon.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << daemon.port() << "\n";
+    if (!pf) {
+      std::fprintf(stderr, "curare_serve: cannot write %s\n",
+                   port_file.c_str());
+      daemon.shutdown();
+      return curare::serve::kExitError;
+    }
+  }
+
+  // Park until a signal lands (self-pipe: the handler only writes).
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("curare_serve: draining\n");
+  std::fflush(stdout);
+  daemon.shutdown();
+  if (stats) {
+    std::printf("%s",
+                curare::obs::full_report(daemon.runtime().obs()).c_str());
+  }
+  std::printf("curare_serve: drained, exiting\n");
+  return curare::serve::kExitOk;
+}

@@ -113,6 +113,10 @@ struct SweepResult {
   double p99_ms = 0;
   std::size_t rejected = 0;  ///< non-ok responses (overload/chaos)
   std::size_t transport_errors = 0;
+  /// Mean server-side breakdown components over the ok eval responses
+  /// (each reply carries its request's measured split; see DESIGN §12).
+  double mean_admission_ms = 0;
+  double mean_eval_ms = 0;
 };
 
 /// The per-session workload: a recursive countdown the interpreter
@@ -141,6 +145,9 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
       static_cast<std::size_t>(clients));
   std::atomic<std::size_t> rejected{0};
   std::atomic<std::size_t> transport_errors{0};
+  std::atomic<std::uint64_t> bd_admission_ns{0};
+  std::atomic<std::uint64_t> bd_eval_ns{0};
+  std::atomic<std::uint64_t> bd_count{0};
 
   const double wall_s = time_s([&] {
     std::vector<std::thread> threads;
@@ -174,6 +181,7 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
                       std::to_string(workload_n) + " 0)";
         auto& lat = latencies[static_cast<std::size_t>(c)];
         lat.reserve(requests_per_client);
+        std::uint64_t adm_ns = 0, ev_ns = 0, bd_n = 0;
         for (std::size_t i = 0; i < requests_per_client; ++i) {
           const serve::Request& req = (i % 4 == 3) ? cri : plain;
           double ms = 0;
@@ -183,11 +191,30 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
               ++transport_errors;
             } else if (resp->status != "ok") {
               ++rejected;
+            } else if (resp->metrics.is_object()) {
+              const auto& m = resp->metrics.as_object();
+              const auto it = m.find("breakdown");
+              if (it != m.end() && it->second.is_object()) {
+                const auto& b = it->second.as_object();
+                auto ns = [&](const char* k) -> std::uint64_t {
+                  const auto f = b.find(k);
+                  return f == b.end()
+                             ? 0
+                             : static_cast<std::uint64_t>(
+                                   f->second.as_number());
+                };
+                adm_ns += ns("admission_ns");
+                ev_ns += ns("eval_ns");
+                ++bd_n;
+              }
             }
           });
           ms = s * 1e3;
           lat.push_back(ms);
         }
+        bd_admission_ns += adm_ns;
+        bd_eval_ns += ev_ns;
+        bd_count += bd_n;
       });
     }
     for (auto& t : threads) t.join();
@@ -215,6 +242,11 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
   r.p99_ms = pct(0.99);
   r.rejected = rejected.load();
   r.transport_errors = transport_errors.load();
+  if (const std::uint64_t n = bd_count.load(); n > 0) {
+    r.mean_admission_ms =
+        static_cast<double>(bd_admission_ns.load()) / (1e6 * n);
+    r.mean_eval_ms = static_cast<double>(bd_eval_ns.load()) / (1e6 * n);
+  }
   if (!chaos && (r.rejected != 0 || r.transport_errors != 0)) {
     std::fprintf(stderr,
                  "bench_serve: %zu rejected / %zu transport errors "
@@ -253,21 +285,25 @@ int main() {
   std::printf("== serve load (closed loop, %zu req/client, workload "
               "bench-count %d) ==\n",
               requests, workload_n);
-  std::printf("%8s %9s %8s %12s %9s %9s %9s\n", "clients", "requests",
-              "wall_s", "throughput", "p50_ms", "p99_ms", "rejected");
+  std::printf("%8s %9s %8s %12s %9s %9s %9s %9s %9s\n", "clients",
+              "requests", "wall_s", "throughput", "p50_ms", "p99_ms",
+              "adm_ms", "eval_ms", "rejected");
   for (const int c : sweep) {
     const SweepResult r = run_sweep(c, requests, workload_n, chaos);
-    std::printf("%8d %9zu %8.3f %10.0f/s %9.3f %9.3f %9zu\n",
+    std::printf("%8d %9zu %8.3f %10.0f/s %9.3f %9.3f %9.3f %9.3f %9zu\n",
                 r.clients, r.requests, r.wall_s, r.throughput_rps,
-                r.p50_ms, r.p99_ms, r.rejected);
+                r.p50_ms, r.p99_ms, r.mean_admission_ms, r.mean_eval_ms,
+                r.rejected);
     if (js != nullptr) {
       std::fprintf(js,
                    "{\"bench\":\"serve_load\",\"clients\":%d,"
                    "\"requests\":%zu,\"wall_s\":%.6f,"
                    "\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
-                   "\"p99_ms\":%.4f,\"rejected\":%zu}\n",
+                   "\"p99_ms\":%.4f,\"mean_admission_ms\":%.4f,"
+                   "\"mean_eval_ms\":%.4f,\"rejected\":%zu}\n",
                    r.clients, r.requests, r.wall_s, r.throughput_rps,
-                   r.p50_ms, r.p99_ms, r.rejected);
+                   r.p50_ms, r.p99_ms, r.mean_admission_ms,
+                   r.mean_eval_ms, r.rejected);
     }
   }
   if (js != nullptr) std::fclose(js);

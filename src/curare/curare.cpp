@@ -1,7 +1,9 @@
 #include "curare/curare.hpp"
 
+#include <chrono>
 #include <sstream>
 
+#include "obs/request.hpp"
 #include "runtime/scheduler.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
@@ -108,7 +110,30 @@ Value Curare::load_program(std::string_view src) {
   // One unsafe region for the whole load: the freshly read forms and
   // the containers under mutation stay out of the collector's sight.
   gc::MutatorScope gc_scope(ctx_.heap.gc());
+  // Attribute reader vs. evaluator time to the current serving request
+  // (no-ops outside one): read_all is the whole parse phase, the rest
+  // of this function is eval.
+  const auto t_parse0 = std::chrono::steady_clock::now();
   std::vector<Value> forms = sexpr::read_all(ctx_, src);
+  const auto t_parse1 = std::chrono::steady_clock::now();
+  obs::charge_request(
+      &obs::Breakdown::parse_ns,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t_parse1 -
+                                                               t_parse0)
+              .count()));
+  struct EvalCharge {
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    ~EvalCharge() {
+      obs::charge_request(
+          &obs::Breakdown::eval_ns,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+    }
+  } eval_charge;
   decls_.load_program(forms);
   Value last = Value::nil();
   for (Value form : forms) {

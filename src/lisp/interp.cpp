@@ -3,6 +3,7 @@
 #include <cassert>
 #include <iostream>
 
+#include "obs/profiler.hpp"
 #include "runtime/resilience.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
@@ -346,10 +347,13 @@ Value Interp::apply(Value fn, std::span<const Value> args) {
         (b->max_args >= 0 && static_cast<int>(args.size()) > b->max_args)) {
       throw LispError("wrong number of arguments to builtin " + b->name);
     }
+    obs::ProfileFrameScope pf(obs::Profiler::FrameKind::kBuiltin,
+                              &b->name);
     return b->fn(*this, args);
   }
   if (fn.is(Kind::Closure)) {
     auto* c = static_cast<Closure*>(fn.obj());
+    obs::ProfileFrameScope pf(obs::Profiler::FrameKind::kFn, &c->name);
     EnvPtr env = bind_params(c, args);
     Value result = Value::nil();
     for (Value body = c->body; !body.is_nil(); body = cdr(body))
@@ -363,15 +367,39 @@ Value Interp::eval(Value form, EnvPtr env) {
   gc::MutatorScope gc_scope(gc_);
   EvalFrame gc_frame(gc_, &form, &env);
   DepthGuard guard(depth_, max_depth_);
+  // This eval activation's profile frame: the inline application path
+  // below reuses the loop instead of recursing, so the activation —
+  // not apply() — is the call frame the profiler should see. Pushed
+  // lazily on the first inlined closure call, renamed by later ones
+  // (true tail calls), popped when the activation returns.
+  struct TailProfileFrame {
+    bool pushed = false;
+    ~TailProfileFrame() {
+      if (pushed) obs::Profiler::instance().pop_frame();
+    }
+  } tail_pf;
   for (;;) {
     // Cancellation check (DESIGN.md §10): tail-call elimination funnels
     // every loop a program can write through this point, so polling
     // here bounds how long a busy (not blocked) server can outlive its
     // run's deadline. Sampled 1-in-64 so the cost is a thread-local
-    // counter bump per eval step.
+    // counter bump per eval step. The sampling profiler rides the same
+    // tick (its period is a power of two ≥ 8, so the &7 pre-check
+    // keeps the disarmed cost to the tick itself).
     {
       static thread_local unsigned cancel_tick = 0;
-      if ((++cancel_tick & 0x3F) == 0) runtime::poll_cancellation();
+      const unsigned tick = ++cancel_tick;
+      if ((tick & 0x3F) == 0) runtime::poll_cancellation();
+      if ((tick & 0x7) == 0 && obs::Profiler::due(tick)) {
+        const std::string* leaf = nullptr;
+        if (form.is(Kind::Cons)) {
+          Value head = static_cast<Cons*>(form.obj())->car();
+          if (head.is(Kind::Symbol)) {
+            leaf = &static_cast<Symbol*>(head.obj())->name;
+          }
+        }
+        obs::Profiler::instance().sample(leaf);
+      }
     }
     // Self-evaluating atoms.
     if (!form.is_object()) return form;  // nil, fixnum
@@ -627,6 +655,15 @@ Value Interp::eval(Value form, EnvPtr env) {
       // Tail call: rebind and continue the loop instead of recursing.
       apply_count_.fetch_add(1, std::memory_order_relaxed);
       auto* c = static_cast<Closure*>(fn.obj());
+      if (obs::Profiler::armed()) {
+        auto& prof = obs::Profiler::instance();
+        if (tail_pf.pushed) {
+          prof.note_tail_call(&c->name);
+        } else {
+          prof.push_frame(obs::Profiler::FrameKind::kFn, &c->name);
+          tail_pf.pushed = true;
+        }
+      }
       env = bind_params(c, args);
       Value body = c->body;
       gc_frame.set_call(nullptr, nullptr);  // storage dies at `continue`

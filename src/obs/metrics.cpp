@@ -112,8 +112,8 @@ std::string Metrics::to_string() const {
   for (const auto& [name, h] : histograms_) {
     ss << name << ": count=" << h->count() << " mean=" << h->mean()
        << " min=" << h->min() << " max=" << h->max()
-       << " p50=" << h->quantile(0.5) << " p99=" << h->quantile(0.99)
-       << "\n";
+       << " p50=" << h->quantile(0.5) << " p90=" << h->quantile(0.9)
+       << " p99=" << h->quantile(0.99) << "\n";
   }
   return ss.str();
 }
@@ -140,9 +140,52 @@ std::string Metrics::to_json() const {
     ss << "{\"count\":" << h->count() << ",\"sum\":" << h->sum()
        << ",\"mean\":" << h->mean() << ",\"min\":" << h->min()
        << ",\"max\":" << h->max() << ",\"p50\":" << h->quantile(0.5)
+       << ",\"p90\":" << h->quantile(0.9)
        << ",\"p99\":" << h->quantile(0.99) << "}";
   }
   ss << "}";
+  return ss.str();
+}
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only; the registry uses
+/// dotted names, so map everything else to '_' under a stable prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "curare_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Metrics::to_prometheus() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream ss;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    ss << "# TYPE " << n << " counter\n" << n << " " << c->get() << "\n";
+  }
+  for (const auto& [name, gv] : gauges_) {
+    const std::string n = prom_name(name);
+    ss << "# TYPE " << n << " gauge\n" << n << " " << gv->get() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    // Summary, not histogram: the fixed ×4 buckets are an internal
+    // detail; the derived quantiles are what dashboards and the CI
+    // scrape consume.
+    ss << "# TYPE " << n << " summary\n";
+    ss << n << "{quantile=\"0.5\"} " << h->quantile(0.5) << "\n";
+    ss << n << "{quantile=\"0.9\"} " << h->quantile(0.9) << "\n";
+    ss << n << "{quantile=\"0.99\"} " << h->quantile(0.99) << "\n";
+    ss << n << "_sum " << h->sum() << "\n";
+    ss << n << "_count " << h->count() << "\n";
+  }
   return ss.str();
 }
 

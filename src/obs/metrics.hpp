@@ -30,6 +30,16 @@
 //   cri.gc.reclaimed_bytes  counter   bytes swept across collections
 //   cri.gc.live_objects     gauge     live objects after the last GC
 //   cri.gc.heap_bytes       gauge     block bytes held after the last GC
+//   obs.trace.dropped       counter   trace events lost to ring wrap
+//   serve.sessions          gauge     connected serving sessions
+//   serve.requests          counter   requests handled by the daemon
+//   serve.request_ns        histogram end-to-end request latency
+//   serve.inflight          gauge     requests currently executing
+//   serve.queue_depth       gauge     requests waiting for admission
+//   serve.admitted          counter   requests past admission control
+//   serve.rejected.overload counter   requests bounced queue-full
+//   serve.rejected.deadline counter   requests expired while queued
+//   serve.queue_wait_ns     histogram admission wait per admitted request
 #pragma once
 
 #include <atomic>
@@ -119,6 +129,11 @@ class Metrics {
   std::string to_string() const;
   /// One JSON object with a field per instrument.
   std::string to_json() const;
+  /// Prometheus text exposition (one scrape-able document): counters
+  /// and gauges as plain samples, histograms as summary-style
+  /// p50/p90/p99 quantile samples plus _sum/_count. Instrument names
+  /// are sanitized (dots → underscores) and prefixed "curare_".
+  std::string to_prometheus() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,216 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace curare::obs {
+
+namespace {
+
+/// Sentinel keys for unnamed frames/leaves: one distinct address per
+/// case so they intern like any named function.
+const std::string kLambdaName = "<lambda>";
+const std::string kAtomName = "<atom>";
+
+const char* kind_prefix(Profiler::FrameKind k) {
+  switch (k) {
+    case Profiler::FrameKind::kFn: return "fn:";
+    case Profiler::FrameKind::kBuiltin: return "builtin:";
+    case Profiler::FrameKind::kForm: return "form:";
+  }
+  return "?:";
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::set_period(unsigned period) {
+  unsigned p = kMinPeriod;
+  while (p * 2 <= period) p *= 2;  // round down to a power of two
+  g_mask.store(p - 1, std::memory_order_relaxed);
+}
+
+Profiler::ThreadState* Profiler::local_state() {
+  // The registry keeps states alive past thread exit, so reports after
+  // a CRI run still see its servers' samples.
+  thread_local std::shared_ptr<ThreadState> tls;
+  if (!tls) {
+    tls = std::make_shared<ThreadState>();
+    std::lock_guard<std::mutex> g(mu_);
+    states_.push_back(tls);
+  }
+  return tls.get();
+}
+
+std::uint32_t Profiler::intern(ThreadState& ts, FrameKind k,
+                               const std::string* name) {
+  if (name == nullptr || name->empty()) {
+    name = k == FrameKind::kForm ? &kAtomName : &kLambdaName;
+  }
+  const auto [it, inserted] =
+      ts.ids.try_emplace(name, static_cast<std::uint32_t>(ts.names.size()));
+  if (inserted) ts.names.push_back(kind_prefix(k) + *name);
+  return it->second;
+}
+
+void Profiler::sample(const std::string* leaf) {
+  ThreadState* ts = local_state();
+  std::lock_guard<std::mutex> g(ts->mu);
+  if (ts->ring.empty()) ts->ring.resize(kRingCapacity);
+  Sample& s = ts->ring[ts->head % ts->ring.size()];
+  ++ts->head;
+  // Deep stacks keep their deepest kMaxDepth frames: the truncated
+  // base is the least specific part of the attribution. The ring holds
+  // the deepest kCap ≥ kMaxDepth frames, so the modular reads below
+  // always hit live entries.
+  const FrameBuf& fb = tls_frames;
+  const std::size_t n = fb.depth;
+  const std::size_t keep = std::min(n, kMaxDepth);
+  s.depth = static_cast<std::uint16_t>(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const Frame& f =
+        fb.frames[(n - keep + i) & (FrameBuf::kCap - 1)];
+    s.frames[i] = intern(*ts, f.kind, f.name);
+  }
+  s.leaf = intern(*ts, FrameKind::kForm, leaf);
+}
+
+std::uint64_t Profiler::samples() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ts : states_) {
+    std::lock_guard<std::mutex> tg(ts->mu);
+    n += std::min<std::uint64_t>(ts->head, ts->ring.size());
+  }
+  return n;
+}
+
+std::uint64_t Profiler::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ts : states_) {
+    std::lock_guard<std::mutex> tg(ts->mu);
+    if (ts->head > ts->ring.size() && !ts->ring.empty()) {
+      n += ts->head - ts->ring.size();
+    }
+  }
+  return n;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& ts : states_) {
+    std::lock_guard<std::mutex> tg(ts->mu);
+    ts->head = 0;
+    // Drop the interned names too: ids are keyed by string *address*,
+    // and a stale entry would silently relabel a later function whose
+    // name happens to land at a freed name's address. With head reset
+    // no sample references them, so forgetting is free.
+    ts->ids.clear();
+    ts->names.clear();
+  }
+}
+
+std::string Profiler::collapsed() const {
+  std::unordered_map<std::string, std::uint64_t> folded;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& ts : states_) {
+      std::lock_guard<std::mutex> tg(ts->mu);
+      const std::uint64_t held =
+          std::min<std::uint64_t>(ts->head, ts->ring.size());
+      for (std::uint64_t i = 0; i < held; ++i) {
+        const Sample& s = ts->ring[i];
+        std::string key;
+        for (std::uint16_t d = 0; d < s.depth; ++d) {
+          key += ts->names[s.frames[d]];
+          key += ';';
+        }
+        key += ts->names[s.leaf];
+        ++folded[key];
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> rows(folded.begin(),
+                                                          folded.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second
+                                : a.first < b.first;
+  });
+  std::ostringstream ss;
+  for (const auto& [stack, count] : rows) {
+    ss << stack << " " << count << "\n";
+  }
+  return ss.str();
+}
+
+std::string Profiler::hot_report(std::size_t top_n) const {
+  std::unordered_map<std::string, std::uint64_t> self, incl;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& ts : states_) {
+      std::lock_guard<std::mutex> tg(ts->mu);
+      const std::uint64_t held =
+          std::min<std::uint64_t>(ts->head, ts->ring.size());
+      total += held;
+      std::vector<std::uint32_t> seen;
+      for (std::uint64_t i = 0; i < held; ++i) {
+        const Sample& s = ts->ring[i];
+        ++self[ts->names[s.leaf]];
+        // Inclusive: count each frame once per sample, leaf included.
+        seen.clear();
+        for (std::uint16_t d = 0; d < s.depth; ++d) {
+          if (std::find(seen.begin(), seen.end(), s.frames[d]) ==
+              seen.end()) {
+            seen.push_back(s.frames[d]);
+            ++incl[ts->names[s.frames[d]]];
+          }
+        }
+        if (std::find(seen.begin(), seen.end(), s.leaf) == seen.end()) {
+          ++incl[ts->names[s.leaf]];
+        }
+      }
+    }
+  }
+
+  std::ostringstream ss;
+  ss << "== eval profile (" << total << " samples, " << dropped()
+     << " dropped, 1-in-" << period() << " eval steps) ==\n";
+  if (total == 0) {
+    ss << "(no samples; arm with --profile / :profile and run code)\n";
+    return ss.str();
+  }
+  auto table = [&](const char* title,
+                   std::unordered_map<std::string, std::uint64_t>& m) {
+    std::vector<std::pair<std::string, std::uint64_t>> rows(m.begin(),
+                                                            m.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    ss << title << "\n";
+    const std::size_t n = std::min(top_n, rows.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pct = 100.0 * static_cast<double>(rows[i].second) /
+                         static_cast<double>(total);
+      char line[160];
+      std::snprintf(line, sizeof line, "  %5.1f%% %8llu  %s\n", pct,
+                    static_cast<unsigned long long>(rows[i].second),
+                    rows[i].first.c_str());
+      ss << line;
+    }
+  };
+  table("-- self (sampled form) --", self);
+  table("-- inclusive (on stack) --", incl);
+  return ss.str();
+}
+
+}  // namespace curare::obs

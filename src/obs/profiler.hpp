@@ -1,0 +1,195 @@
+// Sampling profiler for the tree-walking evaluator (DESIGN.md §12).
+//
+// The interpreter already pays a thread-local tick per eval step to
+// poll cancellation 1-in-64 (interp.cpp); the profiler piggybacks on
+// that same tick. When armed, every `period`-th eval step captures the
+// thread's current *profile stack* — a shadow stack of (kind, name)
+// frames maintained by Interp::apply (RAII push/pop) and by the
+// tail-call path (top-frame replacement, mirroring the interpreter's
+// own frame reuse) — plus the sampled form's head symbol as the leaf.
+//
+// Samples land in fixed-capacity per-thread rings, so the steady-state
+// cost is bounded and thread-local: a handful of pointer-keyed id
+// lookups per sample, no strings copied after a function's first
+// sample, no cross-thread contention. Reports aggregate across
+// threads: a collapsed-stack dump (flamegraph folded format) and a
+// hot-form table (self and inclusive sample counts) — the evidence
+// base for the evaluator-rewrite roadmap item.
+//
+// Names are interned by the *address* of the function's name string at
+// sample time. Closure objects are GC-managed, so an address can in
+// principle be reused by a later allocation and misattribute a frame;
+// for a sampling profile that rare aliasing is accepted in exchange
+// for never touching string contents on the hot path.
+//
+// One process-wide instance (like the fault injector): the CLI flag
+// (--profile), the REPL command (:profile), and the serve daemon all
+// arm the same profiler.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace curare::obs {
+
+class Profiler {
+ public:
+  enum class FrameKind : std::uint8_t { kFn, kBuiltin, kForm };
+
+  /// Deepest frames kept per sample; deeper stacks drop their base
+  /// frames (the leaf end is what names the cost center).
+  static constexpr std::size_t kMaxDepth = 16;
+  /// Samples held per thread before the ring wraps (drops counted).
+  /// Sized for cache residency, not statistics: ~150 KiB per thread.
+  /// E22 measured 8192-slot rings (~590 KiB × one ring per serve
+  /// session) evicting the interpreter's working set — the serve
+  /// sweep's 1-in-8 overhead fell from ~20% to ~3% on this change
+  /// alone, and 2048 samples still rank hot forms stably.
+  static constexpr std::size_t kRingCapacity = 2048;
+  /// Default sampling period, matching the cancellation poll: one
+  /// sample per 64 eval steps.
+  static constexpr unsigned kDefaultPeriod = 64;
+  /// Floor for set_period: sampling more than 1-in-8 would measure the
+  /// profiler, not the program.
+  static constexpr unsigned kMinPeriod = 8;
+
+  static Profiler& instance();
+
+  /// Hot-path gates, readable without the instance (the interpreter
+  /// checks them every eval step).
+  static bool armed() { return g_armed.load(std::memory_order_relaxed); }
+  static bool due(unsigned tick) {
+    return armed() &&
+           (tick & g_mask.load(std::memory_order_relaxed)) == 0;
+  }
+
+  void set_enabled(bool on) {
+    g_armed.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return armed(); }
+  /// Sample every `period`-th eval step; rounded down to a power of
+  /// two, floored at kMinPeriod.
+  void set_period(unsigned period);
+  unsigned period() const {
+    return g_mask.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Shadow-stack maintenance (use ProfileFrameScope, not these).
+  /// The stack is a trivially-destructible thread_local ring written
+  /// on EVERY closure/builtin application while armed, so these must
+  /// compile to a few plain stores: no TLS init guard (trivial type,
+  /// constant-initialized), no vector growth, no registry lookup.
+  /// Depth counts past kStackCap; the ring keeps the deepest frames,
+  /// which is the end sample() wants anyway.
+  void push_frame(FrameKind k, const std::string* name) {
+    FrameBuf& fb = tls_frames;
+    fb.frames[fb.depth & (FrameBuf::kCap - 1)] = Frame{name, k};
+    ++fb.depth;
+  }
+  void pop_frame() {
+    FrameBuf& fb = tls_frames;
+    if (fb.depth > 0) --fb.depth;
+  }
+  /// The interpreter reused the current frame for a tail call: rename
+  /// the top of the shadow stack instead of growing it.
+  void note_tail_call(const std::string* name) {
+    FrameBuf& fb = tls_frames;
+    if (fb.depth > 0) {
+      fb.frames[(fb.depth - 1) & (FrameBuf::kCap - 1)] =
+          Frame{name, FrameKind::kFn};
+    }
+  }
+
+  /// Record one sample: the calling thread's shadow stack plus `leaf`
+  /// (the form under evaluation; nullptr → "<atom>").
+  void sample(const std::string* leaf);
+
+  /// Samples currently held / lost to ring wrap, across all threads.
+  std::uint64_t samples() const;
+  std::uint64_t dropped() const;
+  /// Forget all samples and interned names (rings stay allocated).
+  /// Names must go with the samples: interning is keyed by string
+  /// address, and a surviving entry could relabel a later function
+  /// allocated at a freed name's address.
+  void clear();
+
+  /// Folded flamegraph lines: "frame;frame;leaf count\n", most
+  /// frequent first.
+  std::string collapsed() const;
+  /// Human-readable top cost centers: self (leaf) and inclusive
+  /// (anywhere on stack) sample shares.
+  std::string hot_report(std::size_t top_n = 12) const;
+
+ private:
+  struct Frame {
+    const std::string* name;
+    FrameKind kind;
+  };
+  /// The calling thread's shadow stack: a fixed ring so push/pop are
+  /// branch-plus-store. depth may exceed kCap (deep non-tail
+  /// recursion); the ring then holds the deepest kCap frames and
+  /// sample() — which keeps at most kMaxDepth ≤ kCap of the deepest —
+  /// still reads real frames. Trivially destructible and
+  /// zero-initialized, so access needs no TLS guard.
+  struct FrameBuf {
+    static constexpr std::uint32_t kCap = 64;  ///< power of two
+    Frame frames[kCap];
+    std::uint32_t depth;
+  };
+  static_assert(kMaxDepth <= FrameBuf::kCap);
+  static inline thread_local FrameBuf tls_frames{};
+
+  struct Sample {
+    std::array<std::uint32_t, kMaxDepth> frames;  ///< outermost first
+    std::uint32_t leaf = 0;
+    std::uint16_t depth = 0;
+  };
+  struct ThreadState {
+    /// Written at sample time and read by reporters on other
+    /// threads — guarded by mu.
+    mutable std::mutex mu;
+    std::unordered_map<const void*, std::uint32_t> ids;
+    std::vector<std::string> names;  ///< id → "fn:name" / "builtin:…"
+    std::vector<Sample> ring;        ///< sized lazily on first sample
+    std::uint64_t head = 0;          ///< samples ever taken here
+  };
+
+  Profiler() = default;
+  ThreadState* local_state();
+  static std::uint32_t intern(ThreadState& ts, FrameKind k,
+                              const std::string* name);
+
+  static inline std::atomic<bool> g_armed{false};
+  static inline std::atomic<unsigned> g_mask{kDefaultPeriod - 1};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadState>> states_;
+};
+
+/// RAII frame for Interp::apply: pushes only while the profiler is
+/// armed, and pops iff it pushed (arming mid-call stays balanced).
+class ProfileFrameScope {
+ public:
+  ProfileFrameScope(Profiler::FrameKind k, const std::string* name) {
+    if (Profiler::armed()) {
+      Profiler::instance().push_frame(k, name);
+      pushed_ = true;
+    }
+  }
+  ~ProfileFrameScope() {
+    if (pushed_) Profiler::instance().pop_frame();
+  }
+  ProfileFrameScope(const ProfileFrameScope&) = delete;
+  ProfileFrameScope& operator=(const ProfileFrameScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace curare::obs

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/profiler.hpp"
+
 namespace curare::obs {
 
 std::string full_report(const Recorder& rec) {
@@ -12,7 +14,12 @@ std::string full_report(const Recorder& rec) {
   if (rec.tracer.enabled() || rec.tracer.events_recorded() > 0) {
     ss << "trace: " << rec.tracer.events_recorded() << " events from "
        << rec.tracer.thread_count() << " thread(s), "
-       << rec.tracer.dropped() << " dropped\n";
+       << rec.tracer.dropped()
+       << " dropped (counter obs.trace.dropped)\n";
+  }
+  const Profiler& prof = Profiler::instance();
+  if (prof.enabled() || prof.samples() > 0) {
+    ss << prof.hot_report();
   }
   return ss.str();
 }

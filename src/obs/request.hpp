@@ -1,0 +1,101 @@
+// Request-scoped observability context (DESIGN.md §12).
+//
+// A serving request is executed by more threads than the one that read
+// it off the socket: CRI server threads, future-pool workers, and the
+// GC's collecting thread all do work on its behalf. To answer "where
+// did *this* request's time go", the daemon mints one RequestContext
+// per request and every participating thread installs it via
+// RequestScope — the same thread-local discipline as CancelScope
+// (runtime/resilience.hpp), and deliberately a shared_ptr: a future
+// spawned by a request can outlive the request's socket frame (the
+// session drains the pool at destruction), so attribution sinks must
+// never dangle.
+//
+// Two consumers read the context:
+//   - Tracer::emit stamps every event with the current rid, so the
+//     `trace` serve op can cut one request's lane out of the shared
+//     per-thread rings;
+//   - Breakdown accumulates nanoseconds per phase (admission wait,
+//     parse, eval, restructure, lock wait, GC pause overlap, reply
+//     write), summed with relaxed atomics because CRI servers charge
+//     lock waits concurrently.
+//
+// Everything here is header-only and dependency-free so obs, runtime,
+// serve, and lisp can all include it without a link cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace curare::obs {
+
+/// Per-request phase accounting, all in nanoseconds. The top-level
+/// phases (admission, parse, eval, restructure, reply) partition the
+/// request's wall time; lock_wait and gc_pause overlap eval — they
+/// attribute *why* eval took that long, they do not add to it.
+struct Breakdown {
+  std::atomic<std::uint64_t> admission_ns{0};
+  std::atomic<std::uint64_t> parse_ns{0};
+  std::atomic<std::uint64_t> eval_ns{0};
+  std::atomic<std::uint64_t> restructure_ns{0};
+  std::atomic<std::uint64_t> lock_wait_ns{0};
+  std::atomic<std::uint64_t> gc_pause_ns{0};
+  std::atomic<std::uint64_t> reply_ns{0};
+};
+
+struct RequestContext {
+  std::uint64_t rid = 0;      ///< process-unique numeric trace id
+  std::string request_id;     ///< client-visible id (echoed in replies)
+  Breakdown bd;
+
+  static std::uint64_t next_rid() {
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+};
+
+namespace detail {
+inline thread_local std::shared_ptr<RequestContext> g_current_request;
+}  // namespace detail
+
+/// The calling thread's active request, if any (shared_ptr so spawned
+/// work can capture it past the request's own lifetime).
+inline const std::shared_ptr<RequestContext>& current_request() {
+  return detail::g_current_request;
+}
+
+/// The active request's rid, or 0 when no request is in scope — the
+/// value the tracer stamps on events.
+inline std::uint64_t current_rid() {
+  const RequestContext* rc = detail::g_current_request.get();
+  return rc != nullptr ? rc->rid : 0;
+}
+
+/// Add `ns` to one Breakdown field of the current request; no-op when
+/// no request is in scope (CLI runs, tests, daemon housekeeping).
+inline void charge_request(std::atomic<std::uint64_t> Breakdown::*field,
+                           std::uint64_t ns) {
+  if (RequestContext* rc = detail::g_current_request.get()) {
+    (rc->bd.*field).fetch_add(ns, std::memory_order_relaxed);
+  }
+}
+
+/// RAII installer, nestable and null-tolerant like CancelScope.
+class RequestScope {
+ public:
+  explicit RequestScope(std::shared_ptr<RequestContext> ctx)
+      : prev_(std::move(detail::g_current_request)) {
+    detail::g_current_request = std::move(ctx);
+  }
+  ~RequestScope() { detail::g_current_request = std::move(prev_); }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::shared_ptr<RequestContext> prev_;
+};
+
+}  // namespace curare::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/request.hpp"
+
 namespace curare::obs {
 
 namespace {
@@ -71,10 +73,21 @@ Tracer::ThreadBuf* Tracer::local_buf() {
 void Tracer::emit(EventKind k, std::uint64_t ts_ns, std::uint64_t dur_ns,
                   std::uint64_t a0, std::uint64_t a1) {
   if (!enabled()) return;
+  // The emitting thread's request id rides on the event so one
+  // request's lane can be filtered out of the shared rings later.
+  const std::uint64_t rid = current_rid();
   ThreadBuf* b = local_buf();
   std::lock_guard<std::mutex> g(b->mu);
   if (b->ring.empty()) b->ring.resize(capacity_);
-  b->ring[b->head % b->ring.size()] = TraceEvent{ts_ns, dur_ns, a0, a1, k};
+  if (b->head >= b->ring.size()) {
+    // Overwriting the oldest event: silent truncation is a satellite
+    // bug — make the wrap observable in the metrics registry too.
+    if (Counter* c = drop_counter_.load(std::memory_order_acquire)) {
+      c->add(1);
+    }
+  }
+  b->ring[b->head % b->ring.size()] =
+      TraceEvent{ts_ns, dur_ns, a0, a1, rid, k};
   ++b->head;
 }
 
@@ -122,7 +135,8 @@ void Tracer::clear() {
   }
 }
 
-void Tracer::write_chrome_trace(std::ostream& os) const {
+void Tracer::write_chrome_trace(std::ostream& os,
+                                std::uint64_t rid_filter) const {
   os << "{\"traceEvents\":[";
   bool first = true;
   std::lock_guard<std::mutex> g(mu_);
@@ -141,6 +155,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     const std::uint64_t start = b->head - held;
     for (std::uint64_t i = 0; i < held; ++i) {
       const TraceEvent& e = b->ring[(start + i) % b->ring.size()];
+      if (rid_filter != 0 && e.rid != rid_filter) continue;
       os << (first ? "" : ",");
       first = false;
       os << "{\"name\":\"" << event_name(e.kind) << "\",\"ph\":\""
@@ -150,15 +165,16 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       os << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1000.0;
       if (e.dur_ns > 0)
         os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
-      os << ",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1 << "}}";
+      os << ",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1
+         << ",\"rid\":" << e.rid << "}}";
     }
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
 }
 
-std::string Tracer::chrome_trace_json() const {
+std::string Tracer::chrome_trace_json(std::uint64_t rid_filter) const {
   std::ostringstream ss;
-  write_chrome_trace(ss);
+  write_chrome_trace(ss, rid_filter);
   return ss.str();
 }
 

@@ -1,11 +1,19 @@
 // Low-overhead event tracer for the concurrent runtime.
 //
 // Every thread that emits gets its own fixed-capacity ring buffer of
-// 40-byte events, so a hot server loop never contends with other
+// 48-byte events, so a hot server loop never contends with other
 // emitters (the only possible contention is with an exporter draining
 // the rings, which happens after the run). When the ring wraps, the
 // oldest events are overwritten and counted in dropped() — a trace is a
-// window onto the tail of the execution, never a stall.
+// window onto the tail of the execution, never a stall. A Counter can
+// be attached (set_drop_counter) to surface wraps as the
+// `obs.trace.dropped` metric, so a truncated export is diagnosable
+// from the stats report alone.
+//
+// Every event is stamped with the emitting thread's current request id
+// (obs/request.hpp, 0 outside any request), so one request's spans can
+// be cut out of the shared rings after the fact — that is the serve
+// layer's `trace` op.
 //
 // The tracer is runtime-toggleable: emit() returns immediately while
 // disabled, so instrumented code can stay unconditionally wired
@@ -25,6 +33,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace curare::obs {
 
@@ -50,6 +60,7 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  ///< 0 for instant events
   std::uint64_t a0 = 0;
   std::uint64_t a1 = 0;
+  std::uint64_t rid = 0;     ///< request id active on the emitting thread
   EventKind kind = EventKind::kTaskRun;
 };
 
@@ -97,12 +108,20 @@ class Tracer {
   std::size_t events_recorded() const;
   /// Events overwritten by ring wrap-around, across all threads.
   std::uint64_t dropped() const;
+  /// Count every future wrap-overwrite into `c` as well (typically the
+  /// `obs.trace.dropped` registry counter); nullptr detaches.
+  void set_drop_counter(Counter* c) {
+    drop_counter_.store(c, std::memory_order_release);
+  }
   /// Forget all recorded events (rings stay registered).
   void clear();
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}), ts/dur in µs.
-  void write_chrome_trace(std::ostream& os) const;
-  std::string chrome_trace_json() const;
+  /// With `rid_filter` nonzero, only events stamped with that request
+  /// id are exported — one request's lane out of the shared rings.
+  void write_chrome_trace(std::ostream& os,
+                          std::uint64_t rid_filter = 0) const;
+  std::string chrome_trace_json(std::uint64_t rid_filter = 0) const;
 
  private:
   struct ThreadBuf {
@@ -118,6 +137,7 @@ class Tracer {
   const std::size_t capacity_;
   const std::uint64_t id_;  ///< globally unique; guards stale TLS slots
   std::atomic<bool> enabled_{false};
+  std::atomic<Counter*> drop_counter_{nullptr};
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;

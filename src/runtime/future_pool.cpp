@@ -83,7 +83,8 @@ std::shared_ptr<FutureState> FuturePool::spawn(std::function<Value()> fn,
       spawned_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> g(mu_);
-    queue_.push_back(Task{std::move(fn), state, id, root});
+    queue_.push_back(
+        Task{std::move(fn), state, id, root, obs::current_request()});
     states_.push_back(state);
     // Lazy compaction keeps the registry proportional to live futures.
     if (states_.size() >= 1024) {
@@ -108,6 +109,9 @@ void FuturePool::run_task(Task& t) {
     ms.emplace(*gc);
   std::uint64_t t0 = 0;
   if (rec_) t0 = rec_->tracer.now_ns();
+  // Attribute the body to the spawning request (helpers in touch()
+  // temporarily adopt the task's request, restoring their own after).
+  obs::RequestScope req_scope(t.req_ctx);
   Value v;
   std::exception_ptr err;
   try {

@@ -24,6 +24,7 @@
 
 #include "gc/gc.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request.hpp"
 #include "sexpr/value.hpp"
 
 namespace curare::runtime {
@@ -113,6 +114,10 @@ class FuturePool : public gc::RootSource {
     std::shared_ptr<FutureState> state;
     std::uint64_t id = 0;  ///< spawn ordinal, for trace correlation
     Value root;            ///< kept reachable until the task has run
+    /// The serving request that spawned the future; the executing
+    /// worker installs it so the task's spans/lock waits attribute to
+    /// that request even after its socket frame has been answered.
+    std::shared_ptr<obs::RequestContext> req_ctx;
   };
 
   void worker_loop(std::size_t worker_index);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/request.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/resilience.hpp"
 #include "sexpr/value.hpp"
@@ -107,6 +108,17 @@ void LockManager::lock(const LocKey& key, bool exclusive) {
       }
     }
     if (acquired) {
+      if (waited) {
+        // Per-request attribution: the blocked span counts against the
+        // serving request this thread is working for (if any),
+        // independent of whether a recorder is attached.
+        obs::charge_request(
+            &obs::Breakdown::lock_wait_ns,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - budget_start)
+                    .count()));
+      }
       if (rec_) {
         if (waited) {
           const std::uint64_t end = rec_->tracer.now_ns();

@@ -54,6 +54,10 @@ Runtime::Runtime(Interp& interp, std::size_t workers)
   // the row to exist).
   recorder_.metrics.counter("cri.stalls");
   recorder_.metrics.counter("cri.aborts");
+  // Ring wrap-around drops trace events silently; count them into the
+  // registry so a truncated Chrome trace is diagnosable from --stats.
+  recorder_.tracer.set_drop_counter(
+      &recorder_.metrics.counter("obs.trace.dropped"));
   gc::GcHeap& gc = interp_.ctx().heap.gc();
   futures_.attach_gc(&gc);
   gc.add_root_source(this);

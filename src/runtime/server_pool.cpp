@@ -125,6 +125,9 @@ void CriRun::serve(std::size_t server_index) {
   // primitive the body reaches (eval loop, lock waits, touch) now
   // polls it. Null-token scope when resilience is off.
   CancelScope cancel_scope(token_.get());
+  // Work done here belongs to the request that started the run: spans
+  // this server emits and lock waits it suffers attribute to it.
+  obs::RequestScope req_scope(req_ctx_);
   if (rec_) {
     rec_->tracer.name_thread("cri-server-" +
                              std::to_string(server_index));
@@ -260,6 +263,9 @@ CriStats CriRun::run(TaskArgs initial_args) {
   idle_ns_.assign(servers_, 0);
   tasks_per_server_.assign(servers_, 0);
 
+  // Carry the caller's request identity into the server threads (nil
+  // outside a serving request).
+  req_ctx_ = obs::current_request();
   // A fresh token every run: a fired token from an aborted run must
   // not poison the retry. Servers read token_ only between here and
   // the join below.

@@ -32,6 +32,7 @@
 #include "gc/gc.hpp"
 #include "lisp/interp.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request.hpp"
 #include "runtime/resilience.hpp"
 #include "runtime/task_queue.hpp"
 
@@ -175,6 +176,10 @@ class CriRun : public gc::RootSource {
   /// Server threads read the pointer only between run()'s reset and
   /// join, where it is stable.
   std::shared_ptr<CancelState> token_;
+  /// The serving request that started this run (run() captures the
+  /// caller's context); servers install it so their spans and lock
+  /// waits attribute to that request. Same stability rules as token_.
+  std::shared_ptr<obs::RequestContext> req_ctx_;
   /// Set by finish() and by the first body error: remaining queued
   /// tasks are discarded (with exact pending_ accounting) instead of
   /// executed, so servers stop promptly and a later run() starts from

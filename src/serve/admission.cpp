@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
 
 namespace curare::serve {
 
@@ -50,10 +51,12 @@ AdmissionController::Outcome AdmissionController::admit(
   ++inflight_;
   inflight_g_.set(static_cast<std::int64_t>(inflight_));
   admitted_c_.add();
-  queue_wait_h_.observe(static_cast<std::uint64_t>(
+  const auto wait_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
-          .count()));
+          .count());
+  queue_wait_h_.observe(wait_ns);
+  obs::charge_request(&obs::Breakdown::admission_ns, wait_ns);
   return Outcome::kAdmitted;
 }
 

@@ -11,6 +11,9 @@ Json Request::to_json() const {
   if (!program.empty()) o["program"] = program;
   if (!name.empty()) o["name"] = name;
   if (deadline_ms > 0) o["deadline_ms"] = deadline_ms;
+  if (!request_id.empty()) o["request_id"] = request_id;
+  if (!format.empty()) o["format"] = format;
+  if (rid > 0) o["rid"] = rid;
   return Json(std::move(o));
 }
 
@@ -22,6 +25,9 @@ std::optional<Request> Request::from_json(const Json& v) {
   r.program = v.get_string("program");
   r.name = v.get_string("name");
   r.deadline_ms = v.get_int("deadline_ms", 0);
+  r.request_id = v.get_string("request_id");
+  r.format = v.get_string("format");
+  r.rid = v.get_int("rid", 0);
   return r;
 }
 

@@ -14,9 +14,12 @@
 //     {"op": "eval",        "program": "(+ 1 2)", "deadline_ms": 500}
 //     {"op": "restructure", "program": "(defun f …)", "name": "f"}
 //     {"op": "stats"}
+//     {"op": "metrics",     "format": "prom"}
+//     {"op": "trace",       "rid": 42}
 //     {"op": "ping"}
 //
-//   op          required: eval | restructure | stats | ping
+//   op          required: eval | restructure | stats | metrics |
+//               trace | ping
 //   program     Lisp source (eval: evaluated top-level form by form in
 //               the session's environment; restructure: loaded first)
 //   name        restructure only: the defun to transform (default:
@@ -24,6 +27,12 @@
 //   deadline_ms optional wall-clock budget for this request; the
 //               daemon cancels exactly this session's run when it
 //               expires and answers status="deadline"
+//   request_id  optional client-chosen id echoed in the response
+//               metrics; the daemon always also assigns a numeric
+//               `rid` that stamps every tracer span the request emits
+//   format      metrics only: "prom" (default) or "json" exposition
+//   rid         trace only: which request's spans to export (default:
+//               the previous request on this connection)
 //
 // Responses (daemon → client), one per request, same framing:
 //
@@ -35,8 +44,15 @@
 //   result      printed value / report text (ok only)
 //   output      anything the program printed (eval, when non-empty)
 //   error       human-readable failure (non-ok only)
-//   metrics     per-request measurements: wall_us, session id, and the
-//               admission controller's view at completion
+//   metrics     per-request measurements: wall_us, session id, the
+//               admission controller's view at completion, the
+//               request's ids (request_id, rid), and — for eval and
+//               restructure — a `breakdown` object attributing the
+//               request's nanoseconds: admission_ns, parse_ns,
+//               eval_ns, restructure_ns, lock_wait_ns, gc_pause_ns
+//               (process pauses overlapping the request), reply_ns
+//               (the previous reply's write on this connection), and
+//               wall_ns (daemon-measured, read → pre-write)
 #pragma once
 
 #include <cstdint>
@@ -56,6 +72,9 @@ struct Request {
   std::string program;
   std::string name;
   std::int64_t deadline_ms = 0;
+  std::string request_id;  ///< optional client id, echoed back
+  std::string format;      ///< metrics op: "prom" | "json"
+  std::int64_t rid = 0;    ///< trace op: which request's spans
 
   Json to_json() const;
   /// nullopt when the payload is not a JSON object or has no "op".

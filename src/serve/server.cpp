@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/request.hpp"
 #include "serve/exit_codes.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
@@ -26,7 +27,9 @@ ServeDaemon::ServeDaemon(sexpr::Ctx& ctx, ServeOptions opts)
       sessions_g_(runtime_.obs().metrics.gauge("serve.sessions")),
       requests_c_(runtime_.obs().metrics.counter("serve.requests")),
       request_ns_h_(
-          runtime_.obs().metrics.histogram("serve.request_ns")) {}
+          runtime_.obs().metrics.histogram("serve.request_ns")),
+      gc_pause_h_(
+          runtime_.obs().metrics.histogram("cri.gc.pause_ns")) {}
 
 ServeDaemon::~ServeDaemon() { shutdown(); }
 
@@ -131,6 +134,10 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
     // connection bookkeeping below.
     Session session(session_id, ctx_, runtime_);
     std::string payload;
+    // A reply's own socket write can't be part of the breakdown it
+    // carries, so each response reports the *previous* reply's write
+    // time on this connection (0 for the first).
+    std::uint64_t last_reply_ns = 0;
     while (read_frame(conn->fd, payload)) {
       Response resp;
       std::optional<Request> req;
@@ -145,6 +152,15 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
         continue;
       }
 
+      // Mint this request's observability identity: a process-unique
+      // rid (stamps tracer spans) plus the client's request_id (or a
+      // generated one) echoed in the reply.
+      auto rctx = std::make_shared<obs::RequestContext>();
+      rctx->rid = obs::RequestContext::next_rid();
+      rctx->request_id = !req->request_id.empty()
+                             ? req->request_id
+                             : "r-" + std::to_string(rctx->rid);
+
       auto tok = std::make_shared<runtime::CancelState>();
       const std::int64_t deadline = req->deadline_ms > 0
                                         ? req->deadline_ms
@@ -156,7 +172,12 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
       }
 
       const auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t gc_pause0 = gc_pause_h_.sum();
       {
+        // Scope covers admission too: queue wait is the first
+        // breakdown component. CriRun/FuturePool capture the context
+        // from this thread, so spans on their threads carry the rid.
+        obs::RequestScope req_scope(rctx);
         AdmissionTicket ticket(admission_, tok.get());
         switch (ticket.outcome()) {
           case AdmissionController::Outcome::kAdmitted: {
@@ -184,22 +205,52 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
         conn->active.reset();
       }
       requests_c_.add();
-      request_ns_h_.observe(static_cast<std::uint64_t>(
+      const std::uint64_t wall_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
-              .count()));
+              .count());
+      request_ns_h_.observe(wall_ns);
 
       if (!resp.metrics.is_object()) resp.metrics = Json(JsonObject{});
-      resp.metrics.as_object()["inflight"] =
+      JsonObject& m = resp.metrics.as_object();
+      m["inflight"] =
           static_cast<std::int64_t>(admission_.inflight());
-      resp.metrics.as_object()["queued"] =
-          static_cast<std::int64_t>(admission_.queued());
+      m["queued"] = static_cast<std::int64_t>(admission_.queued());
+      m["request_id"] = rctx->request_id;
+      m["rid"] = rctx->rid;
+      if (req->op == "eval" || req->op == "restructure") {
+        const obs::Breakdown& bd = rctx->bd;
+        auto ld = [](const std::atomic<std::uint64_t>& v) {
+          return Json(v.load(std::memory_order_relaxed));
+        };
+        JsonObject b;
+        b["admission_ns"] = ld(bd.admission_ns);
+        b["parse_ns"] = ld(bd.parse_ns);
+        b["eval_ns"] = ld(bd.eval_ns);
+        b["restructure_ns"] = ld(bd.restructure_ns);
+        b["lock_wait_ns"] = ld(bd.lock_wait_ns);
+        b["gc_pause_ns"] = Json(gc_pause_h_.sum() - gc_pause0);
+        b["reply_ns"] = Json(last_reply_ns);
+        b["wall_ns"] = Json(wall_ns);
+        m["breakdown"] = Json(std::move(b));
+      }
+      const auto t_reply0 = std::chrono::steady_clock::now();
       if (!write_frame(conn->fd, resp.to_json().dump())) break;
+      last_reply_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t_reply0)
+              .count());
     }
   }
   sessions_g_.add(-1);
-  ::close(conn->fd);
-  conn->fd = -1;
+  {
+    // Under the conn mutex: shutdown() reads fd to wake idle readers,
+    // and closing outside the lock would let it act on a recycled
+    // descriptor.
+    std::lock_guard<std::mutex> g(conn->mu);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -243,6 +294,7 @@ void ServeDaemon::shutdown() {
   {
     std::lock_guard<std::mutex> g(conns_mu_);
     for (auto& c : conns_) {
+      std::lock_guard<std::mutex> cg(c->mu);
       if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
     }
   }

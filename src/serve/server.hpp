@@ -91,7 +91,7 @@ class ServeDaemon {
     std::atomic<bool> done{false};
     /// The in-flight request's token, if any (drain cancels it).
     std::shared_ptr<runtime::CancelState> active;
-    std::mutex mu;  ///< guards `active`
+    std::mutex mu;  ///< guards `active` and the fd close/-1 teardown
   };
 
   void accept_loop();
@@ -124,6 +124,10 @@ class ServeDaemon {
   obs::Gauge& sessions_g_;
   obs::Counter& requests_c_;
   obs::Histogram& request_ns_h_;
+  /// Sampled at request start/end: the delta is the process-wide GC
+  /// pause time overlapping the request (pauses stop every session's
+  /// world, whoever triggered the collection).
+  obs::Histogram& gc_pause_h_;
 };
 
 }  // namespace curare::serve

@@ -5,6 +5,7 @@
 
 #include "gc/gc.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request.hpp"
 #include "sexpr/printer.hpp"
 #include "serve/exit_codes.hpp"
 
@@ -49,6 +50,10 @@ Response Session::handle(const Request& req,
       resp = do_restructure(req);
     } else if (req.op == "stats") {
       resp = do_stats();
+    } else if (req.op == "metrics") {
+      resp = do_metrics(req);
+    } else if (req.op == "trace") {
+      resp = do_trace(req);
     } else if (req.op == "ping") {
       resp = Response::ok("pong");
     } else {
@@ -72,6 +77,9 @@ Response Session::handle(const Request& req,
   m["session"] = id_;
   m["wall_us"] = static_cast<std::int64_t>(wall.count());
   resp.metrics = Json(std::move(m));
+  // Remember this request's trace lane so a follow-up `trace` op (which
+  // runs under its own rid) can default to it.
+  if (const std::uint64_t rid = obs::current_rid()) last_rid_ = rid;
   return resp;
 }
 
@@ -98,6 +106,9 @@ Response Session::do_restructure(const Request& req) {
     driver_.load_program(req.program);
   }
 
+  // Everything past program loading is the restructure phase of the
+  // request's breakdown (loading charged itself as parse + eval).
+  const auto t_restruct0 = std::chrono::steady_clock::now();
   std::vector<std::string> names;
   if (!req.name.empty()) {
     names.push_back(req.name);
@@ -131,11 +142,45 @@ Response Session::do_restructure(const Request& req) {
   }
   text += "transformed " + std::to_string(transformed) + " of " +
           std::to_string(names.size()) + " function(s)\n";
+  obs::charge_request(
+      &obs::Breakdown::restructure_ns,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t_restruct0)
+              .count()));
   return Response::ok(std::move(text), std::move(output));
 }
 
 Response Session::do_stats() {
   return Response::ok(obs::full_report(driver_.runtime().obs()));
+}
+
+Response Session::do_metrics(const Request& req) {
+  obs::Metrics& m = driver_.runtime().obs().metrics;
+  if (req.format.empty() || req.format == "prom") {
+    return Response::ok(m.to_prometheus());
+  }
+  if (req.format == "json") return Response::ok(m.to_json());
+  return Response::fail(kStatusError,
+                        "metrics: unknown format '" + req.format +
+                            "' (want prom or json)");
+}
+
+Response Session::do_trace(const Request& req) {
+  const obs::Tracer& tracer = driver_.runtime().obs().tracer;
+  if (!tracer.enabled() && tracer.events_recorded() == 0) {
+    return Response::fail(
+        kStatusError,
+        "trace: tracer disabled (start curare_serve with --trace)");
+  }
+  const std::uint64_t rid =
+      req.rid > 0 ? static_cast<std::uint64_t>(req.rid) : last_rid_;
+  if (rid == 0) {
+    return Response::fail(kStatusError,
+                          "trace: no request to export yet (pass "
+                          "\"rid\" or send an eval first)");
+  }
+  return Response::ok(tracer.chrome_trace_json(rid));
 }
 
 }  // namespace curare::serve

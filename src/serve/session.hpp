@@ -46,10 +46,15 @@ class Session {
   Response do_eval(const Request& req);
   Response do_restructure(const Request& req);
   Response do_stats();
+  Response do_metrics(const Request& req);
+  Response do_trace(const Request& req);
 
   const std::uint64_t id_;
   Curare driver_;
   std::uint64_t requests_ = 0;
+  /// rid of the previous request on this session — the default lane
+  /// the `trace` op exports (the trace request has its own rid).
+  std::uint64_t last_rid_ = 0;
 };
 
 }  // namespace curare::serve

@@ -99,6 +99,78 @@ TEST(HistogramTest, ConcurrentObserveKeepsCountAndSum) {
   EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads * kObs));
 }
 
+TEST(HistogramTest, SingleSampleQuantilesCollapseToIt) {
+  Histogram h(Histogram::default_ns_bounds());
+  h.observe(42);
+  // With one observation, min == max == 42 and the clamp pins every
+  // quantile to it — interpolating across a bucket's full width would
+  // otherwise report values the histogram never saw.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, AllSamplesInOverflowBucketStayBounded) {
+  // Every observation lands past the last finite bound, where the
+  // bucket is conceptually infinite; quantiles must still come back
+  // from [min, max], never from the unbounded bucket width.
+  Histogram h({10, 100});
+  h.observe(5000);
+  h.observe(6000);
+  h.observe(7000);
+  EXPECT_EQ(h.bucket_count(2), 3u);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 5000.0);
+  EXPECT_LE(p50, 7000.0);
+  EXPECT_GE(p99, 5000.0);
+  EXPECT_LE(p99, 7000.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricsTest, PrometheusExpositionShape) {
+  Metrics m;
+  m.counter("serve.requests").add(7);
+  m.gauge("serve.inflight").set(-2);
+  Histogram& h = m.histogram("serve.request_ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v * 1000);
+  const std::string text = m.to_prometheus();
+  // Dots sanitize to underscores under the curare_ prefix; counters
+  // and gauges are single samples with a # TYPE header.
+  EXPECT_NE(text.find("# TYPE curare_serve_requests counter\n"
+                      "curare_serve_requests 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE curare_serve_inflight gauge\n"
+                      "curare_serve_inflight -2\n"),
+            std::string::npos);
+  // Histograms export as summaries: three quantiles plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE curare_serve_request_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("curare_serve_request_ns{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("curare_serve_request_ns{quantile=\"0.9\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("curare_serve_request_ns{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("curare_serve_request_ns_sum 5050000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("curare_serve_request_ns_count 100\n"),
+            std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("curare_", 0), 0u) << line;
+  }
+}
+
 TEST(MetricsTest, ExportContainsEveryInstrument) {
   Metrics m;
   m.counter("c.one").add(5);

@@ -1,0 +1,171 @@
+// Sampling-profiler tests: the shadow stack, sampling/interning, the
+// collapsed and hot-form reports, and the end-to-end path through the
+// interpreter's eval tick (the 1-in-N gate in Interp::eval).
+//
+// The profiler is one process-wide instance, so every test arms it
+// through an RAII guard that disarms and clears on the way out —
+// required for the TSan CI job, which runs the whole binary in one
+// process rather than one ctest invocation per TEST.
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "curare/curare.hpp"
+#include "sexpr/ctx.hpp"
+
+namespace curare::obs {
+namespace {
+
+struct ProfilerGuard {
+  explicit ProfilerGuard(unsigned period) {
+    auto& p = Profiler::instance();
+    p.set_enabled(false);
+    p.clear();
+    p.set_period(period);
+    p.set_enabled(true);
+  }
+  ~ProfilerGuard() {
+    auto& p = Profiler::instance();
+    p.set_enabled(false);
+    p.clear();
+    p.set_period(Profiler::kDefaultPeriod);
+  }
+};
+
+TEST(ProfilerTest, PeriodRoundsDownToPowerOfTwoWithFloor) {
+  auto& p = Profiler::instance();
+  p.set_period(100);
+  EXPECT_EQ(p.period(), 64u);
+  p.set_period(64);
+  EXPECT_EQ(p.period(), 64u);
+  p.set_period(3);  // below the floor
+  EXPECT_EQ(p.period(), Profiler::kMinPeriod);
+  p.set_period(Profiler::kDefaultPeriod);
+}
+
+TEST(ProfilerTest, DisarmedRecordsNothing) {
+  auto& p = Profiler::instance();
+  p.set_enabled(false);
+  p.clear();
+  EXPECT_FALSE(Profiler::armed());
+  EXPECT_FALSE(Profiler::due(0));
+  const std::string leaf = "ignored";
+  p.sample(&leaf);  // direct call still records (the gate is due())…
+  p.clear();        // …so tidy up; due() is what the interpreter obeys
+  EXPECT_EQ(p.samples(), 0u);
+  EXPECT_NE(p.hot_report().find("no samples"), std::string::npos);
+}
+
+TEST(ProfilerTest, ShadowStackShapesTheCollapsedDump) {
+  ProfilerGuard guard(Profiler::kMinPeriod);
+  auto& p = Profiler::instance();
+  const std::string outer = "outer";
+  const std::string inner = "inner";
+  const std::string leaf = "leaf-form";
+  {
+    ProfileFrameScope a(Profiler::FrameKind::kFn, &outer);
+    {
+      ProfileFrameScope b(Profiler::FrameKind::kBuiltin, &inner);
+      p.sample(&leaf);
+    }
+    p.sample(&leaf);
+  }
+  EXPECT_EQ(p.samples(), 2u);
+  const std::string folded = p.collapsed();
+  EXPECT_NE(folded.find("fn:outer;builtin:inner;form:leaf-form 1"),
+            std::string::npos)
+      << folded;
+  EXPECT_NE(folded.find("fn:outer;form:leaf-form 1"), std::string::npos)
+      << folded;
+}
+
+TEST(ProfilerTest, TailCallRenamesTheTopFrame) {
+  ProfilerGuard guard(Profiler::kMinPeriod);
+  auto& p = Profiler::instance();
+  const std::string first = "first";
+  const std::string second = "second";
+  const std::string leaf = "l";
+  {
+    ProfileFrameScope a(Profiler::FrameKind::kFn, &first);
+    p.note_tail_call(&second);  // the frame is reused, not stacked
+    p.sample(&leaf);
+  }
+  const std::string folded = p.collapsed();
+  EXPECT_NE(folded.find("fn:second;form:l 1"), std::string::npos)
+      << folded;
+  EXPECT_EQ(folded.find("fn:first"), std::string::npos) << folded;
+}
+
+TEST(ProfilerTest, NullNamesGetSentinels) {
+  ProfilerGuard guard(Profiler::kMinPeriod);
+  auto& p = Profiler::instance();
+  {
+    ProfileFrameScope a(Profiler::FrameKind::kFn, nullptr);
+    p.sample(nullptr);
+  }
+  const std::string folded = p.collapsed();
+  EXPECT_NE(folded.find("fn:<lambda>;form:<atom> 1"), std::string::npos)
+      << folded;
+}
+
+TEST(ProfilerTest, SamplesRecursiveEvaluationThroughTheInterpreter) {
+  ProfilerGuard guard(Profiler::kMinPeriod);
+  sexpr::Ctx ctx;
+  Curare cur(ctx);
+  cur.interp().set_echo(false);
+  // ~8000 recursion steps at 1-in-8 sampling: plenty of samples, and
+  // the hot report must name the workload as a top cost center.
+  cur.load_program(
+      "(defun prof-count (n acc) (if (< n 1) acc "
+      "(prof-count (- n 1) (+ acc 1))))");
+  cur.interp().eval_program("(prof-count 8000 0)");
+  auto& p = Profiler::instance();
+  EXPECT_GT(p.samples(), 100u);
+  const std::string report = p.hot_report();
+  EXPECT_NE(report.find("== eval profile ("), std::string::npos);
+  EXPECT_NE(report.find("prof-count"), std::string::npos) << report;
+  const std::string folded = p.collapsed();
+  EXPECT_NE(folded.find("prof-count"), std::string::npos);
+
+  // clear() forgets the samples; a disarmed evaluation adds none.
+  p.clear();
+  EXPECT_EQ(p.samples(), 0u);
+  p.set_enabled(false);
+  cur.interp().eval_program("(prof-count 8000 0)");
+  EXPECT_EQ(p.samples(), 0u);
+}
+
+TEST(ProfilerTest, DeepStacksKeepTheDeepestFrames) {
+  ProfilerGuard guard(Profiler::kMinPeriod);
+  auto& p = Profiler::instance();
+  std::vector<std::string> names;
+  names.reserve(Profiler::kMaxDepth + 4);
+  for (std::size_t i = 0; i < Profiler::kMaxDepth + 4; ++i)
+    names.push_back("f" + std::to_string(i));
+  std::vector<std::unique_ptr<ProfileFrameScope>> frames;
+  for (const auto& n : names) {
+    frames.push_back(std::make_unique<ProfileFrameScope>(
+        Profiler::FrameKind::kFn, &n));
+  }
+  const std::string leaf = "deep-leaf";
+  p.sample(&leaf);
+  frames.clear();
+  const std::string folded = p.collapsed();
+  // The base of the stack (f0..f3) is truncated away; the deepest
+  // frame and the leaf survive.
+  EXPECT_EQ(folded.find("fn:f0;"), std::string::npos) << folded;
+  EXPECT_EQ(folded.find("fn:f3;"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("fn:f4;"), std::string::npos) << folded;
+  EXPECT_NE(
+      folded.find("fn:f" + std::to_string(Profiler::kMaxDepth + 3) +
+                  ";form:deep-leaf 1"),
+      std::string::npos)
+      << folded;
+}
+
+}  // namespace
+}  // namespace curare::obs

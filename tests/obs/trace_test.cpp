@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/request.hpp"
 
 namespace curare::obs {
 namespace {
@@ -206,6 +210,46 @@ TEST(TracerTest, ClearResetsRings) {
   EXPECT_EQ(t.events_recorded(), 0u);
   const std::string json = t.chrome_trace_json();
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(TracerTest, RingWrapFeedsTheDropCounter) {
+  constexpr std::size_t kCap = 4;
+  Metrics m;
+  Tracer t(kCap);
+  t.set_drop_counter(&m.counter("obs.trace.dropped"));
+  t.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.emit(EventKind::kTaskRun, i, 1);
+  EXPECT_EQ(t.dropped(), 10u - kCap);
+  EXPECT_EQ(m.counter("obs.trace.dropped").get(), 10u - kCap);
+}
+
+TEST(TracerTest, EventsCarryTheCurrentRequestRid) {
+  Tracer t(64);
+  t.set_enabled(true);
+  auto rctx = std::make_shared<RequestContext>();
+  rctx->rid = RequestContext::next_rid();
+  t.emit(EventKind::kTaskRun, 0, 1, 1);  // before any request: rid 0
+  {
+    RequestScope scope(rctx);
+    t.emit(EventKind::kTaskRun, 0, 1, 2);
+    t.emit(EventKind::kLockAcquire, 0, 1, 3);
+  }
+  t.emit(EventKind::kTaskRun, 0, 1, 4);  // after: rid 0 again
+
+  const std::string all = t.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(all).valid()) << all;
+  const std::string rid_key =
+      "\"rid\":" + std::to_string(rctx->rid);
+  // Filtered export keeps exactly the two in-scope events.
+  const std::string lane = t.chrome_trace_json(rctx->rid);
+  EXPECT_TRUE(JsonChecker(lane).valid()) << lane;
+  EXPECT_NE(lane.find(rid_key), std::string::npos) << lane;
+  EXPECT_NE(lane.find("\"a0\":2"), std::string::npos);
+  EXPECT_NE(lane.find("\"a0\":3"), std::string::npos);
+  EXPECT_EQ(lane.find("\"a0\":1,"), std::string::npos) << lane;
+  EXPECT_EQ(lane.find("\"a0\":4,"), std::string::npos) << lane;
+  EXPECT_EQ(lane.find("\"rid\":0"), std::string::npos) << lane;
 }
 
 TEST(TracerTest, TwoTracersOnOneThreadStayIndependent) {

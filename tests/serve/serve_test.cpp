@@ -294,4 +294,250 @@ TEST(Serve, RestructureOpTransformsARecursiveDefun) {
   EXPECT_EQ(resp->status, "ok");
   EXPECT_NE(resp->result.find("count-up"), std::string::npos)
       << resp->result;
+  // Restructure replies carry a breakdown too, with the transform
+  // phase attributed to restructure_ns.
+  const curare::serve::Json& bd = resp->metrics.get("breakdown");
+  ASSERT_TRUE(bd.is_object()) << resp->metrics.dump();
+  EXPECT_GT(bd.get_int("restructure_ns", -1), 0);
+}
+
+TEST(Serve, RequestIdIsEchoedOrMinted) {
+  DaemonFixture f;
+  auto conn = f.connect();
+  serve::Request req = eval_req("(+ 1 2)");
+  req.request_id = "my-req-007";
+  auto resp = conn.request(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(resp->metrics.get_string("request_id", ""), "my-req-007");
+  const std::int64_t rid = resp->metrics.get_int("rid", 0);
+  EXPECT_GT(rid, 0);
+
+  // Without a client id the server mints one from the rid.
+  auto anon = conn.request(eval_req("(+ 2 3)"));
+  ASSERT_TRUE(anon.has_value());
+  const std::int64_t rid2 = anon->metrics.get_int("rid", 0);
+  EXPECT_GT(rid2, rid);  // rids are process-unique and monotone
+  EXPECT_EQ(anon->metrics.get_string("request_id", ""),
+            "r-" + std::to_string(rid2));
+}
+
+TEST(Serve, BreakdownComponentsSumNearWallTime) {
+  DaemonFixture f;
+  auto conn = f.connect();
+  // A compute-heavy request (tens of ms of pure eval), so the phases
+  // the breakdown tracks dominate the wall clock and fixed per-request
+  // overhead (dispatch, JSON assembly) stays inside the 10% tolerance.
+  auto resp = conn.request(eval_req(
+      "(defun burn (n acc) (if (< n 1) acc (burn (- n 1) (+ acc n)))) "
+      "(burn 120000 0)"));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->status, "ok") << resp->error;
+  const curare::serve::Json& bd = resp->metrics.get("breakdown");
+  ASSERT_TRUE(bd.is_object()) << resp->metrics.dump();
+  const std::int64_t wall = bd.get_int("wall_ns", 0);
+  const std::int64_t parse = bd.get_int("parse_ns", -1);
+  const std::int64_t eval = bd.get_int("eval_ns", -1);
+  const std::int64_t admission = bd.get_int("admission_ns", -1);
+  const std::int64_t restructure = bd.get_int("restructure_ns", -1);
+  ASSERT_GT(wall, 0);
+  EXPECT_GE(parse, 0);
+  EXPECT_GT(eval, 0);
+  EXPECT_GE(admission, 0);
+  EXPECT_EQ(restructure, 0);  // plain eval has no transform phase
+  // The disjoint phases must account for the request's wall time:
+  // within 10% in either direction (lock_wait/gc_pause overlap eval,
+  // so they are deliberately left out of the sum).
+  const double sum =
+      static_cast<double>(admission + parse + eval + restructure);
+  EXPECT_GT(sum, 0.9 * static_cast<double>(wall))
+      << "admission=" << admission << " parse=" << parse
+      << " eval=" << eval << " wall=" << wall;
+  EXPECT_LT(sum, 1.1 * static_cast<double>(wall));
+}
+
+TEST(Serve, MetricsOpExposesPromAndJson) {
+  DaemonFixture f;
+  auto conn = f.connect();
+  ASSERT_TRUE(conn.request(eval_req("(+ 1 2)")).has_value());
+
+  serve::Request prom;
+  prom.op = "metrics";  // prom is the default format
+  auto p = conn.request(prom);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->status, "ok");
+  EXPECT_NE(p->result.find("# TYPE curare_serve_requests counter"),
+            std::string::npos)
+      << p->result;
+  EXPECT_NE(p->result.find("curare_serve_request_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(p->result.find("curare_obs_trace_dropped"),
+            std::string::npos);
+
+  serve::Request json;
+  json.op = "metrics";
+  json.format = "json";
+  auto j = conn.request(json);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->status, "ok");
+  auto parsed = curare::serve::Json::parse(j->result);
+  ASSERT_TRUE(parsed.has_value()) << j->result;
+  EXPECT_NE(j->result.find("serve.requests"), std::string::npos);
+
+  serve::Request bad;
+  bad.op = "metrics";
+  bad.format = "xml";
+  auto b = conn.request(bad);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->status, "error");
+  EXPECT_NE(b->error.find("unknown format"), std::string::npos);
+}
+
+TEST(Serve, TraceOpNeedsTheTracer) {
+  DaemonFixture f;
+  auto conn = f.connect();
+  serve::Request req;
+  req.op = "trace";
+  auto resp = conn.request(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "error");
+  EXPECT_NE(resp->error.find("--trace"), std::string::npos)
+      << resp->error;
+}
+
+TEST(Serve, TraceOpExportsExactlyOneRequestsLane) {
+  DaemonFixture f;
+  f.daemon.runtime().obs().tracer.set_enabled(true);
+  auto conn = f.connect();
+
+  // Spans come from the runtime layers (CRI runs, futures, locks), so
+  // drive the transformed workload through the shared pool.
+  serve::Request def;
+  def.op = "restructure";
+  def.name = "count-up";
+  def.program =
+      "(defun count-up (n acc) (if (< n 1) acc "
+      "(count-up (- n 1) (+ acc 1))))";
+  auto defined = conn.request(def);
+  ASSERT_TRUE(defined.has_value());
+  ASSERT_EQ(defined->status, "ok") << defined->error;
+
+  auto ran = conn.request(eval_req("(count-up$parallel 2 200 0)"));
+  ASSERT_TRUE(ran.has_value());
+  ASSERT_EQ(ran->status, "ok") << ran->error;
+  const std::int64_t rid = ran->metrics.get_int("rid", 0);
+  ASSERT_GT(rid, 0);
+
+  // Default lane: the session's previous request (the trace op itself
+  // runs under a newer rid).
+  serve::Request trace;
+  trace.op = "trace";
+  auto lane = conn.request(trace);
+  ASSERT_TRUE(lane.has_value());
+  ASSERT_EQ(lane->status, "ok") << lane->error;
+  auto parsed = curare::serve::Json::parse(lane->result);
+  ASSERT_TRUE(parsed.has_value()) << lane->result;
+  // rid is the last arg in each event, so the closing brace anchors
+  // the match (rid 5 must not match inside rid 50).
+  const std::string rid_key = "\"rid\":" + std::to_string(rid) + "}";
+  EXPECT_NE(lane->result.find(rid_key), std::string::npos)
+      << lane->result;
+  // Every event in the export belongs to that lane: as many rid args
+  // as events (one "rid": per event, all with the requested value).
+  std::size_t any = 0, mine = 0;
+  for (std::size_t pos = lane->result.find("\"rid\":");
+       pos != std::string::npos;
+       pos = lane->result.find("\"rid\":", pos + 1))
+    ++any;
+  for (std::size_t pos = lane->result.find(rid_key);
+       pos != std::string::npos;
+       pos = lane->result.find(rid_key, pos + 1))
+    ++mine;
+  EXPECT_GT(any, 0u);
+  EXPECT_EQ(any, mine) << lane->result;
+
+  // An explicit rid selects the same lane.
+  serve::Request by_rid;
+  by_rid.op = "trace";
+  by_rid.rid = rid;
+  auto same = conn.request(by_rid);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->status, "ok");
+  EXPECT_NE(same->result.find(rid_key), std::string::npos);
+}
+
+TEST(Serve, ConcurrentSessionsKeepObservabilityApart) {
+  serve::ServeOptions opts;
+  opts.max_inflight = 8;
+  DaemonFixture f(opts);
+  f.daemon.runtime().obs().tracer.set_enabled(true);
+
+  constexpr int kSessions = 2;
+  Latch both_ready(kSessions);
+  struct PerSession {
+    std::int64_t rid = 0;
+    std::string request_id;
+    std::int64_t eval_ns = -1;
+    bool ok = false;
+  };
+  PerSession out[kSessions];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto conn = f.connect();
+      serve::Request def;
+      def.op = "restructure";
+      def.name = "count-up";
+      def.program =
+          "(defun count-up (n acc) (if (< n 1) acc "
+          "(count-up (- n 1) (+ acc 1))))";
+      if (auto d = conn.request(def); !d || d->status != "ok") return;
+      both_ready.arrive_and_wait();
+      // Both requests are in flight at once: each runs a CRI workload
+      // of a different size under its own request identity.
+      serve::Request req = eval_req(
+          "(count-up$parallel 2 " + std::to_string(200 + 200 * i) +
+          " 0)");
+      req.request_id = "session-" + std::to_string(i);
+      auto resp = conn.request(req);
+      if (!resp || resp->status != "ok") return;
+      PerSession& mine = out[i];
+      mine.rid = resp->metrics.get_int("rid", 0);
+      mine.request_id = resp->metrics.get_string("request_id", "");
+      mine.eval_ns = resp->metrics.get("breakdown").get_int("eval_ns", -1);
+      mine.ok = true;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(out[0].ok);
+  ASSERT_TRUE(out[1].ok);
+  // Identities never bleed across concurrent sessions: distinct rids,
+  // each reply carrying its own client-chosen id and a breakdown
+  // measured for that request alone.
+  EXPECT_NE(out[0].rid, out[1].rid);
+  EXPECT_EQ(out[0].request_id, "session-0");
+  EXPECT_EQ(out[1].request_id, "session-1");
+  EXPECT_GT(out[0].eval_ns, 0);
+  EXPECT_GT(out[1].eval_ns, 0);
+
+  // Span isolation: each rid's trace lane contains only its own
+  // events, even though both CRI runs shared the future pool.
+  auto conn = f.connect();
+  for (int i = 0; i < kSessions; ++i) {
+    serve::Request trace;
+    trace.op = "trace";
+    trace.rid = out[i].rid;
+    auto lane = conn.request(trace);
+    ASSERT_TRUE(lane.has_value());
+    ASSERT_EQ(lane->status, "ok") << lane->error;
+    EXPECT_NE(lane->result.find(
+                  "\"rid\":" + std::to_string(out[i].rid) + "}"),
+              std::string::npos);
+    EXPECT_EQ(lane->result.find(
+                  "\"rid\":" +
+                  std::to_string(out[(i + 1) % kSessions].rid) + "}"),
+              std::string::npos)
+        << "lane " << out[i].rid << " contains events from "
+        << out[(i + 1) % kSessions].rid;
+  }
 }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Guard against bench throughput regressions.
+
+Compares a fresh bench JSON-lines file against a committed baseline
+(e.g. BENCH_scheduler.json at HEAD) and fails if any matched record's
+throughput dropped by more than the threshold:
+
+    bench_check.py BASELINE FRESH [--threshold 0.30]
+
+Records match on their identity fields — everything except the
+throughput metrics and the run-volatile fields (iteration counts,
+wall times, percentiles), so a CURARE_BENCH_SMOKE run still lines up
+against a full-length baseline. Only the "higher is better" throughput
+metrics are compared:
+
+    mops            (bench_queue)
+    throughput_rps  (bench_serve, bench_obs serve sweep)
+    evals_per_s     (bench_obs eval sweep)
+
+Records present in only one file are reported but not fatal — sweeps
+legitimately grow and smoke mode legitimately shrinks them. Exit codes:
+0 ok, 1 regression found, 2 bad invocation or unparseable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Higher-is-better metrics eligible for the regression check.
+METRICS = ("mops", "throughput_rps", "evals_per_s")
+
+# Fields that vary run to run without changing what was measured.
+VOLATILE = frozenset(
+    METRICS
+    + (
+        "secs",
+        "wall_s",
+        "wall_ms",
+        "ops",
+        "requests",
+        "iters",
+        "invocations",
+        "samples",
+        "overhead_pct",
+        "p50_ms",
+        "p99_ms",
+        "mean_admission_ms",
+        "mean_eval_ms",
+        "rejected",
+        "transport_errors",
+        "head_ns_mean",
+        "tail_ns_mean",
+        "utilization",
+        "max_queue",
+        "notify_suppressed",
+        "sleeps",
+        "model_T",
+        "sim_T",
+        "mutex_serial_ns",
+        "shard_serial_ns",
+        "shard_pair_ns",
+        "projected_speedup",
+    )
+)
+
+
+def load(path):
+    recs = []
+    try:
+        with open(path) as f:
+            for n, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    recs.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    sys.exit(f"bench_check: {path}:{n}: bad JSON: {e}")
+    except OSError as e:
+        sys.exit(f"bench_check: cannot read {path}: {e}")
+    return recs
+
+
+def identity(rec):
+    return tuple(sorted((k, v) for k, v in rec.items() if k not in VOLATILE))
+
+
+def index(recs, path):
+    by_id = {}
+    for rec in recs:
+        key = identity(rec)
+        if key in by_id:
+            # Same sweep point twice (e.g. a re-run appended instead of
+            # truncating): keep the last record, matching reader habits.
+            print(f"bench_check: note: duplicate record in {path}: {dict(key)}")
+        by_id[key] = rec
+    return by_id
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional throughput drop (default 0.30)",
+    )
+    args = ap.parse_args()
+    if not 0 < args.threshold < 1:
+        ap.error("--threshold must be in (0, 1)")
+
+    base = index(load(args.baseline), args.baseline)
+    fresh = index(load(args.fresh), args.fresh)
+
+    compared = 0
+    regressions = []
+    for key, b in sorted(base.items()):
+        f = fresh.get(key)
+        if f is None:
+            continue
+        for metric in METRICS:
+            if metric not in b or metric not in f:
+                continue
+            bv, fv = float(b[metric]), float(f[metric])
+            if bv <= 0:
+                continue
+            compared += 1
+            drop = (bv - fv) / bv
+            marker = "REGRESSION" if drop > args.threshold else "ok"
+            label = ", ".join(f"{k}={v}" for k, v in key)
+            print(
+                f"  {marker:>10}  {metric}: {bv:.3f} -> {fv:.3f} "
+                f"({-drop * 100:+.1f}%)  [{label}]"
+            )
+            if drop > args.threshold:
+                regressions.append((key, metric, bv, fv))
+
+    only_base = len([k for k in base if k not in fresh])
+    only_fresh = len([k for k in fresh if k not in base])
+    print(
+        f"bench_check: {compared} metric(s) compared, "
+        f"{only_base} baseline-only record(s), "
+        f"{only_fresh} fresh-only record(s)"
+    )
+    if compared == 0:
+        # A guard that silently compares nothing is worse than no guard.
+        sys.exit(
+            "bench_check: no comparable records — baseline and fresh "
+            "files share no sweep points with a throughput metric"
+        )
+    if regressions:
+        print(
+            f"bench_check: FAIL — {len(regressions)} metric(s) dropped "
+            f"more than {args.threshold * 100:.0f}%"
+        )
+        return 1
+    print("bench_check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@
 //                                  :stats            metrics + measured-
 //                                                    vs-predicted T(S)
 //                                  :trace FILE       dump trace JSON
+//                                  :profile [on|off|report|clear]
+//                                                    sampling eval
+//                                                    profiler control
 //                                  :gc               force a collection
 //                                  :quit
 //                                anything else is evaluated as Lisp.
@@ -36,6 +39,9 @@
 //   --chaos SEED:RATE[:KINDS]  arm the deterministic fault injector
 //                  (KINDS ⊆ delay,throw,wake — default all); see
 //                  :resilience for per-site counts
+//   --profile[=N]  arm the sampling eval profiler (one sample per N
+//                  eval steps, default 64, power of two >= 8) and print
+//                  the collapsed hot-form report on exit
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -45,6 +51,7 @@
 
 #include "curare/curare.hpp"
 #include "curare/struct_sapp.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/resilience.hpp"
@@ -284,9 +291,31 @@ int repl(Curare& cur) {
         // have been enabled (run the CLI with --trace, which also
         // writes a final dump on exit).
         write_trace_file(cur.runtime().obs(), line.substr(7));
+      } else if (line == ":profile" || line.rfind(":profile ", 0) == 0) {
+        auto& prof = curare::obs::Profiler::instance();
+        const std::string sub =
+            line.size() > 9 ? line.substr(9) : std::string("report");
+        if (sub == "on") {
+          prof.set_enabled(true);
+          std::printf("profiler armed (1-in-%u eval steps)\n",
+                      prof.period());
+        } else if (sub == "off") {
+          prof.set_enabled(false);
+          std::printf("profiler disarmed (%llu sample(s) held; "
+                      ":profile report to print)\n",
+                      static_cast<unsigned long long>(prof.samples()));
+        } else if (sub == "clear") {
+          prof.clear();
+          std::printf("profiler samples cleared\n");
+        } else if (sub == "report") {
+          std::printf("%s", prof.hot_report().c_str());
+        } else {
+          std::printf(":profile wants on, off, report, or clear\n");
+        }
       } else if (line[0] == ':') {
         std::printf("unknown command; try :analyze :transform :par "
-                    ":sapp :stats :resilience :trace :gc :quit\n");
+                    ":sapp :stats :resilience :trace :profile :gc "
+                    ":quit\n");
       } else {
         // Plain Lisp. Loading through the driver keeps defuns known to
         // the transformer.
@@ -327,6 +356,7 @@ int main(int argc, char** argv) {
   std::uint64_t chaos_seed = 0;
   double chaos_rate = 0;
   unsigned chaos_kinds = 0;
+  long long profile_period = 0;  // 0 = profiler off
 
   // Every value flag accepts both "--flag VALUE" and "--flag=VALUE"
   // spellings; take_value recognizes the flag and yields the value.
@@ -395,11 +425,21 @@ int main(int argc, char** argv) {
       have_eval = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--profile") {
+      profile_period = curare::obs::Profiler::kDefaultPeriod;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      char* end = nullptr;
+      const std::string v2 = arg.substr(10);
+      profile_period = std::strtoll(v2.c_str(), &end, 10);
+      if (end == v2.c_str() || *end != '\0' || profile_period <= 0) {
+        std::fprintf(stderr, "--profile: bad period '%s'\n", v2.c_str());
+        return curare::serve::kExitUsage;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "unknown option %s\nusage: curare [--trace out.json] "
-                   "[--stats] [--gc-threshold N] [--gc-stats] "
-                   "[--deadline-ms N] [--stall-ms N] "
+                   "[--stats] [--profile[=N]] [--gc-threshold N] "
+                   "[--gc-stats] [--deadline-ms N] [--stall-ms N] "
                    "[--lock-budget-ms N] [--chaos SEED:RATE[:KINDS]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
@@ -430,6 +470,11 @@ int main(int argc, char** argv) {
     curare::runtime::FaultInjector::instance().configure(
         chaos_seed, chaos_rate, chaos_kinds);
   }
+  if (profile_period > 0) {
+    auto& prof = curare::obs::Profiler::instance();
+    prof.set_period(static_cast<unsigned>(profile_period));
+    prof.set_enabled(true);
+  }
 
   // Batch/-e evaluations get a top-level token too, so a deadline also
   // bounds Lisp that hangs *outside* any CRI run (top-level infinite
@@ -457,6 +502,12 @@ int main(int argc, char** argv) {
     if (stats) {
       std::printf("%s",
                   curare::obs::full_report(cur.runtime().obs()).c_str());
+    }
+    // --stats already embeds the profile via full_report; avoid
+    // printing the same table twice.
+    if (profile_period > 0 && !stats) {
+      std::printf("%s",
+                  curare::obs::Profiler::instance().hot_report().c_str());
     }
     if (gc_stats) print_gc_stats(ctx.heap.gc(), stdout);
     return code;

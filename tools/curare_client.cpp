@@ -4,6 +4,8 @@
 //   curare_client --port N [opts] program.lisp     eval a file
 //   curare_client --port N --op stats              server-side report
 //   curare_client --port N --op restructure [--name F] program.lisp
+//   curare_client --port N --stats-format=prom     metrics exposition
+//   curare_client --port N --op trace [--rid N]    one request's spans
 //   curare_client --port N --op ping
 //
 // Options (every value flag also accepts --flag=value):
@@ -11,8 +13,15 @@
 //   --host ADDR      server address (default 127.0.0.1)
 //   --deadline-ms N  per-request deadline; the server cancels the run
 //                    and answers status="deadline"
-//   --op OP          eval | restructure | stats | ping (default eval)
+//   --op OP          eval | restructure | stats | metrics | trace |
+//                    ping (default eval)
 //   --name F         restructure: the defun to transform
+//   --request-id ID  client-chosen id echoed in the reply's metrics
+//                    (else the server generates one)
+//   --rid N          trace: which request lane to export (default:
+//                    the session's previous request)
+//   --stats-format F metrics exposition format, prom or json
+//                    (shorthand for --op metrics)
 //   -e EXPR          inline program instead of a file
 //
 // The exit code mirrors the response status via the shared table in
@@ -34,8 +43,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: curare_client --port N [--host ADDR] [--deadline-ms N]\n"
-      "                     [--op eval|restructure|stats|ping]\n"
-      "                     [--name FN] [-e EXPR | program.lisp]\n");
+      "                     [--op eval|restructure|stats|metrics|trace|ping]\n"
+      "                     [--name FN] [--request-id ID] [--rid N]\n"
+      "                     [--stats-format prom|json]\n"
+      "                     [-e EXPR | program.lisp]\n");
   return curare::serve::kExitUsage;
 }
 
@@ -86,6 +97,25 @@ int main(int argc, char** argv) {
       req.op = v;
     } else if (take_value(i, arg, "--name", v)) {
       req.name = v;
+    } else if (take_value(i, arg, "--request-id", v)) {
+      req.request_id = v;
+    } else if (take_value(i, arg, "--rid", v)) {
+      char* end = nullptr;
+      const long long rid = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || rid <= 0) {
+        std::fprintf(stderr, "--rid: bad value '%s'\n", v.c_str());
+        return kExitUsage;
+      }
+      req.rid = rid;
+    } else if (take_value(i, arg, "--stats-format", v)) {
+      if (v != "prom" && v != "json") {
+        std::fprintf(stderr,
+                     "--stats-format: want prom or json, got '%s'\n",
+                     v.c_str());
+        return kExitUsage;
+      }
+      req.op = "metrics";
+      req.format = v;
     } else if (take_value(i, arg, "-e", v)) {
       req.program = v;
       have_program = true;

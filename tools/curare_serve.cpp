@@ -27,6 +27,11 @@
 //                       is a comma list of injection sites
 //                       (e.g. queue.push,task.run — default all)
 //   --stats             print the metrics report on exit
+//   --trace             enable the tracer: requests' spans stay in the
+//                       per-thread rings and the `trace` op can export
+//                       one request's lane as Chrome trace JSON
+//   --profile[=N]       arm the sampling eval profiler (1-in-N eval
+//                       steps, default 64); the report rides `stats`
 //
 // Exit: 0 after a graceful SIGTERM/SIGINT drain; 1 on socket errors;
 // 2 on a bad command line (the shared table in serve/exit_codes.hpp).
@@ -40,6 +45,7 @@
 
 #include <unistd.h>
 
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/fault_injector.hpp"
 #include "serve/exit_codes.hpp"
@@ -135,7 +141,7 @@ int usage() {
       "                    [--deadline-ms N] [--drain-grace-ms N]\n"
       "                    [--stall-ms N] [--lock-budget-ms N]\n"
       "                    [--workers N] [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
-      "                    [--stats]\n");
+      "                    [--stats] [--trace] [--profile[=N]]\n");
   return curare::serve::kExitUsage;
 }
 
@@ -145,6 +151,8 @@ int main(int argc, char** argv) {
   curare::serve::ServeOptions opts;
   std::string port_file;
   bool stats = false;
+  bool trace = false;
+  std::int64_t profile_period = 0;  // 0 = profiler off
   std::int64_t stall_ms = 0;
   std::int64_t lock_budget_ms = 0;
   bool have_chaos = false;
@@ -220,6 +228,16 @@ int main(int argc, char** argv) {
       have_chaos = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--profile") {
+      profile_period = curare::obs::Profiler::kDefaultPeriod;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      parse_nonneg("--profile", arg.substr(10), profile_period);
+      if (profile_period == 0) {
+        std::fprintf(stderr, "--profile: period must be >= 1\n");
+        return curare::serve::kExitUsage;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
@@ -241,6 +259,12 @@ int main(int argc, char** argv) {
   if (have_chaos) {
     curare::runtime::FaultInjector::instance().configure(
         chaos_seed, chaos_rate, chaos_kinds, chaos_sites);
+  }
+  if (trace) daemon.runtime().obs().tracer.set_enabled(true);
+  if (profile_period > 0) {
+    auto& prof = curare::obs::Profiler::instance();
+    prof.set_period(static_cast<unsigned>(profile_period));
+    prof.set_enabled(true);
   }
 
   std::string err;

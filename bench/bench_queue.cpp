@@ -4,13 +4,31 @@
 // spent executing an invocation is much longer than the time spent
 // waiting for the queue."
 //
-// Part 1 (A/B): raw scheduler throughput, SingleMutexTaskQueues (the
-// seed implementation) vs ShardedTaskQueues (this repo's low-contention
-// scheduler), on a chain-handoff workload: `threads` live chains, each
-// pop re-enqueues at the next site until a shared budget runs out. Every
-// operation is a push+pop pair with no body work, so the scheduler IS
-// the workload — the worst case the paper's condition warns about.
-// Results also go to BENCH_scheduler.json (one JSON object per line).
+// Part 1 (A/B): raw scheduler throughput across three impls — the
+// SingleMutexTaskQueues seed baseline, the retired ShardedTaskQueues
+// (PR 2), and the WorkStealingTaskQueues the alias points at — on two
+// workload shapes. Every operation is a push+pop pair with no body
+// work, so the scheduler IS the workload — the worst case the paper's
+// condition warns about.
+//
+//  * handoff: `threads` live chains, each pop re-enqueues at the NEXT
+//    site — uniform cross-site pressure with every server saturated.
+//    Kept for history, but no real CRI run produces it: a transformed
+//    body enqueues to its own call sites and the spawning server
+//    usually consumes its own spawn.
+//  * spawn_chain: producer-is-next-consumer — ⌈threads/2⌉ live chains
+//    across `threads` servers, every pop re-enqueueing at the same
+//    site. This is the shape §4.1 recursion actually generates (a
+//    cdr-chain spawns one successor per invocation), in the paper's
+//    saturation regime: more servers than spawnable work. Here the
+//    schedulers' wake policies dominate — the mutex queue's
+//    notify-on-every-push hands each chain to a sleeping server
+//    through a futex, while owner-lane affinity plus the wake
+//    throttle (no wake when the producer is the next consumer) keeps
+//    a chain hot on one server.
+//
+// Results go to BENCH_scheduler.json (one JSON object per line) with a
+// "workload" field; tools/bench_check.py gates the ws-vs-mutex ratio.
 //
 // Part 2: simulated parallel efficiency while sweeping the
 // invocation-grain / dequeue-cost ratio, plus the real pool with spin
@@ -18,7 +36,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -32,25 +52,55 @@ namespace {
 
 // ---- Part 1: A/B scheduler microbenchmark ---------------------------------
 
-/// One chain-handoff run: seed `threads` chains at site 0; every pop
-/// decrements the budget and re-enqueues at (site+1)%sites while more
-/// than `threads` operations remain, so exactly `total_ops` tasks flow
-/// through the queue and the last `threads` pops let their chains die.
-/// The final pop closes the queues. Returns wall-clock seconds.
+enum class Shape { kHandoff, kSpawnChain };
+
+/// The work-stealing queue wants to know how many threads will touch
+/// it (one lane each; +1 covers the main thread seeding the handoff
+/// shape); the other impls take sites only.
 template <typename Q>
-double run_handoff(std::size_t threads, std::size_t sites,
-                   std::size_t total_ops, std::size_t batch) {
-  Q q(sites);
+std::unique_ptr<Q> make_queue(std::size_t sites, std::size_t threads) {
+  if constexpr (std::is_same_v<Q, runtime::WorkStealingTaskQueues>) {
+    return std::make_unique<Q>(sites, threads + 1);
+  } else {
+    return std::make_unique<Q>(sites);
+  }
+}
+
+/// Live chains per shape: handoff saturates every server; spawn_chain
+/// runs the paper's saturation regime — more servers than spawnable
+/// work (§4.1: a recursion spawns one successor per invocation, so
+/// chain parallelism is set by the program, not the server count).
+std::size_t chains_for(Shape shape, std::size_t threads) {
+  return shape == Shape::kHandoff ? threads
+                                  : std::max<std::size_t>(1, threads / 2);
+}
+
+/// One run: `chains` live chains and a shared budget; every pop
+/// decrements it and re-enqueues while at least `chains` operations
+/// remain, so exactly `total_ops` tasks flow through the queue and the
+/// last `chains` pops let their chains die (the final one closes the
+/// queues). handoff seeds all chains at site 0 from the main thread
+/// and hops sites; spawn_chain seeds chain t from worker t and stays
+/// on its site. Returns wall-clock seconds.
+template <typename Q>
+double run_shape(Shape shape, std::size_t threads, std::size_t sites,
+                 std::size_t total_ops, std::size_t batch) {
+  auto qp = make_queue<Q>(sites, threads);
+  Q& q = *qp;
+  const std::size_t chains = chains_for(shape, threads);
   std::atomic<std::int64_t> budget{static_cast<std::int64_t>(total_ops)};
-  for (std::size_t t = 0; t < threads; ++t)
-    q.push(0, runtime::TaskArgs{sexpr::Value::fixnum(0)});
+  if (shape == Shape::kHandoff) {
+    for (std::size_t t = 0; t < chains; ++t)
+      q.push(0, runtime::TaskArgs{sexpr::Value::fixnum(0)});
+  }
 
   auto handle = [&](std::size_t site) {
     const std::int64_t left =
         budget.fetch_sub(1, std::memory_order_relaxed) - 1;
-    if (left >= static_cast<std::int64_t>(threads)) {
-      q.push((site + 1) % sites,
-             runtime::TaskArgs{sexpr::Value::fixnum(left)});
+    if (left >= static_cast<std::int64_t>(chains)) {
+      const std::size_t next =
+          shape == Shape::kHandoff ? (site + 1) % sites : site;
+      q.push(next, runtime::TaskArgs{sexpr::Value::fixnum(left)});
     } else if (left == 0) {
       q.close();
     }
@@ -60,7 +110,12 @@ double run_handoff(std::size_t threads, std::size_t sites,
   ws.reserve(threads);
   const double secs = time_s([&] {
     for (std::size_t t = 0; t < threads; ++t) {
-      ws.emplace_back([&] {
+      ws.emplace_back([&, t] {
+        if (shape == Shape::kSpawnChain && t < chains) {
+          q.push(t % sites,
+                 runtime::TaskArgs{sexpr::Value::fixnum(
+                     static_cast<std::int64_t>(t))});
+        }
         if constexpr (requires(std::vector<runtime::TaskArgs>& v) {
                         q.pop_some(v, batch, nullptr);
                       }) {
@@ -86,29 +141,39 @@ double run_handoff(std::size_t threads, std::size_t sites,
 
 struct AbRow {
   const char* impl;
-  std::size_t threads, sites, batch, ops;
+  const char* workload;
+  std::size_t threads, chains, sites, batch, ops;
   double secs, mops;
 };
 
 template <typename Q>
-AbRow measure(const char* impl, std::size_t threads, std::size_t sites,
-              std::size_t total_ops, std::size_t batch, int reps) {
+AbRow measure(const char* impl, Shape shape, std::size_t threads,
+              std::size_t sites, std::size_t total_ops, std::size_t batch,
+              int reps) {
   double best = 1e9;
   for (int r = 0; r < reps; ++r)
-    best = std::min(best, run_handoff<Q>(threads, sites, total_ops, batch));
-  return AbRow{impl,         threads,
-               sites,        batch,
-               total_ops,    best,
+    best = std::min(best,
+                    run_shape<Q>(shape, threads, sites, total_ops, batch));
+  return AbRow{impl,
+               shape == Shape::kHandoff ? "handoff" : "spawn_chain",
+               threads,
+               chains_for(shape, threads),
+               sites,
+               batch,
+               total_ops,
+               best,
                static_cast<double>(total_ops) / best / 1e6};
 }
 
 void emit_json(std::FILE* js, const AbRow& r) {
   if (js == nullptr) return;
   std::fprintf(js,
-               "{\"bench\":\"queue_ab\",\"impl\":\"%s\",\"threads\":%zu,"
+               "{\"bench\":\"queue_ab\",\"impl\":\"%s\","
+               "\"workload\":\"%s\",\"threads\":%zu,\"chains\":%zu,"
                "\"sites\":%zu,\"batch\":%zu,\"ops\":%zu,\"secs\":%.6f,"
                "\"mops\":%.3f}\n",
-               r.impl, r.threads, r.sites, r.batch, r.ops, r.secs, r.mops);
+               r.impl, r.workload, r.threads, r.chains, r.sites, r.batch,
+               r.ops, r.secs, r.mops);
 }
 
 /// ns per {fetch_add, fetch_sub} pair on one shared atomic word — the
@@ -129,40 +194,62 @@ double measure_rmw_pair_ns(std::size_t iters) {
 void run_ab(std::FILE* js) {
   const bool smoke = smoke_mode();
   const std::size_t total_ops = smoke ? 4'000 : 400'000;
-  const int reps = smoke ? 1 : 3;
+  const int reps = smoke ? 1 : 5;
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
 
-  std::printf("A/B: scheduler throughput, chain-handoff (no body work), "
-              "%u core(s)\n",
+  std::printf("A/B: scheduler throughput (no body work), %u core(s)\n",
               cores);
   std::printf("ops=%zu per cell, best of %d; Mops = million push+pop "
-              "pairs/sec\n\n",
+              "pairs/sec\n",
               total_ops, reps);
-  std::printf("%7s %6s | %12s %12s %8s | %14s\n", "threads", "sites",
-              "mutex Mops", "shard Mops", "speedup", "shard b=8 Mops");
 
-  double mutex_pair_ns = 0;   // threads=1, sites=1 cell
+  double mutex_pair_ns = 0;  // threads=1, sites=1, handoff cell
   double shard_pair_ns = 0;
-  for (std::size_t sites : {std::size_t{1}, std::size_t{4}}) {
-    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                std::size_t{4}, std::size_t{8}}) {
-      AbRow a = measure<runtime::SingleMutexTaskQueues>(
-          "mutex", threads, sites, total_ops, 1, reps);
-      AbRow b = measure<runtime::ShardedTaskQueues>(
-          "sharded", threads, sites, total_ops, 1, reps);
-      AbRow c = measure<runtime::ShardedTaskQueues>(
-          "sharded", threads, sites, total_ops, 8, reps);
-      emit_json(js, a);
-      emit_json(js, b);
-      emit_json(js, c);
-      if (threads == 1 && sites == 1) {
-        mutex_pair_ns = a.secs / static_cast<double>(a.ops) * 1e9;
-        shard_pair_ns = b.secs / static_cast<double>(b.ops) * 1e9;
+  double ws_pair_ns = 0;
+  double ws8_spawn = 0;  // acceptance cell: ws vs mutex, 8 thr, spawn
+  double mutex8_spawn = 0;
+  for (Shape shape : {Shape::kHandoff, Shape::kSpawnChain}) {
+    const char* wname =
+        shape == Shape::kHandoff ? "handoff" : "spawn_chain";
+    std::printf("\nworkload: %s\n", wname);
+    std::printf("%7s %6s | %11s %11s %11s %8s | %11s\n", "threads",
+                "sites", "mutex Mops", "shard Mops", "ws Mops",
+                "ws/mutex", "ws b=8");
+    for (std::size_t sites : {std::size_t{1}, std::size_t{4}}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+        AbRow a = measure<runtime::SingleMutexTaskQueues>(
+            "mutex", shape, threads, sites, total_ops, 1, reps);
+        AbRow b = measure<runtime::ShardedTaskQueues>(
+            "sharded", shape, threads, sites, total_ops, 1, reps);
+        AbRow c = measure<runtime::WorkStealingTaskQueues>(
+            "ws", shape, threads, sites, total_ops, 1, reps);
+        AbRow d = measure<runtime::WorkStealingTaskQueues>(
+            "ws", shape, threads, sites, total_ops, 8, reps);
+        emit_json(js, a);
+        emit_json(js, b);
+        emit_json(js, c);
+        emit_json(js, d);
+        if (shape == Shape::kHandoff && threads == 1 && sites == 1) {
+          mutex_pair_ns = a.secs / static_cast<double>(a.ops) * 1e9;
+          shard_pair_ns = b.secs / static_cast<double>(b.ops) * 1e9;
+          ws_pair_ns = c.secs / static_cast<double>(c.ops) * 1e9;
+        }
+        if (shape == Shape::kSpawnChain && threads == 8 && sites == 1) {
+          mutex8_spawn = a.mops;
+          ws8_spawn = c.mops;
+        }
+        std::printf("%7zu %6zu | %11.2f %11.2f %11.2f %7.2fx | %11.2f\n",
+                    threads, sites, a.mops, b.mops, c.mops,
+                    c.mops / a.mops, d.mops);
       }
-      std::printf("%7zu %6zu | %12.2f %12.2f %7.2fx | %14.2f\n", threads,
-                  sites, a.mops, b.mops, b.mops / a.mops, c.mops);
     }
   }
+  std::printf("\nacceptance (ROADMAP item 2): ws vs mutex at 8 threads "
+              "(4 chains), spawn_chain,\n1 site:  %.2f vs %.2f Mops = "
+              "%.2fx (bar: >= 1.5x; tools/bench_check.py gates\nit in "
+              "CI)\n",
+              ws8_spawn, mutex8_spawn, ws8_spawn / mutex8_spawn);
   std::printf("\nwall-clock caveat: with %u core(s) the threads above are "
               "time-sliced, so the\nmutex queue's lock is (almost) never "
               "contended — the convoy it forms on a real\nmultiprocessor "
@@ -172,26 +259,32 @@ void run_ab(std::FILE* js) {
   // §4.1 bottleneck projection. The paper's condition: servers scale
   // until the serialized queue section saturates. For the mutex queue
   // the whole push+pop pair runs under one lock (its critical section
-  // IS the measured single-thread pair cost); for the sharded queue
-  // only the depth/hint word's two RMWs serialize — ring cursors are
-  // per-site lines that overlap with them. Both serialized lengths are
-  // measured on this host; their ratio bounds the relative throughput
-  // once S servers saturate both schedulers (S ≥ pair/serial ≈ 4 here).
+  // IS the measured single-thread pair cost); for the retired sharded
+  // queue the packed depth/hint word's two RMWs serialize every pair.
+  // The work-stealing queue keeps *no* cross-server serialized section
+  // on the owner path — its only lock-prefixed instruction is a CAS on
+  // the owner's own lane's consumer cursor — so its projected scaling
+  // is bounded by steals, not by a shared line.
   const double shard_serial_ns =
       measure_rmw_pair_ns(smoke ? 100'000 : 4'000'000);
   const double projected = mutex_pair_ns / shard_serial_ns;
   std::printf("saturation projection (S=8, body→0): mutex serialized "
-              "%.1f ns/pair vs sharded\nserialized %.1f ns/pair "
-              "(measured; sharded full pair %.1f ns) → sharded sustains\n"
-              "%.1fx the mutex queue's throughput once servers saturate "
-              "the serialized section.\n\n",
-              mutex_pair_ns, shard_serial_ns, shard_pair_ns, projected);
+              "%.1f ns/pair; the\nretired sharded impl still serialized "
+              "its depth word's two RMWs, %.1f ns/pair\n(measured full "
+              "pairs: sharded %.1f ns, ws %.1f ns). The ws owner path\n"
+              "shares no line at all, so even the sharded floor's %.1fx "
+              "over the mutex\nqueue is a lower bound on its saturated "
+              "advantage.\n\n",
+              mutex_pair_ns, shard_serial_ns, shard_pair_ns, ws_pair_ns,
+              projected);
   if (js != nullptr) {
     std::fprintf(js,
                  "{\"bench\":\"queue_model\",\"S\":8,"
                  "\"mutex_serial_ns\":%.1f,\"shard_serial_ns\":%.1f,"
-                 "\"shard_pair_ns\":%.1f,\"projected_speedup\":%.2f}\n",
-                 mutex_pair_ns, shard_serial_ns, shard_pair_ns, projected);
+                 "\"shard_pair_ns\":%.1f,\"ws_pair_ns\":%.1f,"
+                 "\"projected_speedup\":%.2f}\n",
+                 mutex_pair_ns, shard_serial_ns, shard_pair_ns,
+                 ws_pair_ns, projected);
   }
 }
 

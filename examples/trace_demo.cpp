@@ -60,7 +60,11 @@ int main() {
       "    (%atomic-incf-var 'total 1)))");
   sexpr::Value fn = cur.interp().global("demo$cri");
 
-  const int depth = 400;
+  // Deep enough that one run outlives the work-stealing scheduler's
+  // first sleep slice (~1 ms): an idle server's desperate round can
+  // only migrate the chain once it has slept that long, so a run
+  // shorter than the slice legitimately stays on one server.
+  const int depth = 4000;
   for (std::size_t servers : {1u, 2u, 4u}) {
     cur.interp().eval_program("(setq total 0)");
     runtime::CriStats stats = cur.runtime().run_cri(
@@ -76,9 +80,11 @@ int main() {
   }
 
   // The S=4 run must actually have spread work across servers. A
-  // single-site queue holds at most ~1 pending task, so on a heavily
-  // loaded host one server can win every dequeue race — retry a few
-  // times before calling that a failure.
+  // single-site queue holds at most ~1 pending task, and the
+  // work-stealing scheduler deliberately leaves a consuming owner's
+  // single in-flight task alone until a sleeper's desperate round —
+  // so on a heavily loaded host one server can still win every
+  // dequeue race; retry a few times before calling that a failure.
   auto active_servers = [&] {
     std::size_t active = 0;
     for (std::uint64_t n : cur.runtime().last_cri_stats().tasks_per_server)

@@ -12,10 +12,12 @@
 //
 // Sites:
 //   lock.acquire   LockManager::lock, before the shard is examined
-//   queue.push     both TaskQueues impls, before the task is enqueued
+//   queue.push     all TaskQueues impls, before the task is enqueued
 //   future.spawn   FuturePool::spawn, before the state exists
 //   task.run       CriRun server bodies and FuturePool task bodies
 //   gc.alloc       GcHeap::allocate, before the cell is carved
+//   queue.steal    WorkStealingTaskQueues, before a steal round probes
+//                  victim lanes (never fires on the owner fast path)
 //
 // Determinism: each site keeps its own arrival counter; the decision
 // for arrival n at site s is a pure function of (seed, s, n). Thread
@@ -58,8 +60,9 @@ class FaultInjector {
     kFutureSpawn,
     kTaskRun,
     kGcAlloc,
+    kQueueSteal,
   };
-  static constexpr std::size_t kNumSites = 5;
+  static constexpr std::size_t kNumSites = 6;
 
   /// Fault kinds, combinable as a bitmask.
   enum Kind : unsigned {
@@ -73,7 +76,7 @@ class FaultInjector {
   static const char* site_name(Site s) {
     static constexpr const char* kNames[kNumSites] = {
         "lock.acquire", "queue.push", "future.spawn", "task.run",
-        "gc.alloc"};
+        "gc.alloc",     "queue.steal"};
     return kNames[static_cast<unsigned>(s)];
   }
 

@@ -62,6 +62,25 @@ class MpmcRing {
     return true;
   }
 
+  /// Single-producer push: no CAS on the enqueue cursor, just one
+  /// acquire load, two plain stores and the publishing release store.
+  /// Callers must guarantee they are the ring's only producer (the
+  /// work-stealing scheduler's owner-push path — each lane's rings are
+  /// fed exclusively by the lane owner); consumers may race freely.
+  /// False when the ring is full; `v` is left untouched in that case.
+  bool try_push_sp(T&& v) {
+    const std::size_t pos = enq_.load(std::memory_order_relaxed);
+    Cell& c = cells_[pos & mask_];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    // seq < pos ⇒ the consumer of lap-1 hasn't released the cell (full);
+    // seq > pos is impossible with a single producer.
+    if (seq != pos) return false;
+    c.data = std::move(v);
+    c.seq.store(pos + 1, std::memory_order_release);
+    enq_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
   /// False when the ring is empty (or every present item is still being
   /// published by its producer — callers retry off their own depth
   /// accounting).

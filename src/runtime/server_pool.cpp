@@ -32,7 +32,11 @@ CriRun::CriRun(lisp::Interp& interp, sexpr::Value fn,
     : interp_(interp),
       gc_(interp.ctx().heap.gc()),
       fn_(fn),
-      queues_(num_sites),
+      // Lane sizing: one lane per server plus one for the caller, so
+      // the thread seeding the initial task keeps its own lane and
+      // every server still claims one. (Raw ctor argument on purpose:
+      // servers_ is declared after queues_ and not yet initialized.)
+      queues_(num_sites, (servers == 0 ? 1 : servers) + 1),
       servers_(servers == 0 ? 1 : servers),
       rec_(rec),
       label_(std::move(label)) {
@@ -150,7 +154,24 @@ void CriRun::serve(std::size_t server_index) {
     gc::MutatorScope gc_scope(gc_);
     std::size_t site = 0;
     batch.clear();
-    const std::size_t got = queues_.pop_some(batch, batch_limit_, &site);
+    std::size_t got = 0;
+    try {
+      got = queues_.pop_some(batch, batch_limit_, &site);
+    } catch (...) {
+      // A pop can throw: the work-stealing scheduler's queue.steal
+      // fault site injects there. Route it through the body-error
+      // path — record, switch to drain mode, keep looping. Nothing
+      // was popped, so pending_ is untouched and the termination
+      // accounting stays exact; the drain itself retries through
+      // further injected throws until the queues empty.
+      {
+        std::lock_guard<std::mutex> g(err_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      stop_.store(true, std::memory_order_release);
+      queues_.close();
+      continue;
+    }
     std::uint64_t t0 = 0;
     if (rec_) {
       t0 = rec_->tracer.now_ns();
@@ -385,6 +406,7 @@ CriStats CriRun::run(TaskArgs initial_args) {
     m.counter("cri.queue.spill_pushes").add(stats.queue.spill_pushes);
     m.counter("cri.queue.sleeps").add(stats.queue.sleeps);
     m.counter("cri.queue.pop_calls").add(stats.queue.pop_calls);
+    m.counter("cri.queue.steals").add(stats.queue.steals);
 
     obs::MeasuredRun mr;
     mr.label = label_;

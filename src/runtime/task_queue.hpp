@@ -10,30 +10,48 @@
 // Termination uses the paper's kill-token idea: close() wakes every
 // server with an empty pop, and they exit.
 //
-// Two implementations share that contract:
+// Three implementations share that contract:
 //
 //  * SingleMutexTaskQueues — the original centralized queue: one mutex,
-//    one condition variable, a deque per site. Kept as the A/B baseline
-//    for bench_queue and as the single-threaded ordering oracle in
-//    tests. Its push recomputes the total depth with an O(sites) scan
-//    under the global lock and notifies on every push — the measured
-//    bottleneck this PR removes.
+//    one condition variable, a deque per site. Kept forever as the A/B
+//    baseline for bench_queue and as the single-threaded ordering
+//    oracle in tests. Its push recomputes the total depth with an
+//    O(sites) scan under the global lock and notifies on every push.
 //
-//  * ShardedTaskQueues — the low-contention scheduler. Per call site: a
-//    lock-free MPMC ring (the hot path) backed by an unbounded
-//    mutex-guarded spill deque for overflow. One packed atomic word
-//    carries the O(1) total depth and a cached lowest-nonempty-site
-//    hint; sleeping servers register in a counter so push only touches
-//    the condition variable when someone is actually asleep.
+//  * ShardedTaskQueues — the first low-contention attempt (PR 2),
+//    retired from the alias but kept as a second A/B point. Per call
+//    site: a lock-free MPMC ring backed by a mutex-guarded spill deque.
+//    One packed atomic word carries the O(1) depth and a cached
+//    lowest-nonempty-site hint. It *lost* to the mutex baseline at
+//    every measured point (BENCH_scheduler.json history): every push
+//    and pop pays CAS loops on the shared packed word plus ring-cursor
+//    CASes, ~5–6 contended RMWs per push+pop pair against the mutex
+//    queue's single lock handoff.
 //
-// ShardedTaskQueues ordering semantics: per-site FIFO holds for
-// causally ordered pushes (a server's own successive enqueues — the
-// §4.1 invocation-order requirement), and pop prefers the lowest
-// nonempty site. Under concurrent mutation the lowest-site preference
-// is best-effort within a race window (two in-flight operations may
-// linearize either way), which is indistinguishable from scheduling
-// nondeterminism; with a single consumer, or at any quiescent point,
-// the order is exact and equal to SingleMutexTaskQueues.
+//  * WorkStealingTaskQueues — the scheduler the alias points at. One
+//    *lane* per server, each lane holding the full per-site structure
+//    (ring + spill). A thread that touches the queue claims a lane; the
+//    lane owner pushes with a single-producer ring append (no CAS) and
+//    pops from its own lane first, so a task's head→spawn chain stays
+//    on the server that spawned it. Only when the owner's lane is dry
+//    does it steal — single tasks, oldest-first, two-choice victim
+//    selection — and only after several dry rounds does it sleep.
+//    There is no global depth word at all: emptiness is read off the
+//    ring cursors (publication *is* the count), so the owner's
+//    push+pop pair serializes on nothing shared — one ring-cursor CAS
+//    on its own lane's consumer side is the only lock-prefixed
+//    instruction in the pair.
+//
+// Ordering semantics (sharded and work-stealing): per-site FIFO holds
+// for causally ordered pushes (a server's own successive enqueues —
+// the §4.1 invocation-order requirement), and pop prefers the lowest
+// nonempty site (within the popper's own lane first, for the
+// work-stealing impl). Under concurrent mutation the lowest-site
+// preference is best-effort within a race window (two in-flight
+// operations may linearize either way), which is indistinguishable
+// from scheduling nondeterminism; with a single thread, or at any
+// quiescent point with one consumer, the order is exact and equal to
+// SingleMutexTaskQueues.
 #pragma once
 
 #include <algorithm>
@@ -67,6 +85,7 @@ struct QueueStats {
   std::uint64_t notify_suppressed = 0;  ///< pushes with no sleeper (no cv)
   std::uint64_t spill_pushes = 0;  ///< pushes that overflowed a ring
   std::uint64_t sleeps = 0;        ///< times a server actually blocked
+  std::uint64_t steals = 0;  ///< tasks taken from another server's lane
 };
 
 // ---------------------------------------------------------------------------
@@ -435,13 +454,29 @@ class ShardedTaskQueues {
           if (taken > 1)
             batch_extras_.fetch_add(taken - 1, std::memory_order_relaxed);
           if (site_out) *site_out = i;
-          // Decrement the depth; raise the hint to i only when nothing
-          // raced the word since before our scan (then sites < i were
-          // genuinely observed empty). On a race, keep the existing
-          // hint — pushes re-lower it themselves.
+          // Decrement the depth, and maybe raise the hint. Two guards
+          // close the staleness window a raise can open:
+          //  (a) the whole-word CAS: a raise lands only if no *counted*
+          //      push/pop raced the word since before our scan; and
+          //  (b) the raise goes to i only when this scan physically
+          //      observed every site below i empty — start == 0, or the
+          //      scan wrapped past 0 (i < start). A scan that started
+          //      mid-array and served within its preferred region
+          //      never looked at [0, start), where an as-yet-uncounted
+          //      spill push (payload inserted, depth CAS still in
+          //      flight) can already sit; (a) cannot see that push, so
+          //      raising over it would delay it until the pusher's own
+          //      CAS re-lowers the hint. Keeping the old hint instead
+          //      costs nothing.
+          // What remains is a push landing *between* this scan's visit
+          // to its site and the CAS below; the pusher's depth CAS
+          // re-lowers the hint right after, and the wrap-around scan
+          // above means a stale hint can only delay a task, never
+          // strand it (no further push required).
+          const std::size_t raised = (start == 0 || i < start) ? i : start;
           std::uint64_t expect = w0;
           if (!state_.compare_exchange_strong(
-                  expect, pack(i, depth_of(w0) - taken),
+                  expect, pack(raised, depth_of(w0) - taken),
                   std::memory_order_seq_cst, std::memory_order_relaxed)) {
             std::uint64_t w = expect;
             while (!state_.compare_exchange_weak(
@@ -505,7 +540,664 @@ class ShardedTaskQueues {
   gc::GcHeap* gc_ = nullptr;
 };
 
+// ---------------------------------------------------------------------------
+// WorkStealingTaskQueues: per-server lanes with work stealing.
+// ---------------------------------------------------------------------------
+//
+// Why the per-site sharding lost (BENCH_scheduler.json history, PR 2→7):
+// every ShardedTaskQueues push+pop pair funnels through CAS loops on
+// one shared packed depth/hint word plus MPMC ring-cursor CASes —
+// ~5–6 contended RMWs per pair versus the mutex queue's single lock
+// handoff, and no locality: a server's spawned task lands in a global
+// per-site ring any server drains. This impl inverts the split: shard
+// by *server*, not by site.
+//
+// One lane per expected worker, each lane carrying the full per-site
+// array of {ring, spill}. A thread claims a lane the first time it
+// touches the queue; the claim grants exclusive *producer* rights, so
+// the owner pushes with single-producer ring appends (no CAS) and pops
+// its own lane first — a head→spawn chain stays on the server that
+// spawned it. Consumption stays MPMC: a dry owner steals single tasks,
+// oldest first, from the lowest nonempty site of a victim lane
+// (randomized two-choice selection by estimated load, then a
+// deterministic sweep so provably-present work is never missed), and
+// only after several dry rounds does it sleep.
+//
+// Ownership/steal protocol and memory orders:
+//  * Payload publication: Vyukov cell-sequence release/acquire in the
+//    rings; the spill deques under their per-site mutex. There is no
+//    separate depth word — a task is "in the queue" exactly when its
+//    cell sequence (or spill slot) says so, so emptiness probes and
+//    the kill-token check sweep the cursors instead of trusting a
+//    counter that could run ahead of the payload.
+//  * Depth accounting: four monotonic per-lane counters
+//    (pushed_own/pushed_foreign/popped_own/popped_stolen). The two
+//    owner-side ones are single-writer — plain load+store, no lock
+//    prefix; the foreign/stolen ones are RMWs on cold paths only.
+//    depth() and stats() are sums, exact at quiescence.
+//  * Sleeper handshake (Dekker): a pusher that may need to wake a
+//    server publishes the payload, then issues a seq_cst fence, then
+//    reads sleepers_; a sleeper registers in sleepers_ (seq_cst RMW,
+//    under wait_mu_) and then re-sweeps every ring/spill before
+//    waiting. Either the pusher sees the registration and notifies
+//    (at most one) under the mutex, or the sleeper's sweep sees the
+//    published payload and skips the wait.
+//  * Wake throttle: an owner that also consumes its lane skips the
+//    fence/notify entirely when its lane depth after the push is 1 —
+//    the producer is the next consumer, so there is nothing for a
+//    thief to do (the classic work-stealing wake rule). Surplus
+//    pushes (lane depth > 1), producer-only owners (a seeding caller
+//    or dispatcher that never pops), and foreign spills always go
+//    through the handshake. The bounded 100 ms sleep slice is the
+//    liveness backstop if a consuming owner stalls mid-chain.
+//  * Lane claims: one CAS per thread per generation, never on the hot
+//    path (a thread-local cache keyed by queue id + reopen generation
+//    remembers the registration).
+
+class WorkStealingTaskQueues {
+ public:
+  static constexpr std::size_t kDefaultRing = 512;
+
+  /// `workers` sizes the lane array: the number of threads expected to
+  /// touch the queue (CriRun passes servers + 1 so the caller seeding
+  /// the initial task keeps its own lane and every server still claims
+  /// one). Extra threads beyond `workers` stay correct — they share a
+  /// home lane for popping and push through the spill path.
+  explicit WorkStealingTaskQueues(std::size_t num_sites,
+                                  std::size_t workers = 1,
+                                  std::size_t ring_capacity = kDefaultRing)
+      : nsites_(num_sites == 0 ? 1 : num_sites), id_(next_queue_id()) {
+    const std::size_t nlanes = workers == 0 ? 1 : workers;
+    lanes_.reserve(nlanes);
+    for (std::size_t i = 0; i < nlanes; ++i)
+      lanes_.push_back(std::make_unique<Lane>(nsites_, ring_capacity));
+  }
+
+  WorkStealingTaskQueues(const WorkStealingTaskQueues&) = delete;
+  WorkStealingTaskQueues& operator=(const WorkStealingTaskQueues&) = delete;
+
+  /// Enqueue at a call site. Returns the pusher's lane depth after the
+  /// push (the affinity-local observability sample — the depth a
+  /// server's own backlog has grown to). Owner fast path: one SP ring
+  /// append (no CAS, no fence) plus plain single-writer counters —
+  /// when the owner also consumes its lane and this task is its only
+  /// backlog, the push executes zero lock-prefixed instructions.
+  std::size_t push(std::size_t site, TaskArgs args) {
+    if (FaultInjector::instance().check(
+            FaultInjector::Site::kQueuePush)) {
+      // Injected spurious wakeup for any sleeping server.
+      std::lock_guard<std::mutex> g(wait_mu_);
+      wait_cv_.notify_all();
+    }
+    if (site >= nsites_)
+      throw sexpr::LispError("cri: call-site index out of range");
+    const TlsEntry me = self();
+    Lane& lane = *lanes_[me.lane];
+    bool consuming_owner = false;
+    if (me.owner) {
+      LaneSite& s = *lane.sites[site];
+      // SP append unless the site has spilled items — ring items must
+      // stay older than spill items so per-site FIFO survives an
+      // overflow episode.
+      if (s.spill_count.load(std::memory_order_acquire) != 0 ||
+          !s.ring.try_push_sp(std::move(args))) {
+        std::lock_guard<std::mutex> g(s.mu);
+        if (!(s.spill.empty() && s.ring.try_push_sp(std::move(args)))) {
+          s.spill.push_back(std::move(args));
+          s.spill_count.store(s.spill.size(), std::memory_order_release);
+          spill_pushes_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Single-writer counter: plain load+store, no lock prefix.
+      lane.pushed_own.store(
+          lane.pushed_own.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      consuming_owner = lane.owner_consumes.load(std::memory_order_relaxed);
+    } else {
+      // Foreign producer (a thread beyond the lane count, or one that
+      // never claimed — e.g. a run's caller when lanes are exhausted):
+      // spill into its home lane under the site mutex. Cold by design.
+      LaneSite& s = *lane.sites[site];
+      {
+        std::lock_guard<std::mutex> g(s.mu);
+        s.spill.push_back(std::move(args));
+        s.spill_count.store(s.spill.size(), std::memory_order_release);
+      }
+      spill_pushes_.fetch_add(1, std::memory_order_relaxed);
+      lane.pushed_foreign.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Lane depth after the push, from the monotonic counters. Stale
+    // reads of the cold-side counters can only misjudge the *surplus*
+    // test below in the safe direction: a lagging popped_stolen makes
+    // the depth look larger (spurious notify); a lagging
+    // pushed_foreign hides an item whose own pusher carries its
+    // notify obligation.
+    const std::int64_t d = lane_depth(lane);
+    const std::size_t total = d > 0 ? static_cast<std::size_t>(d) : 1;
+    std::size_t m = lane.max_depth.load(std::memory_order_relaxed);
+    if (total > m)
+      lane.max_depth.store(total, std::memory_order_relaxed);
+
+    // Wake throttle: when the pusher is a consuming owner and this
+    // task is its lane's only backlog, the producer is the next
+    // consumer — skip the handshake entirely (no fence, no sleeper
+    // check). Any surplus task, and any push by a producer that never
+    // pops, must offer itself to a thief: publish-then-fence, then
+    // read the sleeper count (Dekker with the sleeper's registration
+    // RMW + re-sweep), waking at most one.
+    if (!consuming_owner || d > 1) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (sleepers_.load(std::memory_order_relaxed) > 0) {
+        notify_sent_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> g(wait_mu_);
+        wait_cv_.notify_one();
+      }
+    }
+    return total;
+  }
+
+  /// Block for the next task (own lane's lowest site first, then
+  /// steal); nullopt when the queues are closed and empty — the kill
+  /// token.
+  std::optional<TaskArgs> pop(std::size_t* site_out = nullptr) {
+    std::optional<TaskArgs> out;
+    pop_loop(1, site_out,
+             [&out](TaskArgs&& t) { out.emplace(std::move(t)); });
+    return out;
+  }
+
+  /// Batched pop: up to `max` tasks, all from the same site of the
+  /// popper's own lane, in FIFO order (steals are always single tasks).
+  /// Returns the count; 0 is the kill token.
+  std::size_t pop_some(std::vector<TaskArgs>& out, std::size_t max,
+                       std::size_t* site_out = nullptr) {
+    return pop_loop(max == 0 ? 1 : max, site_out,
+                    [&out](TaskArgs&& t) { out.push_back(std::move(t)); });
+  }
+
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> g(wait_mu_);
+    wait_cv_.notify_all();
+  }
+
+  /// Reset to the open, empty state, dropping leftover tasks, zeroing
+  /// the per-run stats, and revoking every lane claim (the next run's
+  /// server threads are new). Callers must be quiescent.
+  void reopen() {
+    for (auto& lp : lanes_) {
+      lp->claimed.store(false, std::memory_order_relaxed);
+      lp->owner_consumes.store(false, std::memory_order_relaxed);
+      lp->pushed_own.store(0, std::memory_order_relaxed);
+      lp->pushed_foreign.store(0, std::memory_order_relaxed);
+      lp->popped_own.store(0, std::memory_order_relaxed);
+      lp->popped_stolen.store(0, std::memory_order_relaxed);
+      lp->max_depth.store(0, std::memory_order_relaxed);
+      for (auto& sp : lp->sites) {
+        std::lock_guard<std::mutex> g(sp->mu);
+        sp->spill.clear();
+        sp->spill_count.store(0, std::memory_order_relaxed);
+        TaskArgs t;
+        while (sp->ring.try_pop(t)) {
+        }
+      }
+    }
+    batch_extras_.store(0, std::memory_order_relaxed);
+    notify_sent_.store(0, std::memory_order_relaxed);
+    spill_pushes_.store(0, std::memory_order_relaxed);
+    sleeps_.store(0, std::memory_order_relaxed);
+    steals_.store(0, std::memory_order_relaxed);
+    next_lane_.store(0, std::memory_order_relaxed);
+    // Invalidate every thread's cached registration.
+    gen_.fetch_add(1, std::memory_order_release);
+    closed_.store(false, std::memory_order_seq_cst);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_seq_cst); }
+
+  /// Total queued tasks right now (sum of the per-lane monotonic
+  /// counters; exact when quiescent). A racy snapshot can transiently
+  /// dip below zero (a take observed before its push); clamp.
+  std::size_t depth() const {
+    std::int64_t d = 0;
+    for (const auto& lp : lanes_) d += lane_depth(*lp);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
+  /// High-water mark of a single lane's backlog (§4.1: with a single
+  /// call site the queue never grows beyond its initial length). With
+  /// one producer thread this equals the old total-depth high-water;
+  /// under concurrent mixed producers it is a per-server measure —
+  /// the backlog any one server accumulated — and approximate.
+  std::size_t max_length() const {
+    std::size_t m = 0;
+    for (const auto& lp : lanes_)
+      m = std::max(m, lp->max_depth.load(std::memory_order_relaxed));
+    return m;
+  }
+
+  std::size_t sites() const { return nsites_; }
+
+  /// Exact at any quiescent point; derived fields can lag by in-flight
+  /// operations mid-run (same discipline as ShardedTaskQueues).
+  QueueStats stats() const {
+    QueueStats st;
+    for (const auto& lp : lanes_) {
+      st.pushes += lp->pushed_own.load(std::memory_order_relaxed) +
+                   lp->pushed_foreign.load(std::memory_order_relaxed);
+      st.pops += lp->popped_own.load(std::memory_order_relaxed) +
+                 lp->popped_stolen.load(std::memory_order_relaxed);
+    }
+    st.pop_calls =
+        st.pops - std::min<std::uint64_t>(
+                      st.pops, batch_extras_.load(std::memory_order_relaxed));
+    st.notify_sent = notify_sent_.load(std::memory_order_relaxed);
+    st.notify_suppressed =
+        st.pushes - std::min<std::uint64_t>(st.pushes, st.notify_sent);
+    st.spill_pushes = spill_pushes_.load(std::memory_order_relaxed);
+    st.sleeps = sleeps_.load(std::memory_order_relaxed);
+    st.steals = steals_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  /// Let blocked pops release their GC unsafe region while sleeping.
+  void attach_gc(gc::GcHeap* gc) { gc_ = gc; }
+
+  /// Visit every pending task's argument vector (per lane, per site:
+  /// ring then spill, oldest first). Collector-only, world stopped.
+  template <typename Fn>
+  void for_each_task(Fn&& fn) const {
+    for (const auto& lp : lanes_) {
+      for (const auto& sp : lp->sites) {
+        sp->ring.for_each(fn);
+        std::lock_guard<std::mutex> g(sp->mu);
+        for (const TaskArgs& t : sp->spill) fn(t);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kDryRoundsBeforeSleep = 4;
+
+  struct LaneSite {
+    explicit LaneSite(std::size_t ring_capacity) : ring(ring_capacity) {}
+    MpmcRing<TaskArgs> ring;
+    std::atomic<std::size_t> spill_count{0};
+    std::mutex mu;  ///< guards spill
+    std::deque<TaskArgs> spill;
+  };
+
+  struct alignas(64) Lane {
+    Lane(std::size_t nsites, std::size_t ring_capacity) {
+      sites.reserve(nsites);
+      for (std::size_t i = 0; i < nsites; ++i)
+        sites.push_back(std::make_unique<LaneSite>(ring_capacity));
+    }
+    std::vector<std::unique_ptr<LaneSite>> sites;
+    /// Producer claim: the claiming thread alone may SP-push here.
+    std::atomic<bool> claimed{false};
+    /// Set by the owner the first time it pops — distinguishes a
+    /// server (producer-is-next-consumer, wake throttle applies) from
+    /// a producer-only claimant like a seeding caller or dispatcher
+    /// (whose pushes always run the sleeper handshake). Written and
+    /// read by the owner thread only.
+    std::atomic<bool> owner_consumes{false};
+    /// Monotonic depth counters, padded off the sites vector so
+    /// stats() reads don't bounce the owner's hot line. pushed_own
+    /// and popped_own are single-writer (the owner) — plain
+    /// load+store; the other two are RMWs on cold paths (foreign
+    /// spill pushes; takes by non-owners).
+    alignas(64) std::atomic<std::uint64_t> pushed_own{0};
+    std::atomic<std::uint64_t> popped_own{0};
+    std::atomic<std::size_t> max_depth{0};
+    alignas(64) std::atomic<std::uint64_t> pushed_foreign{0};
+    std::atomic<std::uint64_t> popped_stolen{0};
+  };
+
+  /// Racy lane backlog from the monotonic counters (exact when
+  /// quiescent; clamped by callers where a transient negative racy
+  /// snapshot matters).
+  static std::int64_t lane_depth(const Lane& lane) {
+    return static_cast<std::int64_t>(
+               lane.pushed_own.load(std::memory_order_relaxed) +
+               lane.pushed_foreign.load(std::memory_order_relaxed)) -
+           static_cast<std::int64_t>(
+               lane.popped_own.load(std::memory_order_relaxed) +
+               lane.popped_stolen.load(std::memory_order_relaxed));
+  }
+
+  struct TlsEntry {
+    std::uint64_t qid = 0;
+    std::uint64_t gen = 0;
+    std::uint32_t lane = 0;
+    bool owner = false;
+  };
+  struct TlsCache {
+    TlsEntry e[4];
+    unsigned next = 0;
+  };
+  static TlsCache& tls() {
+    thread_local TlsCache c;
+    return c;
+  }
+  static std::uint64_t next_queue_id() {
+    static std::atomic<std::uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// This thread's registration with this queue (cached per thread,
+  /// keyed by queue id + reopen generation). First touch rotates to a
+  /// home lane and tries to claim exclusive producer rights on it —
+  /// one CAS per thread per generation, never repeated on the hot
+  /// path.
+  TlsEntry self() {
+    TlsCache& c = tls();
+    const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    for (const TlsEntry& e : c.e)
+      if (e.qid == id_ && e.gen == gen) return e;
+    const std::size_t nlanes = lanes_.size();
+    std::size_t lane =
+        next_lane_.fetch_add(1, std::memory_order_relaxed) % nlanes;
+    bool owner = false;
+    for (std::size_t k = 0; k < nlanes; ++k) {
+      const std::size_t cand = (lane + k) % nlanes;
+      bool expected = false;
+      if (lanes_[cand]->claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        lane = cand;
+        owner = true;
+        break;
+      }
+    }
+    TlsEntry& e = c.e[c.next++ % (sizeof(c.e) / sizeof(c.e[0]))];
+    e = TlsEntry{id_, gen, static_cast<std::uint32_t>(lane), owner};
+    return e;
+  }
+
+  /// Take up to `max` tasks from one site, oldest first: the ring
+  /// (older — owner pushes gate to the spill while it is nonempty),
+  /// then the spill. Unlike the sharded impl there is no ring refill
+  /// from the spill: the ring's producer side belongs to the lane
+  /// owner alone.
+  template <typename Sink>
+  std::size_t take_from_site(LaneSite& s, std::size_t max, Sink&& sink) {
+    std::size_t n = 0;
+    TaskArgs t;
+    while (n < max && s.ring.try_pop(t)) {
+      sink(std::move(t));
+      ++n;
+    }
+    if (n < max && s.spill_count.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> g(s.mu);
+      while (n < max && s.ring.try_pop(t)) {
+        sink(std::move(t));
+        ++n;
+      }
+      while (n < max && !s.spill.empty()) {
+        sink(std::move(s.spill.front()));
+        s.spill.pop_front();
+        ++n;
+      }
+      s.spill_count.store(s.spill.size(), std::memory_order_release);
+    }
+    return n;
+  }
+
+  /// Lowest nonempty site of one lane; a batch never spans sites.
+  template <typename Sink>
+  std::size_t take_from_lane(Lane& lane, std::size_t max,
+                             std::size_t* site_out, Sink&& sink) {
+    for (std::size_t i = 0; i < lane.sites.size(); ++i) {
+      const std::size_t n = take_from_site(*lane.sites[i], max, sink);
+      if (n != 0) {
+        if (site_out) *site_out = i;
+        return n;
+      }
+    }
+    return 0;
+  }
+
+  /// Racy per-lane load estimate for victim selection (four relaxed
+  /// loads — no ring-cursor traffic).
+  static std::size_t lane_load(const Lane& lane) {
+    const std::int64_t d = lane_depth(lane);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
+  /// One lane's cursor-level emptiness probe.
+  static bool lane_nonempty(const Lane& lane) {
+    for (const auto& sp : lane.sites) {
+      if (!sp->ring.probably_empty() ||
+          sp->spill_count.load(std::memory_order_acquire) != 0)
+        return true;
+    }
+    return false;
+  }
+
+  /// Steal-affinity rule: a spin-phase thief may rob a victim only
+  /// when the work is *surplus* — the victim's owner has more backlog
+  /// than it can consume next (load ≥ 2), or the lane is a mailbox (a
+  /// producer-only owner that never pops: a seeding caller, a serve
+  /// dispatcher). A consuming owner's single in-flight task is left
+  /// alone even while that owner is descheduled; robbing it would just
+  /// migrate the chain and strand the owner (the churn that time-
+  /// sliced hosts otherwise exhibit). Desperate rounds — the first
+  /// round after any sleep, and everything after close() — ignore the
+  /// rule, which bounds a stalled owner's parked task by the sleep
+  /// slice.
+  bool steal_ok(const Lane& lane, bool desperate) const {
+    return desperate || closed_.load(std::memory_order_relaxed) ||
+           !lane.owner_consumes.load(std::memory_order_relaxed) ||
+           lane_load(lane) >= 2;
+  }
+
+  /// Pre-sleep check, mirroring exactly what a non-desperate round can
+  /// take: something in the caller's own lane, anything once closed,
+  /// or stealable (surplus/mailbox) work elsewhere. Sleeping is wrong
+  /// while any of those exist; a throttled depth-1 chain task parked
+  /// elsewhere is *not* a reason to stay awake — its owner, or our
+  /// next timeout's desperate round, will take it.
+  bool takeable_now(std::size_t home) const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const Lane& lane = *lanes_[i];
+      if (!lane_nonempty(lane)) continue;
+      if (i == home || steal_ok(lane, /*desperate=*/false)) return true;
+    }
+    return closed_.load(std::memory_order_seq_cst);
+  }
+
+  /// One acquire-probe pass over every lane × site: true iff some ring
+  /// cell is published or some spill is nonempty. This is the
+  /// authoritative emptiness check — publication is the count — used
+  /// by the sleeper re-check and the kill-token verification sweep.
+  bool sweep_nonempty() const {
+    for (const auto& lp : lanes_) {
+      for (const auto& sp : lp->sites) {
+        if (!sp->ring.probably_empty() ||
+            sp->spill_count.load(std::memory_order_acquire) != 0)
+          return true;
+      }
+    }
+    return false;
+  }
+
+  static std::uint64_t tls_rng() {
+    thread_local std::uint64_t x =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  }
+
+  /// Randomized two-choice victim selection: draw two lanes other than
+  /// `home`, probe the one with the larger estimated load.
+  std::size_t pick_victim(std::size_t home) const {
+    const std::size_t nlanes = lanes_.size();  // caller ensures > 1
+    const std::uint64_t r = tls_rng();
+    std::size_t a = static_cast<std::size_t>(r % (nlanes - 1));
+    if (a >= home) ++a;
+    std::size_t b = static_cast<std::size_t>((r >> 32) % (nlanes - 1));
+    if (b >= home) ++b;
+    return lane_load(*lanes_[a]) >= lane_load(*lanes_[b]) ? a : b;
+  }
+
+  template <typename Sink>
+  std::size_t pop_loop(std::size_t max, std::size_t* site_out,
+                       Sink&& sink) {
+    const TlsEntry me = self();
+    const std::size_t home = me.lane;
+    const std::size_t nlanes = lanes_.size();
+    Lane& own = *lanes_[home];
+    if (me.owner && !own.owner_consumes.load(std::memory_order_relaxed))
+      own.owner_consumes.store(true, std::memory_order_relaxed);
+    std::size_t dry_rounds = 0;
+    bool desperate = false;
+    // Exponential sleep slice: the first park is short so a desperate
+    // steal rescues a task stranded on a stalled owner's lane within
+    // ~1 ms (a single chain with a long tail migrates almost
+    // immediately), then doubles toward the 100 ms cap while this
+    // sleeper keeps waking to nothing — steal-back churn on a hot
+    // owner decays instead of recurring every slice.
+    auto slice = std::chrono::milliseconds(1);
+    constexpr auto kMaxSlice = std::chrono::milliseconds(100);
+    for (;;) {
+      // Own lane first, lowest site first.
+      std::size_t n = take_from_lane(own, max, site_out, sink);
+      if (n != 0) {
+        // Owner takes are the single-writer counter; shared-lane
+        // takes by a non-owner count as stolen (the RMW is off the
+        // fast path by construction — a non-owner home popper only
+        // exists when threads outnumber lanes).
+        if (me.owner) {
+          own.popped_own.store(
+              own.popped_own.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+        } else {
+          own.popped_stolen.fetch_add(n, std::memory_order_relaxed);
+        }
+        if (n > 1)
+          batch_extras_.fetch_add(n - 1, std::memory_order_relaxed);
+        return n;
+      }
+      if (nlanes > 1) {
+        // Steal round. The fault site fires here — before any victim
+        // is probed — so chaos runs can delay or abort exactly the
+        // cross-lane path; it never fires on the owner fast path (a
+        // single-lane queue never steals).
+        if (FaultInjector::instance().check(
+                FaultInjector::Site::kQueueSteal)) {
+          std::lock_guard<std::mutex> g(wait_mu_);
+          wait_cv_.notify_all();  // injected spurious wakeup
+        }
+        // Two-choice probe, then a deterministic sweep so work that
+        // provably exists is never missed (drain-after-close and the
+        // kill-token check both rely on scan completeness). Both
+        // passes honor the steal-affinity rule.
+        std::size_t victim = pick_victim(home);
+        if (steal_ok(*lanes_[victim], desperate))
+          n = take_from_lane(*lanes_[victim], 1, site_out, sink);
+        for (std::size_t k = 1; n == 0 && k < nlanes; ++k) {
+          victim = (home + k) % nlanes;
+          if (victim != home && steal_ok(*lanes_[victim], desperate))
+            n = take_from_lane(*lanes_[victim], 1, site_out, sink);
+        }
+        if (n != 0) {
+          lanes_[victim]->popped_stolen.fetch_add(
+              n, std::memory_order_relaxed);
+          steals_.fetch_add(n, std::memory_order_relaxed);
+          return n;
+        }
+      }
+      desperate = false;
+      // A full round (own lane + every victim) came up dry. The round
+      // itself is the emptiness observation — there is no depth word
+      // to consult; a task exists exactly when its ring cell or spill
+      // slot says so.
+      if (closed_.load(std::memory_order_seq_cst)) {
+        // Kill-token verification: anything pushed before close() is
+        // published before the closed_ store we just acquired, so one
+        // more sweep after observing the flag either finds it or
+        // proves the queue empty. (Pushes racing close() may be
+        // dropped — reopen() semantics — but nothing published
+        // happens-before close is ever abandoned.)
+        if (!sweep_nonempty()) return 0;
+        continue;
+      }
+      if (++dry_rounds < kDryRoundsBeforeSleep) {
+        // Sleep throttle: several dry scan+steal rounds before paying
+        // the futex — a busy neighbor usually refills within a round.
+        std::this_thread::yield();
+        continue;
+      }
+      dry_rounds = 0;
+      // Sleep protocol: register, then re-check. A pusher that may
+      // need a thief (surplus task, foreign spill, or a producer-only
+      // lane owner) publishes the payload, fences seq_cst, then reads
+      // sleepers_; our registration is a seq_cst RMW, so either the
+      // pusher sees it and notifies under wait_mu_, or this re-check
+      // sees the payload and we skip the wait — no lost wakeup on
+      // that path. The re-check is takeable_now, not a bare sweep:
+      // it mirrors exactly what a non-desperate round may take, so a
+      // consuming owner's depth-1 task (whose push skipped the
+      // handshake by design) does not keep thieves spinning awake.
+      // Its liveness backstop is the owner's own progress plus the
+      // bounded slice below — after which we run one desperate round.
+      std::unique_lock<std::mutex> lk(wait_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      if (!takeable_now(home)) {
+        sleeps_.fetch_add(1, std::memory_order_relaxed);
+        // Park hook: a sleeping server is at a quiescent point (the
+        // values it will consume on wake are still queue-rooted), so
+        // it releases its GC unsafe region for the duration. Bounded
+        // slice: push()/close() still wake us immediately; the
+        // timeout both bounds how long a cancelled server stays
+        // parked before its serve loop re-checks the token and is
+        // the wake-of-last-resort for throttled owner pushes.
+        const std::size_t gcd = gc_ ? gc_->blocking_release() : 0;
+        wait_cv_.wait_for(lk, slice);
+        if (slice < kMaxSlice) slice *= 2;
+        if (gcd != 0) {
+          // Re-enter outside wait_mu_: reacquire may block on a
+          // stop-the-world, and nobody should hold queue locks then.
+          lk.unlock();
+          gc_->blocking_reacquire(gcd);
+          lk.lock();
+        }
+        // We paid the futex; the next round ignores the affinity
+        // rule so a task parked on a stalled owner's lane is picked
+        // up within one sleep slice.
+        desperate = true;
+      }
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  std::size_t nsites_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  const std::uint64_t id_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::uint32_t> next_lane_{0};
+
+  // The only cross-lane flags; cold. There is no shared hot word at
+  // all — every fast-path byte a push or pop touches is lane-local.
+  alignas(64) std::atomic<bool> closed_{false};
+
+  // Sleeper handshake (cold path only).
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::atomic<int> sleepers_{0};
+
+  // Stats (relaxed; snapshot via stats()). None are touched on the
+  // owner fast path — the hot counters live per lane.
+  std::atomic<std::uint64_t> batch_extras_{0}, notify_sent_{0},
+      spill_pushes_{0}, sleeps_{0}, steals_{0};
+
+  gc::GcHeap* gc_ = nullptr;
+};
+
 /// The scheduler the server pool runs on.
-using OrderedTaskQueues = ShardedTaskQueues;
+using OrderedTaskQueues = WorkStealingTaskQueues;
 
 }  // namespace curare::runtime

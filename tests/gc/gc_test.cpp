@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "lisp/interp.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/server_pool.hpp"
+#include "runtime/task_queue.hpp"
 #include "sexpr/ctx.hpp"
 #include "sexpr/equal.hpp"
 #include "sexpr/list_ops.hpp"
@@ -209,6 +211,172 @@ TEST(GcRootPrecisionTest, NegativeControlUnrootedValueIsCollected) {
   ctx.heap.gc().collect("test");
   EXPECT_EQ(ctx.heap.live_objects(), base)
       << "without a root the same cons is reclaimed";
+}
+
+// ---------------------------------------------------------------------------
+// Root precision across every queue implementation. The work-stealing
+// rework moved pending tasks out of one mutex-guarded deque into
+// per-lane rings and spill vectors; these typed tests pin down that
+// for_each_task still reaches a payload wherever it is physically
+// parked — owner ring, a sibling lane a thief would rob, or a spill
+// vector — and that a payload stops being a root the moment its task
+// is dequeued (reclamation is exact, not deferred).
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+struct QueueFactory;
+
+template <>
+struct QueueFactory<runtime::SingleMutexTaskQueues> {
+  static std::unique_ptr<runtime::SingleMutexTaskQueues> make(
+      std::size_t nsites) {
+    return std::make_unique<runtime::SingleMutexTaskQueues>(nsites);
+  }
+};
+
+template <>
+struct QueueFactory<runtime::ShardedTaskQueues> {
+  static std::unique_ptr<runtime::ShardedTaskQueues> make(std::size_t nsites) {
+    // Capacity-4 rings so a handful of same-site pushes reach the
+    // spill vector, the position a ring-only root walk would miss.
+    return std::make_unique<runtime::ShardedTaskQueues>(nsites,
+                                                        /*ring_capacity=*/4);
+  }
+};
+
+template <>
+struct QueueFactory<runtime::WorkStealingTaskQueues> {
+  static std::unique_ptr<runtime::WorkStealingTaskQueues> make(
+      std::size_t nsites) {
+    return std::make_unique<runtime::WorkStealingTaskQueues>(
+        nsites, /*workers=*/2, /*ring_capacity=*/4);
+  }
+};
+
+/// The CriRun root hookup, reduced to its essence: every queued task's
+/// argument vector is a root while — and only while — it is queued.
+template <typename Q>
+class QueueRootAdapter : public RootSource {
+ public:
+  explicit QueueRootAdapter(const Q& q) : q_(q) {}
+  void gc_roots(std::vector<sexpr::Value>& out) override {
+    q_.for_each_task([&out](const runtime::TaskArgs& t) {
+      out.insert(out.end(), t.begin(), t.end());
+    });
+  }
+
+ private:
+  const Q& q_;
+};
+
+template <typename Q>
+class QueueGcRootsTest : public ::testing::Test {};
+
+using QueueImpls =
+    ::testing::Types<runtime::SingleMutexTaskQueues,
+                     runtime::ShardedTaskQueues,
+                     runtime::WorkStealingTaskQueues>;
+TYPED_TEST_SUITE(QueueGcRootsTest, QueueImpls);
+
+TYPED_TEST(QueueGcRootsTest, PayloadsSurviveAtEveryQueuePosition) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+  auto q = QueueFactory<TypeParam>::make(2);
+  q->attach_gc(&gc);
+  QueueRootAdapter<TypeParam> roots(*q);
+  gc.add_root_source(&roots);
+  const std::size_t base = ctx.heap.live_objects();
+
+  // Payload k is (cons k nil); nine in total, planted so the
+  // work-stealing impl has them in all three physical positions.
+  int next = 0;
+  auto payload = [&](int k) {
+    return runtime::TaskArgs{ctx.heap.cons(Value::fixnum(k), Value::nil())};
+  };
+  {
+    MutatorScope ms(gc);
+    // 0..3: this thread's pushes — in the work-stealing impl they claim
+    // lane 0 and fill its capacity-4 site-0 ring (the owner fast path).
+    // 4..5: same site, ring full — the spill vector.
+    for (; next < 6; ++next) q->push(0, payload(next));
+    // A decoy with no root: precision means the collector reclaims
+    // exactly this one while every queued payload survives.
+    ctx.heap.cons(Value::fixnum(999), Value::nil());
+  }
+  // 6..7: pushed by a sibling thread, which claims the second lane —
+  // the position a thief's steal would serve. 8: pushed by a third
+  // thread with no lane left to claim — the foreign mailbox spill.
+  // Joined before collecting: for_each_task wants quiescence, which is
+  // exactly what a stop-the-world gives the real collector.
+  std::thread([&] {
+    MutatorScope ms(gc);
+    for (int k = 6; k < 8; ++k) q->push(1, payload(k));
+  }).join();
+  std::thread([&] {
+    MutatorScope ms(gc);
+    q->push(1, payload(8));
+  }).join();
+
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base + 9)
+      << "all queued payloads survive; the unqueued decoy does not";
+
+  // Dequeue three. Their payloads leave the root set with them: the
+  // next collection must reclaim exactly those three.
+  long sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto got = q->pop();
+    ASSERT_TRUE(got.has_value());
+    sum += sexpr::car((*got)[0]).as_fixnum();
+  }
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base + 6)
+      << "a dequeued task's payload is garbage immediately";
+
+  // Drain the rest — in the work-stealing impl this thread owns lane 0,
+  // so payloads 6..8 arrive via the steal path — and verify integrity:
+  // every planted fixnum came back exactly once.
+  for (int i = 3; i < 9; ++i) {
+    auto got = q->pop();
+    ASSERT_TRUE(got.has_value());
+    sum += sexpr::car((*got)[0]).as_fixnum();
+  }
+  EXPECT_EQ(sum, 9 * 8 / 2);
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base);
+  gc.remove_root_source(&roots);
+}
+
+TYPED_TEST(QueueGcRootsTest, RemainingTasksStayRootedAfterClose) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+  auto q = QueueFactory<TypeParam>::make(1);
+  q->attach_gc(&gc);
+  QueueRootAdapter<TypeParam> roots(*q);
+  gc.add_root_source(&roots);
+  const std::size_t base = ctx.heap.live_objects();
+
+  {
+    MutatorScope ms(gc);
+    for (int k = 0; k < 5; ++k)
+      q->push(0, {ctx.heap.cons(Value::fixnum(k), Value::nil())});
+  }
+  q->close();
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base + 5)
+      << "close() is not a drain: undrained payloads remain rooted";
+
+  // Post-close pops still serve the backlog (the kill token only
+  // arrives once empty), and the roots fall away task by task.
+  for (int k = 0; k < 5; ++k) {
+    auto got = q->pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(sexpr::car((*got)[0]).as_fixnum(), k) << "FIFO across close";
+  }
+  EXPECT_FALSE(q->pop().has_value()) << "kill token after the backlog";
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base);
+  gc.remove_root_source(&roots);
 }
 
 TEST(GcStressTest, ConcurrentAllocationAndCollection) {

@@ -299,6 +299,83 @@ TEST_F(ResilienceTest, ChaosSoakIsDeterministicallySurvivable) {
   EXPECT_EQ(run_src("chaos-count").as_fixnum(), 60);
 }
 
+TEST_F(ResilienceTest, StealSiteChaosIsTargetedDeterministicAndSurvivable) {
+  FaultInjector& fi = FaultInjector::instance();
+  constexpr unsigned kStealOnly =
+      1u << static_cast<unsigned>(FaultInjector::Site::kQueueSteal);
+
+  // (a) Named-site targeting with replay determinism: with a fixed
+  // seed the fire/skip decision at queue.steal is a pure function of
+  // the per-site arrival index (configure() zeroes those counters), so
+  // an identical reconfiguration yields the identical schedule — the
+  // property the CI chaos jobs rely on for local replays. Sites
+  // outside the mask never fire, whatever their arrival count.
+  auto throws_in_400 = [&fi] {
+    int thrown = 0;
+    for (int i = 0; i < 400; ++i) {
+      try {
+        fi.check(FaultInjector::Site::kQueueSteal);
+      } catch (const FaultInjectedError&) {
+        ++thrown;
+      }
+      EXPECT_FALSE(fi.check(FaultInjector::Site::kQueuePush));
+      EXPECT_FALSE(fi.check(FaultInjector::Site::kLockAcquire));
+    }
+    return thrown;
+  };
+  fi.configure(0xD1CE, 0.05, FaultInjector::kThrow, kStealOnly);
+  const int first = throws_in_400();
+  EXPECT_GT(first, 0) << "5% over 400 arrivals must fire sometimes";
+  fi.configure(0xD1CE, 0.05, FaultInjector::kThrow, kStealOnly);
+  EXPECT_EQ(throws_in_400(), first) << "same seed, same schedule";
+  EXPECT_EQ(fi.stats(FaultInjector::Site::kQueuePush).throws, 0u);
+  EXPECT_EQ(fi.stats(FaultInjector::Site::kLockAcquire).throws, 0u);
+
+  // (b) Soak the real steal path: four servers sharing one spawning
+  // chain keep three lanes dry, so every dry round crosses the
+  // queue.steal site. Delays stretch the cross-lane races; throws
+  // surface out of pop() and must take the server loop's drain path
+  // (record, close, keep draining) without wedging the run or leaking
+  // state into the clean rerun below.
+  run_src(
+      "(setq steal-count 0)"
+      "(defun steal-cri (n)"
+      "  (when (> n 0)"
+      "    (%atomic-incf-var 'steal-count 1)"
+      "    (%cri-enqueue 0 (- n 1))))");
+  Value fn = in.global("steal-cri");
+  int aborted = 0, completed = 0;
+  for (const unsigned kinds :
+       {unsigned(FaultInjector::kDelay),
+        unsigned(FaultInjector::kDelay | FaultInjector::kThrow)}) {
+    fi.configure(0xD1CE, 0.02, kinds, kStealOnly);
+    for (int iter = 0; iter < 3; ++iter) {
+      try {
+        run_src("(setq steal-count 0)");
+        rt.run_cri(fn, 1, 4, {Value::fixnum(200)});
+        ++completed;
+      } catch (const sexpr::LispError&) {
+        ++aborted;  // injected steal-path throw, routed as a body error
+      }
+      rt.locks().reset();
+    }
+    const FaultInjector::SiteStats st =
+        fi.stats(FaultInjector::Site::kQueueSteal);
+    EXPECT_GT(st.visits, 0u) << "idle servers must have probed victims";
+    if (kinds == FaultInjector::kDelay) {
+      EXPECT_EQ(aborted, 0) << "delay-only rounds never abort a run";
+    }
+  }
+  fi.disable();
+  EXPECT_EQ(aborted + completed, 6);
+
+  // Clean rerun: the soak must not have corrupted the runtime.
+  run_src("(setq steal-count 0)");
+  const CriStats stats = rt.run_cri(fn, 1, 4, {Value::fixnum(200)});
+  EXPECT_EQ(stats.invocations, 201u);
+  EXPECT_EQ(run_src("steal-count").as_fixnum(), 200);
+}
+
 TEST_F(ResilienceTest, InjectorStatsAndReportTrackSites) {
   FaultInjector& fi = FaultInjector::instance();
   fi.configure(42, 1.0, FaultInjector::kThrow);

@@ -20,6 +20,22 @@ metrics are compared:
 Records present in only one file are reported but not fatal — sweeps
 legitimately grow and smoke mode legitimately shrinks them. Exit codes:
 0 ok, 1 regression found, 2 bad invocation or unparseable input.
+
+Besides the drift check, both files are held to the scheduler's
+*ratio gates* (the acceptance bars of the work-stealing queue rework,
+kept here so they are enforced forever, not just the week they landed):
+
+  * queue_ab: at every matched (workload, threads, chains, sites)
+    sweep point, ws mops must not fall below mutex mops;
+  * queue_ab: the acceptance cell (spawn_chain, 8 threads, 1 site,
+    batch 1) must show ws >= 1.5x mutex;
+  * server_scaling: utilization must stay above collapse level and
+    wall time must stay flat across the sweep (a spinning-server
+    regression shows up as 10x wall inflation past S=16).
+
+The committed baseline is judged strictly; the fresh run gets a noise
+allowance (--gate-slack, default 0.85) so a loaded CI host does not
+flap, while a genuine inversion still fails.
 """
 
 import argparse
@@ -59,9 +75,73 @@ VOLATILE = frozenset(
         "mutex_serial_ns",
         "shard_serial_ns",
         "shard_pair_ns",
+        "ws_pair_ns",
         "projected_speedup",
     )
 )
+
+# Ratio gates (see module docstring). Slack 1.0 = judge strictly.
+ACCEPTANCE_RATIO = 1.5  # ws vs mutex, spawn_chain, 8 threads, 1 site
+UTILIZATION_FLOOR = 0.04  # server_scaling collapse level (1-core host)
+WALL_FLATNESS = 5.0  # max wall_ms(S) / wall_ms(S_min) across the sweep
+
+
+def check_gates(recs, label, slack):
+    """Return a list of gate-violation strings for one file's records."""
+    problems = []
+    # queue_ab: per-point ws-vs-mutex floor + the acceptance cell.
+    cells = {}
+    for r in recs:
+        if r.get("bench") != "queue_ab" or r.get("batch") != 1:
+            continue
+        point = (r.get("workload"), r.get("threads"), r.get("chains"),
+                 r.get("sites"))
+        cells.setdefault(point, {})[r.get("impl")] = float(r["mops"])
+    acceptance_seen = False
+    for point, by_impl in sorted(cells.items()):
+        ws, mx = by_impl.get("ws"), by_impl.get("mutex")
+        if ws is None or mx is None or mx <= 0:
+            continue
+        name = "workload=%s threads=%s chains=%s sites=%s" % point
+        if ws < mx * slack:
+            problems.append(
+                f"{label}: ws below mutex at {name}: "
+                f"{ws:.3f} < {mx:.3f} * {slack:.2f}"
+            )
+        if point[0] == "spawn_chain" and point[1] == 8 and point[3] == 1:
+            acceptance_seen = True
+            bar = ACCEPTANCE_RATIO * slack
+            if ws < mx * bar:
+                problems.append(
+                    f"{label}: acceptance cell ws/mutex = {ws / mx:.2f}x "
+                    f"< {bar:.2f}x ({name})"
+                )
+    if cells and not acceptance_seen:
+        problems.append(
+            f"{label}: queue_ab records present but the acceptance cell "
+            "(spawn_chain, threads=8, sites=1, batch=1) is missing"
+        )
+    # server_scaling: collapse guards.
+    scaling = [r for r in recs if r.get("bench") == "server_scaling"]
+    if scaling:
+        walls = {int(r["S"]): float(r["wall_ms"]) for r in scaling}
+        base = walls[min(walls)]
+        for r in sorted(scaling, key=lambda r: int(r["S"])):
+            s = int(r["S"])
+            util = float(r.get("utilization", 0.0))
+            if util < UTILIZATION_FLOOR * slack:
+                problems.append(
+                    f"{label}: server_scaling S={s} utilization "
+                    f"{util:.4f} below collapse floor "
+                    f"{UTILIZATION_FLOOR * slack:.4f}"
+                )
+            if base > 0 and walls[s] > base * WALL_FLATNESS / slack:
+                problems.append(
+                    f"{label}: server_scaling S={s} wall {walls[s]:.2f}ms "
+                    f"is {walls[s] / base:.1f}x the S={min(walls)} wall "
+                    f"(flatness bar {WALL_FLATNESS / slack:.1f}x)"
+                )
+    return problems
 
 
 def load(path):
@@ -107,12 +187,26 @@ def main():
         default=0.30,
         help="allowed fractional throughput drop (default 0.30)",
     )
+    ap.add_argument(
+        "--gate-slack",
+        type=float,
+        default=0.85,
+        help="noise allowance applied to the ratio gates on the fresh "
+        "file (default 0.85; the baseline is always judged at 1.0)",
+    )
     args = ap.parse_args()
     if not 0 < args.threshold < 1:
         ap.error("--threshold must be in (0, 1)")
+    if not 0 < args.gate_slack <= 1:
+        ap.error("--gate-slack must be in (0, 1]")
 
-    base = index(load(args.baseline), args.baseline)
-    fresh = index(load(args.fresh), args.fresh)
+    base_recs = load(args.baseline)
+    fresh_recs = load(args.fresh)
+    base = index(base_recs, args.baseline)
+    fresh = index(fresh_recs, args.fresh)
+
+    gate_problems = check_gates(base_recs, "baseline", 1.0)
+    gate_problems += check_gates(fresh_recs, "fresh", args.gate_slack)
 
     compared = 0
     regressions = []
@@ -150,11 +244,19 @@ def main():
             "bench_check: no comparable records — baseline and fresh "
             "files share no sweep points with a throughput metric"
         )
-    if regressions:
-        print(
-            f"bench_check: FAIL — {len(regressions)} metric(s) dropped "
-            f"more than {args.threshold * 100:.0f}%"
-        )
+    for p in gate_problems:
+        print(f"  GATE  {p}")
+    if regressions or gate_problems:
+        if regressions:
+            print(
+                f"bench_check: FAIL — {len(regressions)} metric(s) dropped "
+                f"more than {args.threshold * 100:.0f}%"
+            )
+        if gate_problems:
+            print(
+                f"bench_check: FAIL — {len(gate_problems)} ratio-gate "
+                "violation(s)"
+            )
         return 1
     print("bench_check: ok")
     return 0

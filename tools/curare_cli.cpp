@@ -36,8 +36,10 @@
 //   --stall-ms N   arm the per-run watchdog: abort a CRI run in which
 //                  no task completes for N ms (exit code 3)
 //   --lock-budget-ms N  cap any single blocked lock acquisition
-//   --chaos SEED:RATE[:KINDS]  arm the deterministic fault injector
-//                  (KINDS ⊆ delay,throw,wake — default all); see
+//   --chaos SEED:RATE[:KINDS[:SITES]]  arm the deterministic fault
+//                  injector (KINDS ⊆ delay,throw,wake — default all;
+//                  SITES ⊆ lock.acquire,queue.push,future.spawn,
+//                  task.run,gc.alloc,queue.steal — default all); see
 //                  :resilience for per-site counts
 //   --profile[=N]  arm the sampling eval profiler (one sample per N
 //                  eval steps, default 64, power of two >= 8) and print
@@ -86,13 +88,19 @@ bool parse_bytes(const std::string& text, std::size_t& out) {
   return true;
 }
 
-/// "1234:0.02" or "0x4d2:0.02:delay,throw" → injector configuration.
-/// Base 0 so hex seeds (the convention in CI) parse as written.
+/// "1234:0.02", "0x4d2:0.02:delay,throw", or
+/// "7:0.01:throw:queue.steal,queue.push" → injector configuration.
+/// Base 0 so hex seeds (the convention in CI) parse as written. The
+/// optional fourth field names sites (see FaultInjector::site_name) so
+/// a replay can aim at one subsystem — e.g. the steal path alone.
 bool parse_chaos(const std::string& text, std::uint64_t& seed,
-                 double& rate, unsigned& kinds) {
+                 double& rate, unsigned& kinds, unsigned& sites) {
+  using curare::runtime::FaultInjector;
   const auto c1 = text.find(':');
   if (c1 == std::string::npos) return false;
   const auto c2 = text.find(':', c1 + 1);
+  const auto c3 =
+      c2 == std::string::npos ? std::string::npos : text.find(':', c2 + 1);
   try {
     seed = std::stoull(text.substr(0, c1), nullptr, 0);
     rate = std::stod(text.substr(
@@ -101,25 +109,43 @@ bool parse_chaos(const std::string& text, std::uint64_t& seed,
   } catch (...) {
     return false;
   }
-  kinds = curare::runtime::FaultInjector::kAllKinds;
+  kinds = FaultInjector::kAllKinds;
   if (c2 != std::string::npos) {
+    const std::string kinds_text = text.substr(
+        c2 + 1, c3 == std::string::npos ? std::string::npos
+                                        : c3 - c2 - 1);
     kinds = 0;
-    std::istringstream iss(text.substr(c2 + 1));
+    std::istringstream iss(kinds_text);
     std::string k;
     while (std::getline(iss, k, ',')) {
       if (k == "delay") {
-        kinds |= curare::runtime::FaultInjector::kDelay;
+        kinds |= FaultInjector::kDelay;
       } else if (k == "throw") {
-        kinds |= curare::runtime::FaultInjector::kThrow;
+        kinds |= FaultInjector::kThrow;
       } else if (k == "wake") {
-        kinds |= curare::runtime::FaultInjector::kWake;
+        kinds |= FaultInjector::kWake;
       } else if (k == "all") {
-        kinds |= curare::runtime::FaultInjector::kAllKinds;
+        kinds |= FaultInjector::kAllKinds;
       } else {
         return false;
       }
     }
     if (kinds == 0) return false;
+  }
+  sites = FaultInjector::kAllSites;
+  if (c3 != std::string::npos) {
+    const std::string sites_text = text.substr(c3 + 1);
+    if (!sites_text.empty() && sites_text != "all") {
+      sites = 0;
+      std::istringstream iss(sites_text);
+      std::string s;
+      while (std::getline(iss, s, ',')) {
+        unsigned bit = 0;
+        if (!FaultInjector::site_bit(s, bit)) return false;
+        sites |= bit;
+      }
+      if (sites == 0) return false;
+    }
   }
   return rate > 0.0 && rate <= 1.0;
 }
@@ -356,6 +382,7 @@ int main(int argc, char** argv) {
   std::uint64_t chaos_seed = 0;
   double chaos_rate = 0;
   unsigned chaos_kinds = 0;
+  unsigned chaos_sites = curare::runtime::FaultInjector::kAllSites;
   long long profile_period = 0;  // 0 = profiler off
 
   // Every value flag accepts both "--flag VALUE" and "--flag=VALUE"
@@ -411,10 +438,13 @@ int main(int argc, char** argv) {
       if (!parse_ms("--lock-budget-ms", v, lock_budget_ms))
         return curare::serve::kExitUsage;
     } else if (take_value(i, arg, "--chaos", v)) {
-      if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds)) {
+      if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
+                       chaos_sites)) {
         std::fprintf(stderr,
-                     "--chaos requires SEED:RATE[:KINDS] with RATE in "
-                     "(0,1] and KINDS from delay,throw,wake,all\n");
+                     "--chaos requires SEED:RATE[:KINDS[:SITES]] with "
+                     "RATE in (0,1], KINDS from delay,throw,wake,all "
+                     "and SITES from lock.acquire,queue.push,"
+                     "future.spawn,task.run,gc.alloc,queue.steal,all\n");
         return curare::serve::kExitUsage;
       }
       have_chaos = true;
@@ -440,7 +470,8 @@ int main(int argc, char** argv) {
                    "unknown option %s\nusage: curare [--trace out.json] "
                    "[--stats] [--profile[=N]] [--gc-threshold N] "
                    "[--gc-stats] [--deadline-ms N] [--stall-ms N] "
-                   "[--lock-budget-ms N] [--chaos SEED:RATE[:KINDS]] "
+                   "[--lock-budget-ms N] "
+                   "[--chaos SEED:RATE[:KINDS[:SITES]]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
       return curare::serve::kExitUsage;
@@ -468,7 +499,7 @@ int main(int argc, char** argv) {
   // thrown during interpreter bootstrap would escape every handler.
   if (have_chaos) {
     curare::runtime::FaultInjector::instance().configure(
-        chaos_seed, chaos_rate, chaos_kinds);
+        chaos_seed, chaos_rate, chaos_kinds, chaos_sites);
   }
   if (profile_period > 0) {
     auto& prof = curare::obs::Profiler::instance();

@@ -81,20 +81,46 @@ std::string TransformPlan::to_string() const {
 Curare::Curare(sexpr::Ctx& ctx, std::size_t workers)
     : ctx_(ctx),
       interp_(ctx),
+      vm_(std::make_unique<vm::Vm>(interp_)),
       owned_runtime_(
           std::make_unique<runtime::Runtime>(interp_, workers)),
       runtime_(owned_runtime_.get()),
       decls_(ctx) {
   runtime_->install();
+  vm_->install_apply_hook();  // engine_ defaults to kVm
   ctx_.heap.gc().add_root_source(this);
 }
 
 Curare::Curare(sexpr::Ctx& ctx, runtime::Runtime& shared_runtime)
-    : ctx_(ctx), interp_(ctx), runtime_(&shared_runtime), decls_(ctx) {
+    : ctx_(ctx),
+      interp_(ctx),
+      vm_(std::make_unique<vm::Vm>(interp_)),
+      runtime_(&shared_runtime),
+      decls_(ctx) {
   // Same primitives, but bound to the shared lock manager / future
   // pool / recorder; %cri-run executes in *this* interpreter.
   runtime_->install_into(interp_);
+  vm_->install_apply_hook();  // engine_ defaults to kVm
   ctx_.heap.gc().add_root_source(this);
+}
+
+void Curare::set_engine(EngineKind kind) {
+  if (kind == engine_) return;
+  engine_ = kind;
+  if (kind == EngineKind::kVm)
+    vm_->install_apply_hook();
+  else
+    vm_->uninstall_apply_hook();
+}
+
+Value Curare::eval_top(Value form) {
+  return engine_ == EngineKind::kVm ? vm_->eval_top(form)
+                                    : interp_.eval_top(form);
+}
+
+Value Curare::eval_program(std::string_view src) {
+  return engine_ == EngineKind::kVm ? vm_->eval_program(src)
+                                    : interp_.eval_program(src);
 }
 
 Curare::~Curare() { ctx_.heap.gc().remove_root_source(this); }
@@ -143,7 +169,7 @@ Value Curare::load_program(std::string_view src) {
       if (head == "curare-declare") continue;  // advice, not code
       if (head == "defun") defuns_[as_symbol(cadr(form))] = form;
     }
-    last = interp_.eval_top(form);
+    last = eval_top(form);
     // defstruct feeds the analyzer too: its field classes ARE the §6
     // structure declaration.
     if (form.is(Kind::Cons) && car(form).is(Kind::Symbol) &&

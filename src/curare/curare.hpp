@@ -40,6 +40,7 @@
 #include "lisp/interp.hpp"
 #include "runtime/runtime.hpp"
 #include "sexpr/ctx.hpp"
+#include "vm/vm.hpp"
 
 namespace curare {
 
@@ -55,6 +56,12 @@ struct AnalysisReport {
   std::vector<std::pair<std::string, std::string>> transfers;
   std::string to_string() const;
 };
+
+/// Which evaluator executes Lisp under this driver. kVm (the default)
+/// compiles closure bodies to bytecode lazily and falls back to the
+/// tree-walker per form; kTree runs everything on the tree-walker and
+/// serves as the differential oracle.
+enum class EngineKind { kTree, kVm };
 
 enum class Strategy { Auto, LockOnly, DelayThenLock, ReorderOnly, None };
 
@@ -106,9 +113,22 @@ class Curare : public gc::RootSource {
   /// quiescent point.
   Value load_program(std::string_view src);
 
+  /// Read and evaluate every form in `src` on the selected engine;
+  /// returns the last value. Unlike load_program this does NOT feed
+  /// the analyzer — it is the REPL/-e evaluation path.
+  Value eval_program(std::string_view src);
+
+  /// Select the evaluator. Switching to kTree uninstalls the VM apply
+  /// hook so even closure application runs on the tree-walker (the
+  /// differential oracle needs the whole path); switching back
+  /// reinstalls it. Cached code objects survive either way.
+  void set_engine(EngineKind kind);
+  EngineKind engine() const { return engine_; }
+
   const decl::Declarations& declarations() const { return decls_; }
   decl::Declarations& declarations() { return decls_; }
   lisp::Interp& interp() { return interp_; }
+  vm::Vm& vm() { return *vm_; }
   runtime::Runtime& runtime() { return *runtime_; }
 
   /// Analyze a loaded function (paper §2–3).
@@ -147,8 +167,17 @@ class Curare : public gc::RootSource {
  private:
   analysis::FunctionInfo extract_named(std::string_view fn_name);
 
+  /// Engine-dispatched top-level eval (load_program / eval_program).
+  Value eval_top(Value form);
+
   sexpr::Ctx& ctx_;
   lisp::Interp interp_;
+  /// The bytecode engine over interp_. Always constructed (compilation
+  /// is lazy, so an unused Vm costs nothing); engine_ decides whether
+  /// its apply hook is installed and which eval path top-level forms
+  /// take.
+  std::unique_ptr<vm::Vm> vm_;
+  EngineKind engine_ = EngineKind::kVm;
   /// Owned in the classic single-process shape; null when borrowing a
   /// process-wide runtime (serving layer).
   std::unique_ptr<runtime::Runtime> owned_runtime_;

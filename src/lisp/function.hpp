@@ -6,7 +6,10 @@
 // all the paper's examples need).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,9 +21,24 @@ namespace curare::lisp {
 
 class Interp;
 
+/// Opaque compiled-code attachment for a Closure. The bytecode VM
+/// (src/vm/) derives its CodeObject from this so a Closure can cache
+/// its compiled body without the lisp module depending on the VM. The
+/// collector calls gc_trace (world stopped) so the code's constant
+/// pool stays live exactly as long as the function does.
+struct CodeBlob {
+  virtual ~CodeBlob() = default;
+  virtual void gc_trace(sexpr::GcVisitor& g) const = 0;
+};
+
 /// User-defined function. `params` are required positional parameters;
 /// `rest` (may be null) collects extras as a list, per &rest.
 struct Closure final : sexpr::Obj {
+  /// Lazy-compile states for `code_state`.
+  static constexpr int kCodeUnknown = 0;   ///< not yet attempted
+  static constexpr int kCodeReady = 1;     ///< `code` valid, immutable
+  static constexpr int kCodeRefused = 2;   ///< compiler refused; tree-walk
+
   Closure(std::string name_, std::vector<Symbol*> params_, Symbol* rest_,
           Value body_, EnvPtr env_)
       : Obj(sexpr::Kind::Closure),
@@ -32,6 +50,11 @@ struct Closure final : sexpr::Obj {
 
   void gc_trace(sexpr::GcVisitor& g) const override {
     g.visit(body);
+    // Compiled constants can reference structure not reachable from the
+    // body form (none today — the compiler only aliases body subtrees —
+    // but the invariant belongs here, not in the compiler).
+    if (code_state.load(std::memory_order_acquire) == kCodeReady)
+      code->gc_trace(g);
     // Captured frames are shared by every closure made under them;
     // enter_region dedups the walk within one collection. Parameter
     // symbols are pinned by the SymbolTable and need no visit.
@@ -46,6 +69,14 @@ struct Closure final : sexpr::Obj {
   Symbol* const rest;
   const Value body;  ///< list of body forms
   const EnvPtr env;  ///< captured lexical environment
+
+  /// One-shot compiled-code cache, filled by the VM on first call.
+  /// Readers load code_state acquire and touch `code` only on
+  /// kCodeReady; writers publish under code_mu with a release store of
+  /// the state, so concurrent first calls race benignly.
+  mutable std::atomic<int> code_state{kCodeUnknown};
+  mutable std::shared_ptr<const CodeBlob> code;
+  mutable std::mutex code_mu;
 };
 
 using BuiltinFn = std::function<Value(Interp&, std::span<const Value>)>;

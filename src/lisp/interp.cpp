@@ -4,7 +4,7 @@
 #include <iostream>
 
 #include "obs/profiler.hpp"
-#include "runtime/resilience.hpp"
+#include "runtime/eval_tick.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
 #include "sexpr/reader.hpp"
@@ -352,6 +352,14 @@ Value Interp::apply(Value fn, std::span<const Value> args) {
     return b->fn(*this, args);
   }
   if (fn.is(Kind::Closure)) {
+    // VM engine first: compiled closures run on the bytecode stack
+    // (which pushes its own profile frames); the hook declines for
+    // closures the compiler refused, and the tree path below remains
+    // the single fallback.
+    if (compiled_apply_) {
+      Value out;
+      if (compiled_apply_(*this, fn, args, &out)) return out;
+    }
     auto* c = static_cast<Closure*>(fn.obj());
     obs::ProfileFrameScope pf(obs::Profiler::FrameKind::kFn, &c->name);
     EnvPtr env = bind_params(c, args);
@@ -382,15 +390,12 @@ Value Interp::eval(Value form, EnvPtr env) {
     // Cancellation check (DESIGN.md §10): tail-call elimination funnels
     // every loop a program can write through this point, so polling
     // here bounds how long a busy (not blocked) server can outlive its
-    // run's deadline. Sampled 1-in-64 so the cost is a thread-local
-    // counter bump per eval step. The sampling profiler rides the same
-    // tick (its period is a power of two ≥ 8, so the &7 pre-check
-    // keeps the disarmed cost to the tick itself).
+    // run's deadline. The tick/poll machinery is shared with the
+    // bytecode VM (runtime/eval_tick.hpp): one step per eval step here,
+    // one per instruction there, same 1-in-64 poll and poll counter.
     {
-      static thread_local unsigned cancel_tick = 0;
-      const unsigned tick = ++cancel_tick;
-      if ((tick & 0x3F) == 0) runtime::poll_cancellation();
-      if ((tick & 0x7) == 0 && obs::Profiler::due(tick)) {
+      const unsigned tick = runtime::eval_tick_step();
+      if (runtime::eval_tick_profile_due(tick)) {
         const std::string* leaf = nullptr;
         if (form.is(Kind::Cons)) {
           Value head = static_cast<Cons*>(form.obj())->car();

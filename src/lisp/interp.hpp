@@ -106,6 +106,27 @@ class Interp : public gc::RootSource {
   /// Maximum non-tail eval nesting before a LispError (guards the C++
   /// stack against runaway recursion in user programs).
   void set_max_depth(std::size_t d) { max_depth_ = d; }
+  std::size_t max_depth() const { return max_depth_; }
+
+  // ---- compiled-apply hook (installed by the VM engine) ---------------
+  /// Tried first for every closure application routed through apply():
+  /// return true with *out filled to take the call (compiled
+  /// execution), false to fall through to the tree-walking path
+  /// (uncompilable closure). Install before any concurrent evaluation
+  /// starts — the hook itself is not synchronized.
+  using CompiledApplyHook =
+      std::function<bool(Interp&, Value fn, std::span<const Value> args,
+                         Value* out)>;
+  void set_compiled_apply_hook(CompiledApplyHook hook) {
+    compiled_apply_ = std::move(hook);
+  }
+
+  /// Count one application performed outside apply() (the VM's call
+  /// opcodes), keeping apply_count a comparable work measure across
+  /// engines.
+  void count_apply() {
+    apply_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Number of closure applications performed (rough work measure used
   /// by tests and benches).
@@ -157,6 +178,7 @@ class Interp : public gc::RootSource {
 
   SpawnHook spawn_hook_;
   TouchHook touch_hook_;
+  CompiledApplyHook compiled_apply_;
 
   std::mutex out_mu_;
   std::string out_;

@@ -1,0 +1,57 @@
+// Shared evaluation-tick helper: one cancellation-poll implementation
+// for both evaluation engines (DESIGN.md §10, §13).
+//
+// The tree-walking interpreter advances the tick once per eval step;
+// the bytecode VM advances it once per executed instruction. Every
+// 64th step funnels into runtime::poll_cancellation(), so a busy (not
+// blocked) server can outlive its run's deadline by at most 64 steps
+// regardless of which engine is running it — and the sampling profiler
+// rides the same counter, so its period arithmetic is identical under
+// both engines. The process-wide poll count is the "one metric" the
+// two engines share: it feeds the resilience report and lets tests
+// assert that preemption points were actually reached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/profiler.hpp"
+#include "runtime/resilience.hpp"
+
+namespace curare::runtime {
+
+/// Steps (eval steps / VM instructions) between cancellation polls.
+/// Power of two; the profiler's minimum period (8) divides it.
+inline constexpr unsigned kEvalPollPeriod = 64;
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_eval_polls{0};
+inline thread_local unsigned g_eval_tick = 0;
+}  // namespace detail
+
+/// How many times either engine reached a cancellation poll point
+/// (process-wide, all threads, both engines).
+inline std::uint64_t eval_poll_count() {
+  return detail::g_eval_polls.load(std::memory_order_relaxed);
+}
+
+/// Advance this thread's eval tick one step; poll cancellation on
+/// every kEvalPollPeriod-th step. Returns the tick so the caller can
+/// drive the profiler off the same counter.
+inline unsigned eval_tick_step() {
+  const unsigned tick = ++detail::g_eval_tick;
+  if ((tick & (kEvalPollPeriod - 1)) == 0) {
+    detail::g_eval_polls.fetch_add(1, std::memory_order_relaxed);
+    poll_cancellation();
+  }
+  return tick;
+}
+
+/// True when this tick should take a profiler sample. The &7 pre-check
+/// keeps the disarmed cost to the tick itself (the profiler's period
+/// is a power of two ≥ 8).
+inline bool eval_tick_profile_due(unsigned tick) {
+  return (tick & 0x7) == 0 && obs::Profiler::due(tick);
+}
+
+}  // namespace curare::runtime

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lisp/function.hpp"
+#include "runtime/eval_tick.hpp"
 #include "runtime/fault_injector.hpp"
 #include "sexpr/printer.hpp"
 
@@ -154,6 +155,8 @@ std::string Runtime::resilience_report() {
   os << "  stalls detected: " << watchdog_.stalls_detected()
      << ", runs aborted: "
      << recorder_.metrics.counter("cri.aborts").get() << "\n";
+  os << "  eval cancel polls: " << eval_poll_count()
+     << " (shared tick, tree + vm engines)\n";
   os << FaultInjector::instance().report();
   os << locks_.dump_held();
   return os.str();

@@ -132,7 +132,7 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
     // The Session's Interp registers with the GC and its destructor
     // drains the shared future pool, so scope it tighter than the
     // connection bookkeeping below.
-    Session session(session_id, ctx_, runtime_);
+    Session session(session_id, ctx_, runtime_, opts_.engine);
     std::string payload;
     // A reply's own socket write can't be part of the breakdown it
     // carries, so each response reports the *previous* reply's write

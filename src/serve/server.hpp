@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "curare/curare.hpp"
 #include "lisp/interp.hpp"
 #include "runtime/runtime.hpp"
 #include "sexpr/ctx.hpp"
@@ -55,6 +56,10 @@ struct ServeOptions {
   /// cancelling their tokens.
   std::int64_t drain_grace_ms = 2000;
   std::size_t workers = 0;  ///< future-pool size (0 = hw concurrency)
+  /// Evaluator for every session this daemon spawns. kVm is the
+  /// production default; kTree is the differential oracle (and the
+  /// serve-smoke cross-check).
+  EngineKind engine = EngineKind::kVm;
 };
 
 class ServeDaemon {

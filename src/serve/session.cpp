@@ -23,8 +23,10 @@ bool is_deadline(const std::string& msg) {
 }  // namespace
 
 Session::Session(std::uint64_t id, sexpr::Ctx& ctx,
-                 runtime::Runtime& shared_runtime)
-    : id_(id), driver_(ctx, shared_runtime) {}
+                 runtime::Runtime& shared_runtime, EngineKind engine)
+    : id_(id), driver_(ctx, shared_runtime) {
+  driver_.set_engine(engine);
+}
 
 Session::~Session() {
   // Futures spawned by this session's programs capture driver_.interp()

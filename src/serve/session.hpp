@@ -29,7 +29,8 @@ namespace curare::serve {
 class Session {
  public:
   Session(std::uint64_t id, sexpr::Ctx& ctx,
-          runtime::Runtime& shared_runtime);
+          runtime::Runtime& shared_runtime,
+          EngineKind engine = EngineKind::kVm);
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

@@ -1,0 +1,87 @@
+;; Differential corpus: the compiled subset, shape by shape. Every
+;; form here lands on bytecode under the VM; the runner diffs printed
+;; output and the final value against the tree-walker.
+
+(defun fact (n) (if (< n 2) 1 (* n (fact (- n 1)))))
+(print (fact 12))
+
+;; Deep tail recursion: TCE on both engines, no depth error.
+(defun count-down (n acc) (if (< n 1) acc (count-down (- n 1) (+ acc 1))))
+(print (count-down 100000 0))
+
+;; cond with builtin slow paths burned in (mod, /).
+(defun collatz-len (n steps)
+  (cond ((= n 1) steps)
+        ((= (mod n 2) 0) (collatz-len (/ n 2) (+ steps 1)))
+        (t (collatz-len (+ (* 3 n) 1) (+ steps 1)))))
+(print (collatz-len 27 0))
+
+;; let evaluates inits in the outer scope; let* sequentially.
+(let ((x 1) (y 2)) (print (+ x y)))
+(print (let ((x 1)) (let ((x 2) (y x)) y)))
+(print (let* ((x 2) (y (* x x))) (- y x)))
+(print (let ((x)) x))
+
+;; Top-level setq creates a global; later forms read it.
+(setq g-counter 10)
+(print (+ g-counter 1))
+
+;; Loops: while, dotimes (result form), dolist (result form).
+(print (let ((acc 0) (i 0))
+         (while (< i 10) (setq acc (+ acc i)) (setq i (+ i 1)))
+         acc))
+(print (let ((acc 0)) (dotimes (i 10 acc) (setq acc (+ acc (* i i))))))
+(print (let ((s 0)) (dolist (x '(1 2 3 4) s) (setq s (+ s x)))))
+;; dotimes leaves var = n after the loop; dolist leaves var nil.
+(print (let ((last 0)) (dotimes (i 3 i) (setq last i))))
+
+;; push / pop / incf / decf on slot places.
+(let ((l nil))
+  (push 1 l)
+  (push 2 l)
+  (push 3 l)
+  (print l)
+  (print (pop l))
+  (print l))
+(let ((n 5)) (incf n 2) (decf n) (print n))
+
+;; setf on cxr places navigates and mutates in place.
+(let ((c (cons 1 2)))
+  (setf (car c) 10)
+  (setf (cdr c) 20)
+  (print c))
+(let ((l (list 1 2 3)))
+  (setf (cadr l) 99)
+  (print l))
+
+;; Short-circuit forms and their empty/degenerate spellings.
+(print (and 1 2 3))
+(print (and 1 nil 3))
+(print (and))
+(print (or nil nil 7))
+(print (or))
+(print (when (< 1 2) 'yes))
+(print (unless (< 1 2) 'no))
+(print (cond (nil 1) (7) (t 2)))
+
+;; Predicates and list surgery through the direct opcodes.
+(print (null nil))
+(print (not 3))
+(print (atom '(1)))
+(print (consp '(1)))
+(print (eq 'a 'a))
+(print (car '(1 2)))
+(print (cdr '(1 2)))
+(print (cons 1 (cons 2 nil)))
+(print (1+ 41))
+(print (1- 43))
+
+;; Redefinition is late-bound for user functions: callers see the new
+;; definition without recompilation.
+(defun base-fn (x) (+ x 1))
+(defun caller (x) (base-fn x))
+(print (caller 10))
+(defun base-fn (x) (* x 100))
+(print (caller 10))
+
+(print 'done)

@@ -1,0 +1,58 @@
+;; Differential corpus: numeric and data edges. The VM's fast opcodes
+;; (add/sub/mul/compare) inline only the two-fixnum case and punt to
+;; the burned-in builtin otherwise — floats, negatives, and chain
+;; comparisons walk both paths and must not diverge.
+
+(print (+ 1 2))
+(print (+ 1.5 2))
+(print (- 3 4.5))
+(print (* -3 7))
+(print (< 1 2.5))
+(print (<= 2 2))
+(print (> -1 -2))
+(print (>= 2 3))
+(print (= 2 2.0))
+
+;; Variadic spellings skip the 2-arg fast ops entirely.
+(print (+ 1 2 3 4))
+(print (- 10 1 2))
+(print (* 2 3 4))
+(print (< 1 2 3))
+(print (< 1 3 2))
+(print (max 3 1 4 1 5))
+(print (min 3 1 4))
+
+;; Integer edges: division, modulo with negatives, expt, abs.
+(print (/ 7 2))
+(print (mod 7 3))
+(print (mod -7 3))
+(print (expt 2 10))
+(print (abs -42))
+(print (floor 2.7))
+(print (truncate -2.7))
+
+;; Equality ladder: eq (identity) vs eql vs equal (structure).
+(print (eq '(1) '(1)))
+(print (equal '(1 (2 3)) '(1 (2 3))))
+(print (eql 2 2))
+(print (zerop 0))
+(print (evenp 4))
+(print (oddp 4))
+
+;; Strings and symbols through the constant pool.
+(print "hello")
+(print (concat "a" "b" "c"))
+(print (string= "x" "x"))
+(print (symbol-name 'foo))
+(print (length '(1 2 3)))
+(print (reverse '(1 2 3)))
+(print (append '(1 2) '(3 4)))
+(print (nth 2 '(a b c d)))
+(print (member 3 '(1 2 3 4)))
+(print (assoc 'b '((a 1) (b 2))))
+
+;; Deterministic RNG: both engines run under the same seed.
+(print (random 1000))
+(print (random 1000))
+
+(print 'done)

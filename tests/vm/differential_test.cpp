@@ -1,0 +1,130 @@
+// The differential oracle: every program in examples/lisp/ and
+// tests/vm/corpus/ runs under both engines — a plain tree-walking
+// Interp and a Vm over a fresh Interp — and everything observable
+// must match: the final value, any error text, and the captured
+// printer output.
+//
+// The runner mirrors Curare::load_program's treatment of top-level
+// forms (curare-declare is advice, not code) and Interp::eval_program's
+// rooting, but deliberately uses bare interpreters with no Runtime:
+// programs that need runtime primitives (%cri-run, locks) fail with
+// the *same* unbound error on both engines, which is itself parity
+// coverage; and deadlock.lisp would otherwise live up to its name.
+// The RNG is seeded identically so (random n) streams agree.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gc/gc.hpp"
+#include "lisp/interp.hpp"
+#include "sexpr/printer.hpp"
+#include "sexpr/reader.hpp"
+#include "vm/vm.hpp"
+
+namespace curare::vm {
+namespace {
+
+namespace fs = std::filesystem;
+using sexpr::write_str;
+
+struct Outcome {
+  std::string result;
+  std::string output;
+};
+
+Outcome run_program(const std::string& src, bool use_vm) {
+  sexpr::Ctx ctx;
+  lisp::Interp in(ctx);
+  in.set_echo(false);
+  in.seed_rng(42);
+  Vm vm(in);
+  if (use_vm) vm.install_apply_hook();
+  Outcome o;
+  try {
+    gc::RootScope roots(ctx.heap.gc());
+    std::vector<Value> forms;
+    {
+      gc::MutatorScope ms(ctx.heap.gc());
+      forms = sexpr::read_all(ctx, src);
+      for (Value f : forms) roots.add(f);
+    }
+    Value last = Value::nil();
+    for (Value form : forms) {
+      ctx.heap.gc().maybe_collect();
+      if (form.is(sexpr::Kind::Cons) &&
+          sexpr::car(form).is(sexpr::Kind::Symbol) &&
+          sexpr::as_symbol(sexpr::car(form))->name == "curare-declare")
+        continue;
+      last = use_vm ? vm.eval_top(form) : in.eval_top(form);
+    }
+    o.result = write_str(last);
+  } catch (const std::exception& e) {
+    o.result = std::string("error: ") + e.what();
+  }
+  o.output = in.take_output();
+  return o;
+}
+
+std::vector<fs::path> corpus() {
+  const fs::path repo = CURARE_REPO_DIR;
+  std::vector<fs::path> files;
+  for (const char* dir : {"tests/vm/corpus", "examples/lisp"}) {
+    for (const auto& entry : fs::directory_iterator(repo / dir)) {
+      if (entry.path().extension() == ".lisp")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(DifferentialTest, EnginesAgreeOnEveryCorpusProgram) {
+  const std::vector<fs::path> files = corpus();
+  ASSERT_GE(files.size(), 3u) << "corpus missing — wrong CURARE_REPO_DIR?";
+  for (const fs::path& path : files) {
+    std::ifstream f(path);
+    ASSERT_TRUE(f.is_open()) << path;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string src = ss.str();
+    const Outcome tree = run_program(src, /*use_vm=*/false);
+    const Outcome vm = run_program(src, /*use_vm=*/true);
+    EXPECT_EQ(tree.result, vm.result) << path.filename();
+    EXPECT_EQ(tree.output, vm.output) << path.filename();
+  }
+}
+
+// The corpus must actually exercise the VM: the core-forms program
+// compiles its defuns (compiled entries) and the fallback program
+// crosses the refusal seam (fallback entries).
+TEST(DifferentialTest, CorpusCoversBothEnginePaths) {
+  const fs::path repo = CURARE_REPO_DIR;
+  for (const auto& [file, want_compiled, want_fallback] :
+       {std::tuple{"core_forms.lisp", true, false},
+        std::tuple{"fallback_mix.lisp", true, true}}) {
+    std::ifstream f(repo / "tests/vm/corpus" / file);
+    ASSERT_TRUE(f.is_open()) << file;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    sexpr::Ctx ctx;
+    lisp::Interp in(ctx);
+    in.set_echo(false);
+    in.seed_rng(42);
+    Vm vm(in);
+    vm.install_apply_hook();
+    vm.eval_program(ss.str());
+    if (want_compiled) {
+      EXPECT_GT(vm.compiled_entries(), 0u) << file;
+    }
+    if (want_fallback) {
+      EXPECT_GT(vm.fallback_entries(), 0u) << file;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace curare::vm

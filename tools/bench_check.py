@@ -31,7 +31,11 @@ kept here so they are enforced forever, not just the week they landed):
     batch 1) must show ws >= 1.5x mutex;
   * server_scaling: utilization must stay above collapse level and
     wall time must stay flat across the sweep (a spinning-server
-    regression shows up as 10x wall inflation past S=16).
+    regression shows up as 10x wall inflation past S=16);
+  * eval_ab (bench_eval): at every (workload, n) point the vm engine
+    must not fall below the tree engine, both engines must report the
+    *identical* "result" string (a riding differential check), and the
+    acceptance cell (arith_loop) must show vm >= 5x tree.
 
 The committed baseline is judged strictly; the fresh run gets a noise
 allowance (--gate-slack, default 0.85) so a loaded CI host does not
@@ -50,6 +54,7 @@ VOLATILE = frozenset(
     METRICS
     + (
         "secs",
+        "reps",
         "wall_s",
         "wall_ms",
         "ops",
@@ -84,6 +89,7 @@ VOLATILE = frozenset(
 ACCEPTANCE_RATIO = 1.5  # ws vs mutex, spawn_chain, 8 threads, 1 site
 UTILIZATION_FLOOR = 0.04  # server_scaling collapse level (1-core host)
 WALL_FLATNESS = 5.0  # max wall_ms(S) / wall_ms(S_min) across the sweep
+EVAL_ACCEPTANCE_RATIO = 5.0  # vm vs tree on the arith_loop workload
 
 
 def check_gates(recs, label, slack):
@@ -120,6 +126,46 @@ def check_gates(recs, label, slack):
         problems.append(
             f"{label}: queue_ab records present but the acceptance cell "
             "(spawn_chain, threads=8, sites=1, batch=1) is missing"
+        )
+    # eval_ab: per-point vm-vs-tree floor, result identity, and the
+    # arith_loop acceptance cell.
+    eval_cells = {}
+    for r in recs:
+        if r.get("bench") != "eval_ab":
+            continue
+        point = (r.get("workload"), r.get("n"))
+        eval_cells.setdefault(point, {})[r.get("engine")] = r
+    eval_acceptance_seen = False
+    for point, by_engine in sorted(eval_cells.items()):
+        tree, vm = by_engine.get("tree"), by_engine.get("vm")
+        if tree is None or vm is None:
+            continue
+        name = "workload=%s n=%s" % point
+        if tree.get("result") != vm.get("result"):
+            problems.append(
+                f"{label}: engines disagree at {name}: "
+                f"tree={tree.get('result')!r} vm={vm.get('result')!r}"
+            )
+        tv, vv = float(tree["evals_per_s"]), float(vm["evals_per_s"])
+        if tv <= 0:
+            continue
+        if vv < tv * slack:
+            problems.append(
+                f"{label}: vm below tree at {name}: "
+                f"{vv:.1f} < {tv:.1f} * {slack:.2f}"
+            )
+        if point[0] == "arith_loop":
+            eval_acceptance_seen = True
+            bar = EVAL_ACCEPTANCE_RATIO * slack
+            if vv < tv * bar:
+                problems.append(
+                    f"{label}: eval acceptance cell vm/tree = "
+                    f"{vv / tv:.2f}x < {bar:.2f}x ({name})"
+                )
+    if eval_cells and not eval_acceptance_seen:
+        problems.append(
+            f"{label}: eval_ab records present but the acceptance cell "
+            "(arith_loop, both engines) is missing"
         )
     # server_scaling: collapse guards.
     scaling = [r for r in recs if r.get("bench") == "server_scaling"]

@@ -44,6 +44,8 @@
 //   --profile[=N]  arm the sampling eval profiler (one sample per N
 //                  eval steps, default 64, power of two >= 8) and print
 //                  the collapsed hot-form report on exit
+//   --engine NAME  evaluator: vm (bytecode, default) or tree (the
+//                  tree-walking oracle)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -295,7 +297,7 @@ int repl(Curare& cur) {
         Value out = cur.run_parallel(fname, args, servers);
         std::printf("%s\n", curare::sexpr::write_str(out).c_str());
       } else if (line.rfind(":sapp ", 0) == 0) {
-        Value v = cur.interp().eval_program(line.substr(6));
+        Value v = cur.eval_program(line.substr(6));
         auto r = curare::check_struct_sapp(v, cur.declarations());
         std::printf("%s (%zu instances)%s%s\n",
                     r.holds ? "SAPP holds" : "SAPP violated",
@@ -377,6 +379,7 @@ int main(int argc, char** argv) {
   std::string file;
   std::int64_t deadline_ms = 0;
   std::int64_t stall_ms = 0;
+  curare::EngineKind engine = curare::EngineKind::kVm;
   std::int64_t lock_budget_ms = 0;
   bool have_chaos = false;
   std::uint64_t chaos_seed = 0;
@@ -450,6 +453,16 @@ int main(int argc, char** argv) {
       have_chaos = true;
     } else if (take_value(i, arg, "--trace", v)) {
       trace_path = v;
+    } else if (take_value(i, arg, "--engine", v)) {
+      if (v == "vm") {
+        engine = curare::EngineKind::kVm;
+      } else if (v == "tree") {
+        engine = curare::EngineKind::kTree;
+      } else {
+        std::fprintf(stderr, "--engine: unknown engine '%s' (vm|tree)\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
     } else if (take_value(i, arg, "-e", v)) {
       eval_expr = v;
       have_eval = true;
@@ -470,7 +483,7 @@ int main(int argc, char** argv) {
                    "unknown option %s\nusage: curare [--trace out.json] "
                    "[--stats] [--profile[=N]] [--gc-threshold N] "
                    "[--gc-stats] [--deadline-ms N] [--stall-ms N] "
-                   "[--lock-budget-ms N] "
+                   "[--lock-budget-ms N] [--engine vm|tree] "
                    "[--chaos SEED:RATE[:KINDS[:SITES]]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
@@ -489,6 +502,7 @@ int main(int argc, char** argv) {
 
   curare::sexpr::Ctx ctx;
   Curare cur(ctx);
+  cur.set_engine(engine);
   cur.interp().set_echo(false);
   if (have_threshold) ctx.heap.gc().set_threshold(gc_threshold);
   if (!trace_path.empty()) cur.runtime().obs().tracer.set_enabled(true);
@@ -546,7 +560,7 @@ int main(int argc, char** argv) {
 
   if (have_eval) {
     try {
-      Value v = cur.interp().eval_program(eval_expr);
+      Value v = cur.eval_program(eval_expr);
       std::string out = cur.interp().take_output();
       if (!out.empty()) std::printf("%s", out.c_str());
       std::printf("%s\n", curare::sexpr::write_str(v).c_str());

@@ -23,6 +23,8 @@
 //   --stall-ms N        per-CRI-run watchdog window (default 0 = off)
 //   --lock-budget-ms N  cap any single blocked lock acquisition
 //   --workers N         future-pool threads (default hw concurrency)
+//   --engine NAME       evaluator for every session: vm (bytecode,
+//                       default) or tree (the tree-walking oracle)
 //   --chaos SEED:RATE[:KINDS[:SITES]]  arm the fault injector; SITES
 //                       is a comma list of injection sites
 //                       (e.g. queue.push,task.run — default all)
@@ -140,7 +142,8 @@ int usage() {
       "                    [--max-inflight N] [--queue-limit N]\n"
       "                    [--deadline-ms N] [--drain-grace-ms N]\n"
       "                    [--stall-ms N] [--lock-budget-ms N]\n"
-      "                    [--workers N] [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
+      "                    [--workers N] [--engine vm|tree]\n"
+      "                    [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
       "                    [--stats] [--trace] [--profile[=N]]\n");
   return curare::serve::kExitUsage;
 }
@@ -217,6 +220,16 @@ int main(int argc, char** argv) {
     } else if (take_value(i, arg, "--workers", v)) {
       parse_nonneg("--workers", v, n);
       opts.workers = static_cast<std::size_t>(n);
+    } else if (take_value(i, arg, "--engine", v)) {
+      if (v == "vm") {
+        opts.engine = curare::EngineKind::kVm;
+      } else if (v == "tree") {
+        opts.engine = curare::EngineKind::kTree;
+      } else {
+        std::fprintf(stderr, "--engine: unknown engine '%s' (vm|tree)\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
     } else if (take_value(i, arg, "--chaos", v)) {
       if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
                        chaos_sites)) {

@@ -12,6 +12,11 @@
 // a mutex'd vector push; the bump heap touches shared state only on
 // block refill, once per ~kBlockSize/cell_size allocations.
 //
+// Part 1.5: quota-overhead column. The same single-thread allocation
+// loop with the per-request memory accounting armed (DESIGN.md §14);
+// the on/off ratio is a bench_check gate — governance may not cost
+// the fast path more than 3%.
+//
 // Part 2: GC pause distribution. A fixed survivor set stays rooted
 // while garbage cons chains churn through a low collection threshold;
 // every pause is recorded via the pause callback and reported as
@@ -32,6 +37,7 @@
 
 #include "bench_util.hpp"
 #include "gc/gc.hpp"
+#include "obs/request.hpp"
 #include "sexpr/heap.hpp"
 #include "sexpr/value.hpp"
 
@@ -213,6 +219,65 @@ void run_ab(std::FILE* js) {
   }
 }
 
+// ---- Part 1.5: per-request accounting overhead ----------------------------
+
+/// Single-thread cons throughput with the request-scoped memory
+/// accounting armed: a RequestContext with an effectively unlimited
+/// quota is installed, so every allocation pays charge_allocation's
+/// load + fetch_add but never throws. Compared against the plain run
+/// (no request in scope — the one-thread-local-load fast path).
+double run_alloc_quota(std::size_t total) {
+  BumpHeap heap;
+  auto rc = std::make_shared<obs::RequestContext>();
+  rc->mem_quota = UINT64_MAX / 2;  // armed, never breached
+  const double secs = time_s([&] {
+    std::thread w([&heap, &rc, total] {
+      obs::RequestScope scope(rc);
+      sexpr::Value chain = sexpr::Value::nil();
+      for (std::size_t i = 0; i < total; ++i) {
+        chain = heap.cons(
+            sexpr::Value::fixnum(static_cast<std::int64_t>(i)), chain);
+        if ((i & 63) == 63) chain = sexpr::Value::nil();
+      }
+      g_spin_sink.fetch_add(chain.is_object() ? 1 : 0,
+                            std::memory_order_relaxed);
+    });
+    w.join();
+  });
+  return secs;
+}
+
+/// Quota-overhead column: the acceptance bar (DESIGN.md §14, enforced
+/// by tools/bench_check.py) is on/off >= 0.97 — governance may not
+/// cost the allocator fast path more than 3% single-threaded.
+void run_quota_overhead(std::FILE* js) {
+  const bool smoke = smoke_mode();
+  const std::size_t total = smoke ? 40'000 : 1'000'000;
+  // Best-of-5: the ratio of two separately-measured single-thread
+  // runs is the noisiest number in this file, and it feeds a gate.
+  const int reps = smoke ? 1 : 5;
+
+  double off = 1e9, on = 1e9;
+  for (int r = 0; r < reps; ++r) {
+    off = std::min(off, run_alloc<BumpHeap>(1, total));
+    on = std::min(on, run_alloc_quota(total));
+  }
+  const double mcons_off = static_cast<double>(total) / off / 1e6;
+  const double mcons_on = static_cast<double>(total) / on / 1e6;
+  const double ratio = mcons_on / mcons_off;
+  std::printf("quota accounting overhead (1 thread, %zu conses, best of "
+              "%d):\noff %.2f Mcons, on %.2f Mcons → ratio %.3f "
+              "(acceptance: >= 0.97)\n\n",
+              total, reps, mcons_off, mcons_on, ratio);
+  if (js != nullptr) {
+    std::fprintf(js,
+                 "{\"bench\":\"heap_quota\",\"threads\":1,\"conses\":%zu,"
+                 "\"mcons_off\":%.3f,\"mcons_on\":%.3f,"
+                 "\"overhead_ratio\":%.4f}\n",
+                 total, mcons_off, mcons_on, ratio);
+  }
+}
+
 // ---- Part 2: GC pause distribution ----------------------------------------
 
 void run_pause_distribution(std::FILE* js) {
@@ -309,6 +374,7 @@ int main() {
   if (path == nullptr || *path == '\0') path = "BENCH_heap.json";
   std::FILE* js = std::fopen(path, "w");
   run_ab(js);
+  run_quota_overhead(js);
   run_pause_distribution(js);
   if (js != nullptr) std::fclose(js);
   return 0;

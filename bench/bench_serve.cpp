@@ -15,6 +15,11 @@
 //   {"bench":"serve_load","clients":C,"requests":N,"wall_s":…,
 //    "throughput_rps":…,"p50_ms":…,"p99_ms":…,"rejected":R}
 //
+// A second sweep repeats the load with resource governance armed and
+// every 8th request a hostile allocation loop the per-request quota
+// must clip ({"bench":"serve_runaway",…,"clipped":…} rows): the cost
+// of governance under attack, visible in the same throughput units.
+//
 // CURARE_BENCH_SMOKE=1 shrinks the sweep for CI. CURARE_CHAOS=
 // seed:rate[:kinds[:sites]] arms the deterministic fault injector for
 // the whole run (the TSan CI job targets queue.push and task.run), in
@@ -113,6 +118,9 @@ struct SweepResult {
   double p99_ms = 0;
   std::size_t rejected = 0;  ///< non-ok responses (overload/chaos)
   std::size_t transport_errors = 0;
+  /// Runaway-mix sweep only: requests clipped by the memory quota
+  /// (expected, counted apart from rejections).
+  std::size_t clipped = 0;
   /// Mean server-side breakdown components over the ok eval responses
   /// (each reply carries its request's measured split; see DESIGN §12).
   double mean_admission_ms = 0;
@@ -126,12 +134,18 @@ constexpr const char* kDefineWorkload =
     "(defun bench-count (n acc) (if (< n 1) acc "
     "(bench-count (- n 1) (+ acc 1))))";
 
+/// `runaway_mix` turns on resource governance (an 8 MiB per-request
+/// quota) and makes every 8th request a hostile `(while t (cons 1 2))`
+/// that the quota must clip — the sweep then measures what governance
+/// and a steady trickle of runaways cost the well-behaved traffic.
 SweepResult run_sweep(int clients, std::size_t requests_per_client,
-                      int workload_n, bool chaos) {
+                      int workload_n, bool chaos,
+                      bool runaway_mix = false) {
   sexpr::Ctx ctx;
   serve::ServeOptions opts;
   opts.max_inflight = static_cast<std::size_t>(clients);
   opts.queue_limit = static_cast<std::size_t>(clients) * 2;
+  if (runaway_mix) opts.mem_quota = 8ull << 20;
   serve::ServeDaemon daemon(ctx, opts);
   std::string err;
   if (!daemon.start(&err)) {
@@ -145,6 +159,7 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
       static_cast<std::size_t>(clients));
   std::atomic<std::size_t> rejected{0};
   std::atomic<std::size_t> transport_errors{0};
+  std::atomic<std::size_t> clipped{0};
   std::atomic<std::uint64_t> bd_admission_ns{0};
   std::atomic<std::uint64_t> bd_eval_ns{0};
   std::atomic<std::uint64_t> bd_count{0};
@@ -179,16 +194,28 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
         cri.op = "eval";
         cri.program = "(bench-count$parallel 2 " +
                       std::to_string(workload_n) + " 0)";
+        serve::Request runaway;
+        runaway.op = "eval";
+        runaway.program = "(while t (cons 1 2))";
         auto& lat = latencies[static_cast<std::size_t>(c)];
         lat.reserve(requests_per_client);
         std::uint64_t adm_ns = 0, ev_ns = 0, bd_n = 0;
         for (std::size_t i = 0; i < requests_per_client; ++i) {
-          const serve::Request& req = (i % 4 == 3) ? cri : plain;
+          const bool hostile = runaway_mix && i % 8 == 5;
+          const serve::Request& req =
+              hostile ? runaway : (i % 4 == 3) ? cri : plain;
           double ms = 0;
           const double s = time_s([&] {
             auto resp = conn.request(req);
             if (!resp) {
               ++transport_errors;
+            } else if (hostile) {
+              // The quota must convert the runaway into a structured
+              // clip; anything else is a governance failure.
+              if (resp->status == "resource-exhausted")
+                ++clipped;
+              else
+                ++rejected;
             } else if (resp->status != "ok") {
               ++rejected;
             } else if (resp->metrics.is_object()) {
@@ -242,6 +269,7 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
   r.p99_ms = pct(0.99);
   r.rejected = rejected.load();
   r.transport_errors = transport_errors.load();
+  r.clipped = clipped.load();
   if (const std::uint64_t n = bd_count.load(); n > 0) {
     r.mean_admission_ms =
         static_cast<double>(bd_admission_ns.load()) / (1e6 * n);
@@ -304,6 +332,37 @@ int main() {
                    r.clients, r.requests, r.wall_s, r.throughput_rps,
                    r.p50_ms, r.p99_ms, r.mean_admission_ms,
                    r.mean_eval_ms, r.rejected);
+    }
+  }
+  // Runaway mix (DESIGN.md §14): same closed loop, but with an 8 MiB
+  // per-request quota armed and every 8th request a hostile allocation
+  // loop the quota clips. The throughput of the remaining well-behaved
+  // traffic is the price of governance under attack.
+  std::printf("\n== runaway mix (quota 8 MiB, every 8th request "
+              "hostile) ==\n");
+  std::printf("%8s %9s %8s %12s %9s %9s %9s %9s\n", "clients",
+              "requests", "wall_s", "throughput", "p50_ms", "p99_ms",
+              "clipped", "rejected");
+  for (const int c : sweep) {
+    const SweepResult r =
+        run_sweep(c, requests, workload_n, chaos, /*runaway_mix=*/true);
+    std::printf("%8d %9zu %8.3f %10.0f/s %9.3f %9.3f %9zu %9zu\n",
+                r.clients, r.requests, r.wall_s, r.throughput_rps,
+                r.p50_ms, r.p99_ms, r.clipped, r.rejected);
+    if (!chaos && r.clipped == 0) {
+      std::fprintf(stderr,
+                   "bench_serve: runaway mix saw no quota clips — "
+                   "governance is not engaging\n");
+      return 1;
+    }
+    if (js != nullptr) {
+      std::fprintf(js,
+                   "{\"bench\":\"serve_runaway\",\"clients\":%d,"
+                   "\"requests\":%zu,\"wall_s\":%.6f,"
+                   "\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
+                   "\"p99_ms\":%.4f,\"clipped\":%zu,\"rejected\":%zu}\n",
+                   r.clients, r.requests, r.wall_s, r.throughput_rps,
+                   r.p50_ms, r.p99_ms, r.clipped, r.rejected);
     }
   }
   if (js != nullptr) std::fclose(js);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "runtime/fault_injector.hpp"
+#include "runtime/resource.hpp"
 
 namespace curare::gc {
 
@@ -186,10 +187,29 @@ GcHeap::AllocCell GcHeap::allocate(std::size_t payload_size) {
   // stays link-independent of the runtime library.
   runtime::FaultInjector::instance().check(
       runtime::FaultInjector::Site::kGcAlloc);
-  ThreadCache& tc = cache();
   std::size_t cell = sizeof(GcHeader) + payload_size;
   cell = (cell + (kCellAlign - 1)) & ~(kCellAlign - 1);
 
+  // Resource governance (DESIGN.md §14), checked before the cell is
+  // carved so a throw leaves nothing half-built — the same unwind
+  // contract the fault-injection site above already proves: make()
+  // balances the unsafe region and no counter was bumped.
+  runtime::charge_allocation(cell);
+  const std::uint64_t hard = hard_limit_.load(std::memory_order_relaxed);
+  if (hard != 0 &&
+      used_bytes_.load(std::memory_order_relaxed) + cell > hard) {
+    // Fail this allocation instead of growing toward the OS OOM
+    // killer, and arm a collection so the pressure can recede at the
+    // next quiescent point.
+    gc_requested_.store(true, std::memory_order_release);
+    throw runtime::ResourceExhausted(
+        runtime::ResourceExhausted::Kind::kHeapHard,
+        "heap hard watermark: " +
+            std::to_string(used_bytes_.load(std::memory_order_relaxed)) +
+            " byte(s) in use, limit " + std::to_string(hard));
+  }
+
+  ThreadCache& tc = cache();
   char* p;
   if (cell > kBlockSize) {
     // Oversized: a dedicated block, never bump-shared, reclaimed whole.
@@ -202,6 +222,7 @@ GcHeap::AllocCell GcHeap::allocate(std::size_t payload_size) {
     const std::uint64_t thr = threshold_.load(std::memory_order_relaxed);
     if (thr != 0 && bytes_since_gc_ >= thr)
       gc_requested_.store(true, std::memory_order_release);
+    note_used_bytes(cell);
     p = b->mem.get();
   } else {
     Block* b = tc.block;
@@ -243,6 +264,9 @@ void GcHeap::refill(ThreadCache& tc, std::size_t /*cell_size*/) {
   const std::uint64_t thr = threshold_.load(std::memory_order_relaxed);
   if (thr != 0 && bytes_since_gc_ >= thr)
     gc_requested_.store(true, std::memory_order_release);
+  // Block-granular growth is good enough for the watermark estimate:
+  // the whole block is about to be carved into cells.
+  note_used_bytes(kBlockSize);
 }
 
 // ---- counters ----------------------------------------------------------
@@ -440,6 +464,10 @@ std::uint64_t GcHeap::collect_locked(const char* reason,
   p.reclaimed_bytes = swept_bytes;
   p.live_objects = live_objects();
   p.reason = reason;
+  // Re-base the watermark estimate to what actually survived: the
+  // soft/hard checks measure live + growth-since-GC, so pressure
+  // recedes when a collection reclaims.
+  used_bytes_.store(live_bytes(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> bg(blocks_mu_);
     p.heap_bytes = heap_bytes_;

@@ -214,6 +214,41 @@ class GcHeap {
     gc_requested_.store(true, std::memory_order_release);
   }
 
+  /// Heap high-watermarks (DESIGN.md §14). Crossing `soft` raises GC
+  /// urgency (a collection is armed on every further growth) and lets
+  /// the serving layer shed admissions; crossing `hard` makes
+  /// allocations fail with runtime::ResourceExhausted instead of
+  /// growing toward the OS OOM killer. 0 disables either threshold.
+  /// The measure is used_bytes_estimate(): live bytes after the last
+  /// collection plus block-granular growth since — it recedes when a
+  /// collection reclaims, unlike the monotone block-capacity total.
+  void set_heap_limits(std::uint64_t soft, std::uint64_t hard) {
+    soft_limit_.store(soft, std::memory_order_relaxed);
+    hard_limit_.store(hard, std::memory_order_relaxed);
+  }
+  std::uint64_t soft_limit() const {
+    return soft_limit_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hard_limit() const {
+    return hard_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate bytes in use: live bytes at the end of the last
+  /// collection plus bytes handed to bump blocks (64 KiB granules) and
+  /// oversized cells since. One relaxed load — cheap enough for the
+  /// admission path to consult per request.
+  std::uint64_t used_bytes_estimate() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the soft watermark is armed and exceeded — the signal
+  /// the admission controller sheds on.
+  bool above_soft_watermark() const {
+    const std::uint64_t soft = soft_limit_.load(std::memory_order_relaxed);
+    return soft != 0 &&
+           used_bytes_.load(std::memory_order_relaxed) >= soft;
+  }
+
   /// Quiescent point: collect if armed (threshold crossed or requested),
   /// or join a collection already in progress. Must be called with no
   /// unrooted Values held on the C++ stack. Returns true if this call
@@ -274,6 +309,16 @@ class GcHeap {
   ThreadCache* cache_slow();
   void refill(ThreadCache& tc, std::size_t cell_size);
 
+  /// Record heap growth for the watermark estimate; arms a collection
+  /// once the soft threshold is crossed (GC urgency under pressure).
+  void note_used_bytes(std::uint64_t add) {
+    const std::uint64_t used =
+        used_bytes_.fetch_add(add, std::memory_order_relaxed) + add;
+    const std::uint64_t soft = soft_limit_.load(std::memory_order_relaxed);
+    if (soft != 0 && used >= soft)
+      gc_requested_.store(true, std::memory_order_release);
+  }
+
   std::uint64_t collect_locked(const char* reason,
                                std::unique_lock<std::mutex>& sp);
   void collect_impl(const char* reason);
@@ -325,6 +370,14 @@ class GcHeap {
   std::atomic<std::uint64_t> freed_objects_{0};
   std::atomic<std::uint64_t> freed_bytes_{0};
   std::atomic<std::uint64_t> threshold_;
+
+  // High-watermark state (see set_heap_limits). used_bytes_ is the
+  // lock-free mirror the allocator's hard check and the admission
+  // path's soft check read; the collector re-bases it to live bytes
+  // after every sweep.
+  std::atomic<std::uint64_t> soft_limit_{0};
+  std::atomic<std::uint64_t> hard_limit_{0};
+  std::atomic<std::uint64_t> used_bytes_{0};
 
   GcStats stats_{};  ///< collection fields; guarded by sp_mu_
 

@@ -51,6 +51,18 @@ struct RequestContext {
   std::string request_id;     ///< client-visible id (echoed in replies)
   Breakdown bd;
 
+  // Resource budgets (DESIGN.md §14). Limits are set once when the
+  // context is minted (daemon flags, or CLI --mem-quota/--fuel) and
+  // never change afterwards; the `used` counters are charged with
+  // relaxed atomics from the allocator and the eval tick on every
+  // thread working for the request, so the budget is shared by the
+  // socket thread, CRI servers, and future workers alike. 0 = no
+  // limit. runtime/resource.hpp owns the charge-and-throw logic.
+  std::uint64_t mem_quota = 0;   ///< bytes of GC allocation allowed
+  std::uint64_t fuel_limit = 0;  ///< eval steps / VM instructions
+  std::atomic<std::uint64_t> mem_used{0};
+  std::atomic<std::uint64_t> fuel_used{0};
+
   static std::uint64_t next_rid() {
     static std::atomic<std::uint64_t> next{0};
     return next.fetch_add(1, std::memory_order_relaxed) + 1;

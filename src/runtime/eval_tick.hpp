@@ -17,6 +17,7 @@
 
 #include "obs/profiler.hpp"
 #include "runtime/resilience.hpp"
+#include "runtime/resource.hpp"
 
 namespace curare::runtime {
 
@@ -35,14 +36,20 @@ inline std::uint64_t eval_poll_count() {
   return detail::g_eval_polls.load(std::memory_order_relaxed);
 }
 
-/// Advance this thread's eval tick one step; poll cancellation on
-/// every kEvalPollPeriod-th step. Returns the tick so the caller can
-/// drive the profiler off the same counter.
+/// Advance this thread's eval tick one step; poll cancellation and
+/// charge eval fuel on every kEvalPollPeriod-th step. Returns the tick
+/// so the caller can drive the profiler off the same counter.
+///
+/// Fuel rides the same poll the deadline does, so both engines (one
+/// tick per tree-walk step, one per VM instruction) get the same
+/// bound with the same ≤ kEvalPollPeriod-step overshoot — and a
+/// pure-arith loop that never allocates is still clipped.
 inline unsigned eval_tick_step() {
   const unsigned tick = ++detail::g_eval_tick;
   if ((tick & (kEvalPollPeriod - 1)) == 0) {
     detail::g_eval_polls.fetch_add(1, std::memory_order_relaxed);
     poll_cancellation();
+    charge_fuel(kEvalPollPeriod);
   }
   return tick;
 }

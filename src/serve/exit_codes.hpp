@@ -9,7 +9,12 @@
 //   4  kExitDeadline    run exceeded its deadline (CLI --deadline-ms,
 //                       or a request's deadline_ms in serving mode)
 //   5  kExitOverloaded  request rejected by the daemon's admission
-//                       controller (accept queue full)
+//                       controller (accept queue full, or the heap
+//                       soft watermark is shedding)
+//   6  kExitResourceExhausted  run clipped by resource governance: a
+//                       per-request memory quota, the heap hard
+//                       watermark, the eval fuel budget, or the
+//                       serve result cap (DESIGN.md §14)
 //
 // The serving protocol carries the same taxonomy as the response's
 // "status" string; status_exit_code() maps one onto the other so
@@ -27,6 +32,7 @@ inline constexpr int kExitUsage = 2;
 inline constexpr int kExitStall = 3;
 inline constexpr int kExitDeadline = 4;
 inline constexpr int kExitOverloaded = 5;
+inline constexpr int kExitResourceExhausted = 6;
 
 /// Wire statuses (Response.status) in the serving protocol.
 inline constexpr std::string_view kStatusOk = "ok";
@@ -34,6 +40,8 @@ inline constexpr std::string_view kStatusError = "error";
 inline constexpr std::string_view kStatusStall = "stall";
 inline constexpr std::string_view kStatusDeadline = "deadline";
 inline constexpr std::string_view kStatusOverloaded = "overloaded";
+inline constexpr std::string_view kStatusResourceExhausted =
+    "resource-exhausted";
 
 /// Map a wire status onto the shared exit-code table (unknown statuses
 /// conservatively map to kExitError).
@@ -42,6 +50,7 @@ inline int status_exit_code(std::string_view status) {
   if (status == kStatusStall) return kExitStall;
   if (status == kStatusDeadline) return kExitDeadline;
   if (status == kStatusOverloaded) return kExitOverloaded;
+  if (status == kStatusResourceExhausted) return kExitResourceExhausted;
   return kExitError;
 }
 

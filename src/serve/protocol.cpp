@@ -37,6 +37,7 @@ Json Response::to_json() const {
   if (!result.empty()) o["result"] = result;
   if (!output.empty()) o["output"] = output;
   if (!error.empty()) o["error"] = error;
+  if (retry_after_ms > 0) o["retry_after_ms"] = retry_after_ms;
   if (!metrics.is_null()) o["metrics"] = metrics;
   return Json(std::move(o));
 }
@@ -47,6 +48,7 @@ Response Response::from_json(const Json& v) {
   r.result = v.get_string("result");
   r.output = v.get_string("output");
   r.error = v.get_string("error");
+  r.retry_after_ms = v.get_int("retry_after_ms", 0);
   r.metrics = v.get("metrics");
   return r;
 }

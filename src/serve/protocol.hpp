@@ -39,11 +39,16 @@
 //     {"status": "ok", "result": "3", "metrics": {…}}
 //     {"status": "deadline", "error": "run aborted: …", "metrics": {…}}
 //
-//   status      ok | error | stall | deadline | overloaded
+//   status      ok | error | stall | deadline | overloaded |
+//               resource-exhausted
 //               (exit_codes.hpp maps these to process exit codes)
 //   result      printed value / report text (ok only)
 //   output      anything the program printed (eval, when non-empty)
 //   error       human-readable failure (non-ok only)
+//   retry_after_ms  overloaded only: the daemon's hint for when to try
+//               again (admission queue full, or the heap soft
+//               watermark is shedding while GC catches up);
+//               curare_client --retries honors it
 //   metrics     per-request measurements: wall_us, session id, the
 //               admission controller's view at completion, the
 //               request's ids (request_id, rid), and — for eval and
@@ -86,6 +91,8 @@ struct Response {
   std::string result;
   std::string output;
   std::string error;
+  /// Backoff hint on "overloaded" responses (0 = no hint).
+  std::int64_t retry_after_ms = 0;
   Json metrics;  ///< object; null when the op reports none
 
   Json to_json() const;

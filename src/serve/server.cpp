@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "gc/gc.hpp"
 #include "obs/request.hpp"
 #include "serve/exit_codes.hpp"
 #include "serve/protocol.hpp"
@@ -28,8 +29,17 @@ ServeDaemon::ServeDaemon(sexpr::Ctx& ctx, ServeOptions opts)
       requests_c_(runtime_.obs().metrics.counter("serve.requests")),
       request_ns_h_(
           runtime_.obs().metrics.histogram("serve.request_ns")),
+      heap_shed_c_(
+          runtime_.obs().metrics.counter("resource.shed.heap_soft")),
+      heap_used_g_(
+          runtime_.obs().metrics.gauge("resource.heap_used_bytes")),
       gc_pause_h_(
-          runtime_.obs().metrics.histogram("cri.gc.pause_ns")) {}
+          runtime_.obs().metrics.histogram("cri.gc.pause_ns")) {
+  // The watermarks govern the shared heap, so they are daemon-wide
+  // state armed once here (tests construct daemons directly; the
+  // curare_serve tool only fills ServeOptions).
+  ctx_.heap.gc().set_heap_limits(opts_.heap_soft, opts_.heap_hard);
+}
 
 ServeDaemon::~ServeDaemon() { shutdown(); }
 
@@ -128,11 +138,12 @@ void ServeDaemon::reap_finished() {
 
 void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
   sessions_g_.add(1);
-  {
+  try {
     // The Session's Interp registers with the GC and its destructor
     // drains the shared future pool, so scope it tighter than the
     // connection bookkeeping below.
     Session session(session_id, ctx_, runtime_, opts_.engine);
+    session.set_result_cap(opts_.result_cap);
     std::string payload;
     // A reply's own socket write can't be part of the breakdown it
     // carries, so each response reports the *previous* reply's write
@@ -160,6 +171,11 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
       rctx->request_id = !req->request_id.empty()
                              ? req->request_id
                              : "r-" + std::to_string(rctx->rid);
+      // Fresh budgets per request: a clipped request never taxes its
+      // session's next one. Every thread that captures this context
+      // (CRI servers, future workers) draws down the same counters.
+      rctx->mem_quota = opts_.mem_quota;
+      rctx->fuel_limit = opts_.fuel;
 
       auto tok = std::make_shared<runtime::CancelState>();
       const std::int64_t deadline = req->deadline_ms > 0
@@ -178,26 +194,47 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
         // breakdown component. CriRun/FuturePool capture the context
         // from this thread, so spans on their threads carry the rid.
         obs::RequestScope req_scope(rctx);
-        AdmissionTicket ticket(admission_, tok.get());
-        switch (ticket.outcome()) {
-          case AdmissionController::Outcome::kAdmitted: {
-            runtime::CancelScope scope(tok.get());
-            resp = session.handle(*req, tok.get());
-            break;
+        gc::GcHeap& gc = ctx_.heap.gc();
+        const bool allocating_op =
+            req->op == "eval" || req->op == "restructure";
+        if (allocating_op && gc.above_soft_watermark()) {
+          // Heap pressure: shed before admission so the heap gets a
+          // chance to recede — a collection is armed (urgency), the
+          // client gets a structured hint instead of an OOM-killed
+          // daemon, and cheap ops (ping, stats, metrics) still pass
+          // so operators can observe the pressure.
+          gc.request_collection();
+          heap_shed_c_.add();
+          resp = Response::fail(
+              kStatusOverloaded,
+              "server overloaded: heap soft watermark (" +
+                  std::to_string(gc.used_bytes_estimate()) +
+                  " byte(s) in use, soft limit " +
+                  std::to_string(gc.soft_limit()) + ")");
+          resp.retry_after_ms = opts_.retry_after_ms;
+        } else {
+          AdmissionTicket ticket(admission_, tok.get());
+          switch (ticket.outcome()) {
+            case AdmissionController::Outcome::kAdmitted: {
+              runtime::CancelScope scope(tok.get());
+              resp = session.handle(*req, tok.get());
+              break;
+            }
+            case AdmissionController::Outcome::kOverloaded:
+              resp = Response::fail(kStatusOverloaded,
+                                    "server overloaded: admission queue "
+                                    "full");
+              resp.retry_after_ms = opts_.retry_after_ms;
+              break;
+            case AdmissionController::Outcome::kDeadline:
+              resp = Response::fail(kStatusDeadline,
+                                    "deadline exceeded while queued for "
+                                    "admission");
+              break;
+            case AdmissionController::Outcome::kShutdown:
+              resp = Response::fail(kStatusError, "server draining");
+              break;
           }
-          case AdmissionController::Outcome::kOverloaded:
-            resp = Response::fail(kStatusOverloaded,
-                                  "server overloaded: admission queue "
-                                  "full");
-            break;
-          case AdmissionController::Outcome::kDeadline:
-            resp = Response::fail(kStatusDeadline,
-                                  "deadline exceeded while queued for "
-                                  "admission");
-            break;
-          case AdmissionController::Outcome::kShutdown:
-            resp = Response::fail(kStatusError, "server draining");
-            break;
         }
       }
       {
@@ -205,6 +242,8 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
         conn->active.reset();
       }
       requests_c_.add();
+      heap_used_g_.set(
+          static_cast<std::int64_t>(ctx_.heap.gc().used_bytes_estimate()));
       const std::uint64_t wall_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -241,6 +280,17 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
               std::chrono::steady_clock::now() - t_reply0)
               .count());
     }
+  } catch (const std::exception& e) {
+    // Session setup itself can allocate (the interpreter's prelude
+    // conses go through gc.alloc like any other), so an allocation
+    // failure — a heap hard watermark, or the chaos injector proving
+    // the path — can surface before the request loop's own catch
+    // ladder exists. It costs this connection, never the daemon: send
+    // a structured last word (best effort; the peer may already be
+    // gone) and fall through to the normal teardown below.
+    const Response resp = Response::fail(
+        kStatusError, std::string("session setup failed: ") + e.what());
+    write_frame(conn->fd, resp.to_json().dump());
   }
   sessions_g_.add(-1);
   {

@@ -60,6 +60,23 @@ struct ServeOptions {
   /// production default; kTree is the differential oracle (and the
   /// serve-smoke cross-check).
   EngineKind engine = EngineKind::kVm;
+
+  // Resource governance (DESIGN.md §14); 0 disables each bound.
+  /// Per-request GC-allocation quota in bytes; crossing it answers
+  /// status="resource-exhausted" for exactly that request.
+  std::uint64_t mem_quota = 0;
+  /// Heap soft watermark: above it, eval/restructure admissions shed
+  /// with "overloaded" + retry_after_ms and GC urgency is raised.
+  std::uint64_t heap_soft = 0;
+  /// Heap hard watermark: above it, in-flight allocations fail with
+  /// ResourceExhausted instead of growing toward the OS OOM killer.
+  std::uint64_t heap_hard = 0;
+  /// Per-request eval fuel (tree steps / VM instructions).
+  std::uint64_t fuel = 0;
+  /// Cap on a reply's result+output bytes.
+  std::size_t result_cap = 0;
+  /// Backoff hint stamped on overloaded responses.
+  std::int64_t retry_after_ms = 100;
 };
 
 class ServeDaemon {
@@ -129,6 +146,10 @@ class ServeDaemon {
   obs::Gauge& sessions_g_;
   obs::Counter& requests_c_;
   obs::Histogram& request_ns_h_;
+  /// Admissions shed because the heap soft watermark was exceeded.
+  obs::Counter& heap_shed_c_;
+  /// used_bytes_estimate() sampled at each request's completion.
+  obs::Gauge& heap_used_g_;
   /// Sampled at request start/end: the delta is the process-wide GC
   /// pause time overlapping the request (pauses stop every session's
   /// world, whoever triggered the collection).

@@ -6,6 +6,7 @@
 #include "gc/gc.hpp"
 #include "obs/recorder.hpp"
 #include "obs/request.hpp"
+#include "runtime/resource.hpp"
 #include "sexpr/printer.hpp"
 #include "serve/exit_codes.hpp"
 
@@ -18,6 +19,22 @@ namespace {
 /// and only deadline cancels carry this phrase (resilience.hpp).
 bool is_deadline(const std::string& msg) {
   return msg.find("deadline exceeded") != std::string::npos;
+}
+
+/// Which resource.exhausted.* counter a clipped request bumps — the
+/// names are API for :stats, the metrics op, and the bench.
+const char* exhausted_counter_name(runtime::ResourceExhausted::Kind k) {
+  switch (k) {
+    case runtime::ResourceExhausted::Kind::kMemQuota:
+      return "resource.exhausted.quota";
+    case runtime::ResourceExhausted::Kind::kHeapHard:
+      return "resource.exhausted.heap";
+    case runtime::ResourceExhausted::Kind::kFuel:
+      return "resource.exhausted.fuel";
+    case runtime::ResourceExhausted::Kind::kResultCap:
+      return "resource.exhausted.result_cap";
+  }
+  return "resource.exhausted.quota";
 }
 
 }  // namespace
@@ -68,10 +85,31 @@ Response Session::handle(const Request& req,
         is_deadline(why) || is_deadline(e.what()) ? kStatusDeadline
                                                   : kStatusStall,
         e.what());
+  } catch (const runtime::ResourceExhausted& e) {
+    // Before the generic LispError arm: a clipped request answers
+    // with the structured status (exit code 6 client-side), and only
+    // this request died — the session's next request gets a fresh
+    // budget.
+    driver_.runtime().obs().metrics
+        .counter(exhausted_counter_name(e.kind()))
+        .add();
+    resp = Response::fail(kStatusResourceExhausted, e.what());
   } catch (const sexpr::LispError& e) {
     resp = Response::fail(kStatusError, e.what());
   } catch (const std::exception& e) {
     resp = Response::fail(kStatusError, e.what());
+  }
+  if (result_cap_ != 0 && resp.status == kStatusOk &&
+      resp.result.size() + resp.output.size() > result_cap_) {
+    driver_.runtime().obs().metrics
+        .counter(exhausted_counter_name(
+            runtime::ResourceExhausted::Kind::kResultCap))
+        .add();
+    resp = Response::fail(
+        kStatusResourceExhausted,
+        "result cap exceeded: reply would carry " +
+            std::to_string(resp.result.size() + resp.output.size()) +
+            " byte(s), cap " + std::to_string(result_cap_));
   }
   const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - t0);

@@ -38,6 +38,12 @@ class Session {
   std::uint64_t id() const { return id_; }
   std::uint64_t requests_handled() const { return requests_; }
 
+  /// Cap on a reply's result+output bytes (0 = unlimited). An ok
+  /// response that exceeds it is converted into a structured
+  /// `resource-exhausted` failure — a reply must not balloon the
+  /// session either (DESIGN.md §14).
+  void set_result_cap(std::size_t bytes) { result_cap_ = bytes; }
+
   /// Execute one request. Pre: the caller has installed `tok` via
   /// CancelScope on this thread (handle only reads it to classify
   /// deadline vs. stall). Never throws.
@@ -52,6 +58,7 @@ class Session {
 
   const std::uint64_t id_;
   Curare driver_;
+  std::size_t result_cap_ = 0;
   std::uint64_t requests_ = 0;
   /// rid of the previous request on this session — the default lane
   /// the `trace` op exports (the trace request has its own rid).

@@ -18,6 +18,8 @@
 
 #include "curare/curare.hpp"
 #include "lisp/interp.hpp"
+#include "obs/request.hpp"
+#include "runtime/resource.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/server_pool.hpp"
 #include "runtime/task_queue.hpp"
@@ -489,6 +491,128 @@ TEST_F(GcServerPoolTest, AllocatingServerBodiesCollectMidRun) {
   EXPECT_EQ(in.eval_program("total").as_fixnum(), 300 * (40 * 41 / 2));
   EXPECT_GE(ctx.heap.gc().stats().collections, 1u)
       << "the threshold must have fired during the run";
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance (DESIGN.md §14). The allocator is the charge
+// point for both the per-request memory quota and the process-wide
+// heap watermarks; these tests pin down that a budget breach throws
+// *before* the cell is carved (the unwind leaves no half-built object,
+// exactly like the gc.alloc fault-injection site) and that the heap
+// keeps serving normal allocations once the pressure is gone.
+// ---------------------------------------------------------------------------
+
+TEST(GcResourceTest, MemQuotaBreachThrowsAndLeavesHeapConsistent) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+  const std::size_t base = ctx.heap.live_objects();
+
+  auto rc = std::make_shared<obs::RequestContext>();
+  rc->mem_quota = 16 * 1024;
+  bool threw = false;
+  {
+    obs::RequestScope scope(rc);
+    MutatorScope ms(gc);
+    try {
+      for (int i = 0; i < 100000; ++i)
+        ctx.heap.cons(Value::fixnum(i), Value::nil());
+    } catch (const runtime::ResourceExhausted& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), runtime::ResourceExhausted::Kind::kMemQuota);
+    }
+  }
+  ASSERT_TRUE(threw) << "a 16 KiB quota cannot survive 100k conses";
+  EXPECT_GT(rc->mem_used.load(), rc->mem_quota)
+      << "the breaching charge itself is recorded";
+
+  // The throw unwound out of allocate() before any cell was carved:
+  // every successfully returned cons is garbage now, nothing else.
+  gc.collect("test");
+  EXPECT_EQ(ctx.heap.live_objects(), base);
+
+  // With the budget scope gone the same thread allocates freely again.
+  MutatorScope ms(gc);
+  Value probe = ctx.heap.cons(Value::fixnum(7), Value::nil());
+  EXPECT_EQ(car(probe).as_fixnum(), 7);
+}
+
+TEST(GcResourceTest, QuotaIsPerRequestNotPerThread) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+
+  // Two contexts on the same thread: exhausting the first must not
+  // taint the second — the budget lives in the context, not the heap.
+  auto starved = std::make_shared<obs::RequestContext>();
+  starved->mem_quota = 1;  // any allocation breaches
+  {
+    obs::RequestScope scope(starved);
+    MutatorScope ms(gc);
+    EXPECT_THROW(ctx.heap.cons(Value::nil(), Value::nil()),
+                 runtime::ResourceExhausted);
+  }
+  auto roomy = std::make_shared<obs::RequestContext>();
+  roomy->mem_quota = 1 << 20;
+  {
+    obs::RequestScope scope(roomy);
+    MutatorScope ms(gc);
+    Value v = ctx.heap.cons(Value::fixnum(1), Value::nil());
+    EXPECT_EQ(car(v).as_fixnum(), 1);
+  }
+  EXPECT_GT(roomy->mem_used.load(), 0u);
+}
+
+TEST(GcResourceTest, HeapHardWatermarkFailsAllocationNotTheProcess) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+
+  // Park the hard limit below the next block refill: growth past it
+  // must surface as a catchable error, not an OS-level OOM.
+  gc.set_heap_limits(0, gc.used_bytes_estimate() + 1);
+  bool threw = false;
+  {
+    MutatorScope ms(gc);
+    try {
+      for (int i = 0; i < 100000; ++i)
+        ctx.heap.cons(Value::fixnum(i), Value::nil());
+    } catch (const runtime::ResourceExhausted& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), runtime::ResourceExhausted::Kind::kHeapHard);
+    }
+  }
+  ASSERT_TRUE(threw);
+
+  // Lifting the limit (an operator raising --heap-hard) restores
+  // service; the aborted allocation left the heap consistent.
+  gc.set_heap_limits(0, 0);
+  gc.collect("test");
+  MutatorScope ms(gc);
+  Value probe = ctx.heap.cons(Value::fixnum(9), Value::nil());
+  EXPECT_EQ(car(probe).as_fixnum(), 9);
+}
+
+TEST(GcResourceTest, SoftWatermarkArmsCollectionAndRecedesAfterSweep) {
+  sexpr::Ctx ctx;
+  GcHeap& gc = ctx.heap.gc();
+  gc.set_threshold(0);  // isolate the watermark trigger
+
+  {
+    MutatorScope ms(gc);
+    for (int i = 0; i < 20000; ++i)
+      ctx.heap.cons(Value::fixnum(i), Value::nil());  // all garbage
+  }
+  const std::uint64_t grown = gc.used_bytes_estimate();
+  ASSERT_GT(grown, 0u);
+  gc.set_heap_limits(grown / 2, 0);
+  EXPECT_TRUE(gc.above_soft_watermark());
+
+  // A sweep re-bases the estimate to live bytes: the dead 20k conses
+  // fall out and the measure recedes below the soft line — the
+  // property that lets the serving layer stop shedding once GC has
+  // caught up (heap_bytes_, the monotone capacity total, could not
+  // express this).
+  gc.collect("test");
+  EXPECT_LT(gc.used_bytes_estimate(), grown / 2);
+  EXPECT_FALSE(gc.above_soft_watermark());
 }
 
 TEST(GcTransformTest, TransformedRunMatchesSequentialUnderLowThreshold) {

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/fault_injector.hpp"
 #include "serve/client.hpp"
 #include "serve/exit_codes.hpp"
 #include "sexpr/ctx.hpp"
@@ -540,4 +541,340 @@ TEST(Serve, ConcurrentSessionsKeepObservabilityApart) {
         << "lane " << out[i].rid << " contains events from "
         << out[(i + 1) % kSessions].rid;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance (DESIGN.md §14): per-request quotas and fuel,
+// heap watermarks, result caps, and the gc.alloc fault site — all
+// observed end to end through the wire protocol. The acceptance bar is
+// the runaway canary: a hostile program is clipped with a structured
+// status while every other session keeps serving.
+// ---------------------------------------------------------------------------
+
+TEST(ServeResource, RunawayAllocationClippedWhileBystanderServes) {
+  serve::ServeOptions opts;
+  opts.max_inflight = 8;
+  opts.mem_quota = 4ull << 20;  // 4 MiB per request
+  DaemonFixture f(opts);
+
+  auto victim = f.connect();
+  auto bystander = f.connect();
+
+  // The bystander evaluates concurrently with the runaway request.
+  std::thread by([&] {
+    for (int i = 0; i < 10; ++i) {
+      auto r = bystander.request(eval_req("(+ 1 2)"));
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(r->status, "ok") << r->error;
+    }
+  });
+
+  auto clipped = victim.request(eval_req("(while t (cons 1 2))"));
+  by.join();
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_EQ(clipped->status, "resource-exhausted");
+  EXPECT_NE(clipped->error.find("memory quota"), std::string::npos)
+      << clipped->error;
+  EXPECT_EQ(serve::status_exit_code(clipped->status),
+            serve::kExitResourceExhausted);
+
+  // The budget dies with the request: the victim's own session keeps
+  // serving, with a fresh quota per request.
+  auto after = victim.request(eval_req("(* 6 7)"));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, "ok");
+  EXPECT_EQ(after->result, "42");
+
+  // The clip is visible to operators: the quota counter moved.
+  serve::Request m;
+  m.op = "metrics";
+  auto prom = victim.request(m);
+  ASSERT_TRUE(prom.has_value());
+  ASSERT_EQ(prom->status, "ok");
+  EXPECT_NE(prom->result.find("curare_resource_exhausted_quota 1"),
+            std::string::npos)
+      << prom->result;
+}
+
+TEST(ServeResource, FuelClipsPureLoopOnBothEngines) {
+  // `(while t 1)` never allocates, so the memory quota cannot stop it;
+  // fuel rides the shared eval tick, which both engines pass through.
+  for (curare::EngineKind engine :
+       {curare::EngineKind::kVm, curare::EngineKind::kTree}) {
+    serve::ServeOptions opts;
+    opts.engine = engine;
+    opts.fuel = 200000;
+    DaemonFixture f(opts);
+    auto conn = f.connect();
+
+    auto clipped = conn.request(eval_req("(while t 1)"));
+    ASSERT_TRUE(clipped.has_value());
+    EXPECT_EQ(clipped->status, "resource-exhausted")
+        << (engine == curare::EngineKind::kVm ? "vm" : "tree");
+    EXPECT_NE(clipped->error.find("fuel exhausted"), std::string::npos)
+        << clipped->error;
+
+    // Fresh budget per request: a cheap program still completes.
+    auto ok = conn.request(eval_req("(+ 40 2)"));
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->status, "ok");
+    EXPECT_EQ(ok->result, "42");
+  }
+}
+
+TEST(ServeResource, HeapSoftShedCarriesRetryAfterHint) {
+  serve::ServeOptions opts;
+  opts.heap_soft = 1;  // daemon startup already grew past one byte
+  opts.retry_after_ms = 123;
+  DaemonFixture f(opts);
+  auto conn = f.connect();
+
+  // Allocating ops shed with the structured overload + backoff hint...
+  auto shed = conn.request(eval_req("(+ 1 2)"));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, "overloaded");
+  EXPECT_NE(shed->error.find("soft watermark"), std::string::npos)
+      << shed->error;
+  EXPECT_EQ(shed->retry_after_ms, 123);
+
+  // ...while observability ops pass, so an operator can still see the
+  // pressure they are being asked to diagnose.
+  serve::Request ping;
+  ping.op = "ping";
+  auto pong = conn.request(ping);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, "ok");
+
+  serve::Request m;
+  m.op = "metrics";
+  auto prom = conn.request(m);
+  ASSERT_TRUE(prom.has_value());
+  ASSERT_EQ(prom->status, "ok");
+  EXPECT_NE(prom->result.find("curare_resource_shed_heap_soft"),
+            std::string::npos);
+}
+
+TEST(ServeResource, HeapHardWatermarkFailsTheAllocatingRequest) {
+  serve::ServeOptions opts;
+  opts.heap_hard = 1ull << 20;  // far below what a runaway needs
+  DaemonFixture f(opts);
+  auto conn = f.connect();
+
+  auto failed = conn.request(eval_req("(while t (cons 1 2))"));
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->status, "resource-exhausted");
+  EXPECT_NE(failed->error.find("hard watermark"), std::string::npos)
+      << failed->error;
+}
+
+TEST(ServeResource, ResultCapConvertsOversizedReplies) {
+  serve::ServeOptions opts;
+  opts.result_cap = 64;
+  DaemonFixture f(opts);
+  auto conn = f.connect();
+
+  std::string big = "(list";
+  for (int i = 0; i < 40; ++i) big += " " + std::to_string(100 + i);
+  big += ")";
+  auto capped = conn.request(eval_req(big));
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->status, "resource-exhausted");
+  EXPECT_NE(capped->error.find("result"), std::string::npos)
+      << capped->error;
+  EXPECT_TRUE(capped->result.empty()) << "the oversized payload must "
+                                         "not ride the error reply";
+
+  auto small = conn.request(eval_req("(+ 1 2)"));
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->status, "ok");
+  EXPECT_EQ(small->result, "3");
+}
+
+TEST(ServeResource, EightSessionsIsolatedWhileOneRunsAway) {
+  // The 8-session isolation suite, with a hostile twist: one session
+  // burns its quota on a runaway cons loop while the other seven do
+  // the setq/readback dance. The clip must not perturb anyone's
+  // session state — including the runaway's own.
+  serve::ServeOptions opts;
+  opts.max_inflight = 16;
+  opts.mem_quota = 2ull << 20;
+  DaemonFixture f(opts);
+
+  constexpr int kSessions = 8;
+  Latch all_connected(kSessions);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::atomic<int> clips{0};
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto conn = f.connect();
+      all_connected.arrive_and_wait();
+      if (i == 0) {
+        auto r = conn.request(eval_req("(while t (cons 1 2))"));
+        if (r && r->status == "resource-exhausted") ++clips;
+      }
+      const std::string mine = std::to_string(1000 + i);
+      auto def = conn.request(
+          eval_req("(setq session-x " + mine + ") session-x"));
+      if (!def || def->status != "ok" || def->result != mine) {
+        ++failures;
+        return;
+      }
+      auto readback = conn.request(eval_req("session-x"));
+      if (!readback || readback->status != "ok" ||
+          readback->result != mine) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(clips.load(), 1) << "the runaway must have been clipped";
+}
+
+TEST(ServeResource, GcAllocChaosYieldsStructuredErrorsSessionsSurvive) {
+  // The quota's throw path shares its unwind with the gc.alloc fault
+  // site; here the injector drives that path at random mid-request
+  // points across 8 concurrent sessions. Every reply must be a
+  // structured frame (ok or error), and every session must still
+  // serve once the chaos stops.
+  struct InjectorGuard {
+    ~InjectorGuard() {
+      curare::runtime::FaultInjector::instance().disable();
+    }
+  } guard;
+  using FI = curare::runtime::FaultInjector;
+
+  serve::ServeOptions opts;
+  opts.max_inflight = 16;
+  DaemonFixture f(opts);
+
+  constexpr int kSessions = 8;
+  std::vector<serve::ClientConnection> conns;
+  for (int i = 0; i < kSessions; ++i) {
+    conns.push_back(f.connect());
+    auto warm = conns.back().request(eval_req("(+ 1 1)"));
+    ASSERT_TRUE(warm.has_value());
+    ASSERT_EQ(warm->status, "ok");
+  }
+
+  FI::instance().configure(
+      0xA110C, 0.02, FI::kThrow,
+      1u << static_cast<unsigned>(FI::Site::kGcAlloc));
+
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      for (int r = 0; r < 25; ++r) {
+        auto resp = conns[i].request(eval_req(
+            "(defun build (n) (if (> n 0) (cons n (build (- n 1))) "
+            "nil)) (build 60) 7"));
+        if (!resp) {
+          ++bad;  // torn connection: the failure mode under test
+          return;
+        }
+        if (resp->status != "ok" &&
+            !(resp->status == "error" &&
+              resp->error.find("fault injected") != std::string::npos)) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  FI::instance().disable();
+
+  EXPECT_EQ(bad.load(), 0)
+      << "every reply is a structured ok or fault-injected error";
+  EXPECT_GT(FI::instance().stats(FI::Site::kGcAlloc).throws, 0u)
+      << "the storm must actually have fired";
+
+  // Chaos over: all eight sessions answer correctly again.
+  for (int i = 0; i < kSessions; ++i) {
+    auto after = conns[i].request(eval_req("(* 6 7)"));
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->status, "ok") << after->error;
+    EXPECT_EQ(after->result, "42");
+  }
+}
+
+TEST(ServeResource, GcAllocChaosAtSessionSetupCostsOnlyThatConnection) {
+  // The test above warms its connections before the storm starts, so
+  // it never exercises the other place gc.alloc can throw: inside
+  // Session construction itself, where the interpreter's prelude
+  // allocates before the request loop's catch ladder exists. A fault
+  // there must cost exactly that connection — a structured last word,
+  // then teardown — never the daemon (a real heap hard watermark
+  // takes the same path).
+  struct InjectorGuard {
+    ~InjectorGuard() {
+      curare::runtime::FaultInjector::instance().disable();
+    }
+  } guard;
+  using FI = curare::runtime::FaultInjector;
+
+  DaemonFixture f;
+
+  // Every allocation faults: each cold connection's session setup
+  // dies deterministically at its first prelude cons.
+  FI::instance().configure(
+      0x5E55, 1.0, FI::kThrow,
+      1u << static_cast<unsigned>(FI::Site::kGcAlloc));
+
+  int structured = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto conn = f.connect();
+    auto resp = conn.request(eval_req("(+ 1 2)"));
+    if (!resp) continue;  // close raced the error frame: tolerated
+    EXPECT_EQ(resp->status, "error");
+    EXPECT_NE(resp->error.find("session setup failed"), std::string::npos)
+        << resp->error;
+    EXPECT_NE(resp->error.find("fault injected"), std::string::npos)
+        << resp->error;
+    ++structured;
+  }
+  EXPECT_GT(structured, 0)
+      << "at least one setup failure must surface as a structured frame";
+  EXPECT_GT(FI::instance().stats(FI::Site::kGcAlloc).throws, 0u);
+  FI::instance().disable();
+
+  // The daemon took six setup faults and is still fully alive.
+  auto conn = f.connect();
+  auto after = conn.request(eval_req("(* 6 7)"));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, "ok") << after->error;
+  EXPECT_EQ(after->result, "42");
+}
+
+TEST(ServeResource, RetryPolicyIsDeterministicAndHonorsHints) {
+  serve::RetryPolicy a(3, 100, 42);
+  serve::RetryPolicy b(3, 100, 42);
+  serve::RetryPolicy other(3, 100, 43);
+
+  bool any_diff = false;
+  for (unsigned attempt = 0; attempt < 6; ++attempt) {
+    const std::int64_t base = 100ll << attempt;
+    const std::int64_t d = a.delay_ms(attempt, 0);
+    // Same seed → the exact same schedule, call after call.
+    EXPECT_EQ(d, b.delay_ms(attempt, 0));
+    EXPECT_EQ(d, a.delay_ms(attempt, 0));
+    // Exponential base with bounded jitter: [base, 1.5 * base].
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, base + base / 2);
+    if (d != other.delay_ms(attempt, 0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must decorrelate a fleet";
+
+  // A server hint replaces the doubling for that attempt: the daemon
+  // knows when pressure recedes better than a blind backoff.
+  const std::int64_t hinted = a.delay_ms(5, 40);
+  EXPECT_GE(hinted, 40);
+  EXPECT_LE(hinted, 60);
+
+  // Degenerate configs stay sane: zero backoff yields zero delay.
+  serve::RetryPolicy zero(1, 0, 7);
+  EXPECT_EQ(zero.delay_ms(0, 0), 0);
+  // Deep attempts clamp the shift instead of overflowing.
+  EXPECT_GT(serve::RetryPolicy(40, 100, 7).delay_ms(39, 0), 0);
 }

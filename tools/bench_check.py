@@ -16,6 +16,7 @@ metrics are compared:
     mops            (bench_queue)
     throughput_rps  (bench_serve, bench_obs serve sweep)
     evals_per_s     (bench_obs eval sweep)
+    mcons           (bench_heap allocator A/B)
 
 Records present in only one file are reported but not fatal — sweeps
 legitimately grow and smoke mode legitimately shrinks them. Exit codes:
@@ -35,7 +36,13 @@ kept here so they are enforced forever, not just the week they landed):
   * eval_ab (bench_eval): at every (workload, n) point the vm engine
     must not fall below the tree engine, both engines must report the
     *identical* "result" string (a riding differential check), and the
-    acceptance cell (arith_loop) must show vm >= 5x tree.
+    acceptance cell (arith_loop) must show vm >= 5x tree;
+  * heap_ab (bench_heap): the bump allocator's Mcons must not fall
+    below the seed mutexed-shard heap at any thread count;
+  * heap_quota (bench_heap): per-request memory accounting must keep
+    >= 0.97x of the unmetered single-thread allocation throughput;
+  * gc_pause (bench_heap): the p95 stop-the-world pause stays under an
+    absolute 50 ms ceiling.
 
 The committed baseline is judged strictly; the fresh run gets a noise
 allowance (--gate-slack, default 0.85) so a loaded CI host does not
@@ -47,7 +54,7 @@ import json
 import sys
 
 # Higher-is-better metrics eligible for the regression check.
-METRICS = ("mops", "throughput_rps", "evals_per_s")
+METRICS = ("mops", "throughput_rps", "evals_per_s", "mcons")
 
 # Fields that vary run to run without changing what was measured.
 VOLATILE = frozenset(
@@ -82,6 +89,28 @@ VOLATILE = frozenset(
         "shard_pair_ns",
         "ws_pair_ns",
         "projected_speedup",
+        # bench_heap: smoke mode shrinks the allocation counts and the
+        # pause sweep, and every pause statistic is run-volatile.
+        "conses",
+        "mcons_off",
+        "mcons_on",
+        "overhead_ratio",
+        "bump_serial_ns",
+        "cells_per_block",
+        "shard_1t_ns",
+        "bump_1t_ns",
+        "collections",
+        "garbage_conses",
+        "survivors",
+        "threshold_bytes",
+        "min_ns",
+        "p50_ns",
+        "p95_ns",
+        "max_ns",
+        "reclaimed_objects",
+        "reclaimed_bytes",
+        # bench_serve runaway mix
+        "clipped",
     )
 )
 
@@ -90,6 +119,8 @@ ACCEPTANCE_RATIO = 1.5  # ws vs mutex, spawn_chain, 8 threads, 1 site
 UTILIZATION_FLOOR = 0.04  # server_scaling collapse level (1-core host)
 WALL_FLATNESS = 5.0  # max wall_ms(S) / wall_ms(S_min) across the sweep
 EVAL_ACCEPTANCE_RATIO = 5.0  # vm vs tree on the arith_loop workload
+QUOTA_OVERHEAD_FLOOR = 0.97  # heap_quota: accounting costs <= 3%
+PAUSE_P95_CEILING_NS = 50e6  # gc_pause: p95 stop-the-world <= 50 ms
 
 
 def check_gates(recs, label, slack):
@@ -167,6 +198,48 @@ def check_gates(recs, label, slack):
             f"{label}: eval_ab records present but the acceptance cell "
             "(arith_loop, both engines) is missing"
         )
+    # heap_ab: the bump allocator must not fall below the seed shard
+    # heap at any matched thread count (the GC rework's reason to
+    # exist, kept enforced forever like the queue gates above).
+    heap_cells = {}
+    for r in recs:
+        if r.get("bench") != "heap_ab":
+            continue
+        heap_cells.setdefault(int(r.get("threads", 0)), {})[
+            r.get("impl")
+        ] = float(r["mcons"])
+    for threads, by_impl in sorted(heap_cells.items()):
+        shard, bump = by_impl.get("shard"), by_impl.get("bump")
+        if shard is None or bump is None or shard <= 0:
+            continue
+        if bump < shard * slack:
+            problems.append(
+                f"{label}: bump allocator below shard heap at "
+                f"threads={threads}: {bump:.2f} < {shard:.2f} * "
+                f"{slack:.2f} Mcons"
+            )
+    # heap_quota: per-request accounting must stay within 3% of the
+    # unmetered fast path (the resource-governance acceptance bar).
+    for r in recs:
+        if r.get("bench") != "heap_quota":
+            continue
+        ratio = float(r.get("overhead_ratio", 0.0))
+        bar = QUOTA_OVERHEAD_FLOOR * slack
+        if ratio < bar:
+            problems.append(
+                f"{label}: quota accounting overhead ratio {ratio:.3f} "
+                f"below {bar:.3f} (threads={r.get('threads')})"
+            )
+    # gc_pause: the p95 stop-the-world pause has an absolute ceiling.
+    for r in recs:
+        if r.get("bench") != "gc_pause":
+            continue
+        p95 = float(r.get("p95_ns", 0.0))
+        if p95 > PAUSE_P95_CEILING_NS / slack:
+            problems.append(
+                f"{label}: gc_pause p95 {p95 / 1e6:.2f} ms above the "
+                f"{PAUSE_P95_CEILING_NS / slack / 1e6:.0f} ms ceiling"
+            )
     # server_scaling: collapse guards.
     scaling = [r for r in recs if r.get("bench") == "server_scaling"]
     if scaling:

@@ -46,6 +46,19 @@
 //                  the collapsed hot-form report on exit
 //   --engine NAME  evaluator: vm (bytecode, default) or tree (the
 //                  tree-walking oracle)
+//   --mem-quota N  per-run GC-allocation quota in bytes (k/m/g
+//                  suffixes; 0 = unlimited) — a crossing run dies with
+//                  a ResourceExhausted diagnosis and exit code 6; in
+//                  the REPL only that line dies and the session
+//                  continues with a fresh budget per line
+//   --fuel N       per-run eval-step budget (tree steps / VM
+//                  instructions; 0 = unlimited), same exit code 6
+//   --heap-soft N  arm the heap soft watermark: crossing it raises GC
+//                  urgency (a collection at every next quiescent point
+//                  while above)
+//   --heap-hard N  arm the heap hard watermark: above it allocations
+//                  fail with ResourceExhausted instead of growing
+//                  toward the OS OOM killer
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -57,8 +70,10 @@
 #include "curare/struct_sapp.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/resilience.hpp"
+#include "runtime/resource.hpp"
 #include "serve/exit_codes.hpp"
 #include "sexpr/list_ops.hpp"
 #include "sexpr/printer.hpp"
@@ -159,6 +174,20 @@ void print_stall(const curare::runtime::StallError& e) {
   if (!e.dump().empty()) std::fprintf(stderr, "%s", e.dump().c_str());
 }
 
+/// A fresh per-run budget context (quota/fuel), or null when no
+/// governance flag was passed — RequestScope treats null as a no-op,
+/// matching CancelScope's convention. Fresh per run/REPL line: a
+/// clipped line must not tax the next one.
+std::shared_ptr<curare::obs::RequestContext> fresh_budget(
+    std::uint64_t mem_quota, std::uint64_t fuel) {
+  if (mem_quota == 0 && fuel == 0) return nullptr;
+  auto rc = std::make_shared<curare::obs::RequestContext>();
+  rc->rid = curare::obs::RequestContext::next_rid();
+  rc->mem_quota = mem_quota;
+  rc->fuel_limit = fuel;
+  return rc;
+}
+
 /// Deadline-killed runs exit 4, watchdog/cancel stalls exit 3 — the
 /// shared table in serve/exit_codes.hpp, so a local run and a served
 /// one report the same way. The cancel reason is the discriminator
@@ -251,12 +280,14 @@ bool write_trace_file(const curare::obs::Recorder& rec,
   return true;
 }
 
-int repl(Curare& cur) {
+int repl(Curare& cur, std::uint64_t mem_quota, std::uint64_t fuel) {
   curare::sexpr::Ctx& ctx = cur.interp().ctx();
   std::string line;
   std::printf("curare> ");
   while (std::getline(std::cin, line)) {
     try {
+      // Each line runs under its own budget, like each served request.
+      curare::obs::RequestScope budget(fresh_budget(mem_quota, fuel));
       if (line.empty()) {
         // fallthrough to the prompt
       } else if (line == ":quit" || line == ":q") {
@@ -355,6 +386,10 @@ int repl(Curare& cur) {
       // The run died but the session survives: the CriRun drained its
       // queues on abort and a fresh run mints a fresh token.
       print_stall(e);
+    } catch (const curare::runtime::ResourceExhausted& e) {
+      // Same survival story as a stall: exactly this line was
+      // clipped; the next line gets a fresh budget.
+      std::printf("resource-exhausted: %s\n", e.what());
     } catch (const std::exception& e) {
       std::printf("error: %s\n", e.what());
     }
@@ -381,6 +416,10 @@ int main(int argc, char** argv) {
   std::int64_t stall_ms = 0;
   curare::EngineKind engine = curare::EngineKind::kVm;
   std::int64_t lock_budget_ms = 0;
+  std::size_t mem_quota = 0;
+  std::int64_t fuel = 0;
+  std::size_t heap_soft = 0;
+  std::size_t heap_hard = 0;
   bool have_chaos = false;
   std::uint64_t chaos_seed = 0;
   double chaos_rate = 0;
@@ -440,6 +479,27 @@ int main(int argc, char** argv) {
     } else if (take_value(i, arg, "--lock-budget-ms", v)) {
       if (!parse_ms("--lock-budget-ms", v, lock_budget_ms))
         return curare::serve::kExitUsage;
+    } else if (take_value(i, arg, "--mem-quota", v)) {
+      if (!parse_bytes(v, mem_quota)) {
+        std::fprintf(stderr, "--mem-quota: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+    } else if (take_value(i, arg, "--fuel", v)) {
+      if (!parse_ms("--fuel", v, fuel))  // same nonneg-integer grammar
+        return curare::serve::kExitUsage;
+    } else if (take_value(i, arg, "--heap-soft", v)) {
+      if (!parse_bytes(v, heap_soft)) {
+        std::fprintf(stderr, "--heap-soft: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+    } else if (take_value(i, arg, "--heap-hard", v)) {
+      if (!parse_bytes(v, heap_hard)) {
+        std::fprintf(stderr, "--heap-hard: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
     } else if (take_value(i, arg, "--chaos", v)) {
       if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
                        chaos_sites)) {
@@ -484,6 +544,8 @@ int main(int argc, char** argv) {
                    "[--stats] [--profile[=N]] [--gc-threshold N] "
                    "[--gc-stats] [--deadline-ms N] [--stall-ms N] "
                    "[--lock-budget-ms N] [--engine vm|tree] "
+                   "[--mem-quota N] [--fuel N] "
+                   "[--heap-soft N] [--heap-hard N] "
                    "[--chaos SEED:RATE[:KINDS[:SITES]]] "
                    "[-e EXPR | program.lisp]\n",
                    arg.c_str());
@@ -505,6 +567,8 @@ int main(int argc, char** argv) {
   cur.set_engine(engine);
   cur.interp().set_echo(false);
   if (have_threshold) ctx.heap.gc().set_threshold(gc_threshold);
+  if (heap_soft != 0 || heap_hard != 0)
+    ctx.heap.gc().set_heap_limits(heap_soft, heap_hard);
   if (!trace_path.empty()) cur.runtime().obs().tracer.set_enabled(true);
   cur.runtime().set_deadline_ms(deadline_ms);
   cur.runtime().set_stall_ms(stall_ms);
@@ -560,6 +624,8 @@ int main(int argc, char** argv) {
 
   if (have_eval) {
     try {
+      curare::obs::RequestScope budget(
+          fresh_budget(mem_quota, static_cast<std::uint64_t>(fuel)));
       Value v = cur.eval_program(eval_expr);
       std::string out = cur.interp().take_output();
       if (!out.empty()) std::printf("%s", out.c_str());
@@ -568,6 +634,9 @@ int main(int argc, char** argv) {
     } catch (const curare::runtime::StallError& e) {
       print_stall(e);
       return finish(stall_exit_code(e));
+    } catch (const curare::runtime::ResourceExhausted& e) {
+      std::fprintf(stderr, "resource-exhausted: %s\n", e.what());
+      return finish(curare::serve::kExitResourceExhausted);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return finish(curare::serve::kExitError);
@@ -583,16 +652,22 @@ int main(int argc, char** argv) {
     std::stringstream ss;
     ss << in.rdbuf();
     try {
+      curare::obs::RequestScope budget(
+          fresh_budget(mem_quota, static_cast<std::uint64_t>(fuel)));
       batch_transform_all(cur, ss.str());
       return finish(curare::serve::kExitOk);
     } catch (const curare::runtime::StallError& e) {
       print_stall(e);
       return finish(stall_exit_code(e));
+    } catch (const curare::runtime::ResourceExhausted& e) {
+      std::fprintf(stderr, "resource-exhausted: %s\n", e.what());
+      return finish(curare::serve::kExitResourceExhausted);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return finish(curare::serve::kExitError);
     }
   }
 
-  return finish(repl(cur));
+  return finish(
+      repl(cur, mem_quota, static_cast<std::uint64_t>(fuel)));
 }

@@ -22,17 +22,29 @@
 //                    the session's previous request)
 //   --stats-format F metrics exposition format, prom or json
 //                    (shorthand for --op metrics)
+//   --retries N      retry budget for "overloaded" responses and
+//                    refused connects (default 0 = fail fast);
+//                    transport losses mid-request never retry — the
+//                    daemon may already have run the program
+//   --backoff-ms B   first retry delay, doubling per attempt with up
+//                    to +50% deterministic jitter (default 100); a
+//                    response's retry_after_ms hint overrides the
+//                    doubling for that attempt
+//   --retry-seed S   seed for the jitter stream (default 1), so
+//                    scripted runs are reproducible
 //   -e EXPR          inline program instead of a file
 //
 // The exit code mirrors the response status via the shared table in
 // serve/exit_codes.hpp: ok=0, error=1, stall=3, deadline=4,
-// overloaded=5 — so scripts treat a remote run exactly like a local
-// `curare` invocation.
+// overloaded=5, resource-exhausted=6 — so scripts treat a remote run
+// exactly like a local `curare` invocation.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "serve/client.hpp"
 #include "serve/exit_codes.hpp"
@@ -46,6 +58,7 @@ int usage() {
       "                     [--op eval|restructure|stats|metrics|trace|ping]\n"
       "                     [--name FN] [--request-id ID] [--rid N]\n"
       "                     [--stats-format prom|json]\n"
+      "                     [--retries N] [--backoff-ms B] [--retry-seed S]\n"
       "                     [-e EXPR | program.lisp]\n");
   return curare::serve::kExitUsage;
 }
@@ -60,6 +73,9 @@ int main(int argc, char** argv) {
   req.op = "eval";
   std::string file;
   bool have_program = false;
+  long long retries = 0;
+  long long backoff_ms = 100;
+  unsigned long long retry_seed = 1;
 
   auto take_value = [&](int& i, const std::string& arg,
                         const std::string& flag,
@@ -107,6 +123,27 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       req.rid = rid;
+    } else if (take_value(i, arg, "--retries", v)) {
+      char* end = nullptr;
+      retries = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || retries < 0) {
+        std::fprintf(stderr, "--retries: bad value '%s'\n", v.c_str());
+        return kExitUsage;
+      }
+    } else if (take_value(i, arg, "--backoff-ms", v)) {
+      char* end = nullptr;
+      backoff_ms = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || backoff_ms < 0) {
+        std::fprintf(stderr, "--backoff-ms: bad value '%s'\n", v.c_str());
+        return kExitUsage;
+      }
+    } else if (take_value(i, arg, "--retry-seed", v)) {
+      char* end = nullptr;
+      retry_seed = std::strtoull(v.c_str(), &end, 0);
+      if (end == v.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--retry-seed: bad value '%s'\n", v.c_str());
+        return kExitUsage;
+      }
     } else if (take_value(i, arg, "--stats-format", v)) {
       if (v != "prom" && v != "json") {
         std::fprintf(stderr,
@@ -158,16 +195,44 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // Retry loop: a refused connect or an "overloaded" rejection means
+  // the request never executed, so trying again is always safe. A
+  // torn connection mid-request is not retried — the daemon may have
+  // run the program before the transport died.
+  const RetryPolicy policy(static_cast<unsigned>(retries), backoff_ms,
+                           retry_seed);
+  auto backoff = [&](unsigned attempt, std::int64_t hint) {
+    const std::int64_t ms = policy.delay_ms(attempt, hint);
+    std::fprintf(stderr,
+                 "curare_client: retrying in %lld ms (attempt %u of "
+                 "%u)\n",
+                 static_cast<long long>(ms), attempt + 1,
+                 policy.retries());
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+
   ClientConnection conn;
-  std::string err;
-  if (!conn.connect(host, port, &err)) {
-    std::fprintf(stderr, "curare_client: %s\n", err.c_str());
-    return kExitError;
-  }
-  auto resp = conn.request(req);
-  if (!resp) {
-    std::fprintf(stderr, "curare_client: connection lost\n");
-    return kExitError;
+  std::optional<Response> resp;
+  for (unsigned attempt = 0;; ++attempt) {
+    std::string err;
+    if (!conn.connected() && !conn.connect(host, port, &err)) {
+      if (attempt < policy.retries()) {
+        backoff(attempt, 0);
+        continue;
+      }
+      std::fprintf(stderr, "curare_client: %s\n", err.c_str());
+      return kExitError;
+    }
+    resp = conn.request(req);
+    if (!resp) {
+      std::fprintf(stderr, "curare_client: connection lost\n");
+      return kExitError;
+    }
+    if (resp->status == kStatusOverloaded && attempt < policy.retries()) {
+      backoff(attempt, resp->retry_after_ms);
+      continue;
+    }
+    break;
   }
   if (!resp->output.empty()) std::printf("%s", resp->output.c_str());
   if (!resp->result.empty()) std::printf("%s\n", resp->result.c_str());

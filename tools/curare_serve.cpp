@@ -25,6 +25,23 @@
 //   --workers N         future-pool threads (default hw concurrency)
 //   --engine NAME       evaluator for every session: vm (bytecode,
 //                       default) or tree (the tree-walking oracle)
+//   --mem-quota N       per-request GC-allocation quota in bytes
+//                       (k/m/g suffixes accepted; 0 = unlimited);
+//                       a crossing request answers
+//                       status="resource-exhausted" and only that
+//                       request dies
+//   --heap-soft N       heap soft watermark: above it, eval and
+//                       restructure admissions shed with
+//                       status="overloaded" + retry_after_ms while
+//                       GC urgency is raised
+//   --heap-hard N       heap hard watermark: above it, in-flight
+//                       allocations fail with resource-exhausted
+//                       instead of reaching the OS OOM killer
+//   --fuel N            per-request eval-step budget (tree steps /
+//                       VM instructions; 0 = unlimited)
+//   --result-cap N      cap on a reply's result+output bytes
+//   --retry-after-ms N  backoff hint stamped on overloaded responses
+//                       (default 100)
 //   --chaos SEED:RATE[:KINDS[:SITES]]  arm the fault injector; SITES
 //                       is a comma list of injection sites
 //                       (e.g. queue.push,task.run — default all)
@@ -57,6 +74,28 @@
 namespace {
 
 int g_signal_pipe[2] = {-1, -1};
+
+/// "64m" → 67108864; plain bytes without a suffix (the CLI's
+/// --gc-threshold grammar, reused for the governance byte flags).
+bool parse_bytes(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t mult = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': mult = 1024; digits.pop_back(); break;
+    case 'm': case 'M': mult = 1024 * 1024; digits.pop_back(); break;
+    case 'g': case 'G': mult = 1024 * 1024 * 1024; digits.pop_back(); break;
+    default: break;
+  }
+  if (digits.empty()) return false;
+  std::uint64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = n * mult;
+  return true;
+}
 
 extern "C" void on_signal(int) {
   const char byte = 1;
@@ -143,6 +182,8 @@ int usage() {
       "                    [--deadline-ms N] [--drain-grace-ms N]\n"
       "                    [--stall-ms N] [--lock-budget-ms N]\n"
       "                    [--workers N] [--engine vm|tree]\n"
+      "                    [--mem-quota N] [--heap-soft N] [--heap-hard N]\n"
+      "                    [--fuel N] [--result-cap N] [--retry-after-ms N]\n"
       "                    [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
       "                    [--stats] [--trace] [--profile[=N]]\n");
   return curare::serve::kExitUsage;
@@ -230,6 +271,37 @@ int main(int argc, char** argv) {
                      v.c_str());
         return curare::serve::kExitUsage;
       }
+    } else if (take_value(i, arg, "--mem-quota", v)) {
+      if (!parse_bytes(v, opts.mem_quota)) {
+        std::fprintf(stderr, "--mem-quota: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+    } else if (take_value(i, arg, "--heap-soft", v)) {
+      if (!parse_bytes(v, opts.heap_soft)) {
+        std::fprintf(stderr, "--heap-soft: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+    } else if (take_value(i, arg, "--heap-hard", v)) {
+      if (!parse_bytes(v, opts.heap_hard)) {
+        std::fprintf(stderr, "--heap-hard: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+    } else if (take_value(i, arg, "--fuel", v)) {
+      parse_nonneg("--fuel", v, n);
+      opts.fuel = static_cast<std::uint64_t>(n);
+    } else if (take_value(i, arg, "--result-cap", v)) {
+      std::uint64_t cap = 0;
+      if (!parse_bytes(v, cap)) {
+        std::fprintf(stderr, "--result-cap: bad byte count '%s'\n",
+                     v.c_str());
+        return curare::serve::kExitUsage;
+      }
+      opts.result_cap = static_cast<std::size_t>(cap);
+    } else if (take_value(i, arg, "--retry-after-ms", v)) {
+      parse_nonneg("--retry-after-ms", v, opts.retry_after_ms);
     } else if (take_value(i, arg, "--chaos", v)) {
       if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
                        chaos_sites)) {

@@ -286,6 +286,168 @@ SweepResult run_sweep(int clients, std::size_t requests_per_client,
   return r;
 }
 
+/// A prelude big enough that evaluating it per session visibly hurts:
+/// `defuns` recursive functions, a struct type, and a built data set.
+/// The warm-start image replaces exactly this evaluation with a clone.
+std::string make_heavy_prelude(int defuns, int data_n, int warm_n) {
+  std::string p;
+  for (int i = 0; i < defuns; ++i) {
+    const std::string n = std::to_string(i);
+    p += "(defun prelude-f" + n + " (n acc) (if (< n 1) acc "
+         "(prelude-f" + n + " (- n 1) (+ acc " + n + "))))";
+  }
+  p += "(defstruct prelude-rec (pointers link) (data tag))";
+  p += "(defun prelude-build (n) (if (< n 1) nil "
+       "(cons (make-prelude-rec 'tag n) (prelude-build (- n 1)))))";
+  p += "(setq prelude-data (prelude-build " + std::to_string(data_n) +
+       "))";
+  p += "(setq prelude-table (make-hash-table))";
+  p += "(setf (gethash 'answer prelude-table) 42)";
+  // Initialization compute: a long countdown whose result is one
+  // fixnum. Evaluated per session it costs warm_n eval steps; in the
+  // image it is a single immediate — the classic warm-start win.
+  p += "(setq prelude-warm (prelude-f0 " + std::to_string(warm_n) +
+       " 0))";
+  return p;
+}
+
+struct ColdstartResult {
+  int sessions = 0;
+  double mean_setup_ms = 0;  ///< serve.session_setup_ns server-side
+};
+
+/// Open `sessions` connections against a daemon carrying the heavy
+/// prelude and probe each once; the server-side session-setup
+/// histogram then holds exactly the cost this sweep compares:
+/// per-session prelude re-evaluation (use_image=false) vs. cloning
+/// the captured image (use_image=true).
+ColdstartResult run_coldstart(bool use_image, int sessions,
+                              const std::string& prelude) {
+  sexpr::Ctx ctx;
+  serve::ServeOptions opts;
+  opts.prelude_src = prelude;
+  opts.use_image = use_image;
+  serve::ServeDaemon daemon(ctx, opts);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    std::exit(1);
+  }
+  for (int s = 0; s < sessions; ++s) {
+    serve::ClientConnection conn;
+    if (!conn.connect("127.0.0.1", daemon.port())) {
+      std::fprintf(stderr, "bench_serve: coldstart connect failed\n");
+      std::exit(1);
+    }
+    serve::Request probe;
+    probe.op = "eval";
+    probe.program = "(prelude-f0 3 0)";  // proves the prelude is live
+    auto resp = conn.request(probe);
+    if (!resp || resp->status != "ok") {
+      std::fprintf(stderr,
+                   "bench_serve: coldstart probe failed (%s)\n",
+                   resp ? resp->error.c_str() : "transport");
+      std::exit(1);
+    }
+  }
+  ColdstartResult r;
+  r.sessions = sessions;
+  r.mean_setup_ms = daemon.runtime()
+                        .obs()
+                        .metrics.histogram("serve.session_setup_ns")
+                        .mean() /
+                    1e6;
+  daemon.shutdown();
+  return r;
+}
+
+struct CacheSweepResult {
+  std::size_t miss_requests = 0;
+  std::size_t hit_requests = 0;
+  double miss_mean_ms = 0;  ///< breakdown restructure_ns, first session
+  double hit_mean_ms = 0;   ///< breakdown restructure_ns, the rest
+  std::uint64_t cache_hits = 0;
+};
+
+/// `sessions` connections each submit the same program and sweep-
+/// restructure it. The first pays the full §4 analysis + §3.2/§5
+/// transformation pipeline and seeds the cache; every later session
+/// replays the cached answer. Each reply's restructure_ns breakdown
+/// is the per-request cost this sweep compares.
+CacheSweepResult run_cache_sweep(int sessions, int defuns) {
+  sexpr::Ctx ctx;
+  serve::ServeOptions opts;  // default: restructure cache enabled
+  serve::ServeDaemon daemon(ctx, opts);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    std::exit(1);
+  }
+  // Tree-recursive struct walkers — the paper's CRI candidates, so a
+  // miss pays the full conflict analysis and server-pool generation
+  // that the cache exists to amortize.
+  std::string program =
+      "(defstruct cnode (pointers left right) (data weight))";
+  for (int i = 0; i < defuns; ++i) {
+    const std::string n = std::to_string(i);
+    program += "(defun cache-f" + n + " (tr acc) (if (null tr) acc "
+               "(cache-f" + n + " (left tr) "
+               "(cache-f" + n + " (right tr) "
+               "(+ acc (weight tr) "
+               "(if (< (weight tr) " + n + ") "
+               "(+ (weight tr) 1) (- (weight tr) 1)) "
+               "(if (null (left tr)) "
+               "(if (null (right tr)) 2 1) 0) " + n + ")))))";
+  }
+
+  CacheSweepResult r;
+  std::uint64_t miss_ns = 0, hit_ns = 0;
+  for (int s = 0; s < sessions; ++s) {
+    serve::ClientConnection conn;
+    if (!conn.connect("127.0.0.1", daemon.port())) {
+      std::fprintf(stderr, "bench_serve: cache connect failed\n");
+      std::exit(1);
+    }
+    serve::Request req;
+    req.op = "restructure";  // no name → sweep every loaded defun
+    req.program = program;
+    auto resp = conn.request(req);
+    if (!resp || resp->status != "ok") {
+      std::fprintf(stderr, "bench_serve: cache sweep failed (%s)\n",
+                   resp ? resp->error.c_str() : "transport");
+      std::exit(1);
+    }
+    std::uint64_t restructure_ns = 0;
+    if (resp->metrics.is_object()) {
+      const auto& m = resp->metrics.as_object();
+      const auto it = m.find("breakdown");
+      if (it != m.end() && it->second.is_object()) {
+        const auto& b = it->second.as_object();
+        const auto f = b.find("restructure_ns");
+        if (f != b.end())
+          restructure_ns =
+              static_cast<std::uint64_t>(f->second.as_number());
+      }
+    }
+    if (s == 0) {
+      miss_ns += restructure_ns;
+      ++r.miss_requests;
+    } else {
+      hit_ns += restructure_ns;
+      ++r.hit_requests;
+    }
+  }
+  r.cache_hits = daemon.restructure_cache()->hits();
+  if (r.miss_requests > 0)
+    r.miss_mean_ms = static_cast<double>(miss_ns) /
+                     (1e6 * static_cast<double>(r.miss_requests));
+  if (r.hit_requests > 0)
+    r.hit_mean_ms = static_cast<double>(hit_ns) /
+                    (1e6 * static_cast<double>(r.hit_requests));
+  daemon.shutdown();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -364,6 +526,78 @@ int main() {
                    r.clients, r.requests, r.wall_s, r.throughput_rps,
                    r.p50_ms, r.p99_ms, r.clipped, r.rejected);
     }
+  }
+  // Cold start A/B (DESIGN.md §15): the same heavy prelude served two
+  // ways — re-evaluated per session vs. cloned from a captured image.
+  // The acceptance bar is image >= 5x faster session setup.
+  const int cs_sessions = smoke ? 8 : 24;
+  const int cs_defuns = smoke ? 24 : 80;
+  const int cs_data = smoke ? 120 : 400;
+  const int cs_warm = smoke ? 20000 : 60000;
+  const std::string prelude =
+      make_heavy_prelude(cs_defuns, cs_data, cs_warm);
+  std::printf("\n== cold start (prelude: %d defuns + %d-record data "
+              "set, %d sessions) ==\n",
+              cs_defuns, cs_data, cs_sessions);
+  std::printf("%10s %10s %14s\n", "mode", "sessions", "setup_ms");
+  const ColdstartResult cold =
+      run_coldstart(/*use_image=*/false, cs_sessions, prelude);
+  const ColdstartResult warm =
+      run_coldstart(/*use_image=*/true, cs_sessions, prelude);
+  std::printf("%10s %10d %14.3f\n", "prelude", cold.sessions,
+              cold.mean_setup_ms);
+  std::printf("%10s %10d %14.3f   (%.1fx faster)\n", "image",
+              warm.sessions, warm.mean_setup_ms,
+              warm.mean_setup_ms > 0
+                  ? cold.mean_setup_ms / warm.mean_setup_ms
+                  : 0.0);
+  if (js != nullptr) {
+    std::fprintf(js,
+                 "{\"bench\":\"serve_coldstart\",\"mode\":\"prelude\","
+                 "\"sessions\":%d,\"mean_setup_ms\":%.4f}\n",
+                 cold.sessions, cold.mean_setup_ms);
+    std::fprintf(js,
+                 "{\"bench\":\"serve_coldstart\",\"mode\":\"image\","
+                 "\"sessions\":%d,\"mean_setup_ms\":%.4f}\n",
+                 warm.sessions, warm.mean_setup_ms);
+  }
+
+  // Restructure cache: the first sweep pays analysis + transformation,
+  // later sessions replay the cached answer. Acceptance bar: hits cost
+  // >= 10x less restructure_ns than the miss.
+  const int cache_sessions = smoke ? 8 : 16;
+  const int cache_defuns = smoke ? 8 : 12;
+  const CacheSweepResult cache =
+      run_cache_sweep(cache_sessions, cache_defuns);
+  std::printf("\n== restructure cache (%d defuns swept by %d "
+              "sessions) ==\n",
+              cache_defuns, cache_sessions);
+  std::printf("%10s %10s %17s\n", "mode", "requests", "restructure_ms");
+  std::printf("%10s %10zu %17.3f\n", "miss", cache.miss_requests,
+              cache.miss_mean_ms);
+  std::printf("%10s %10zu %17.3f   (%.1fx cheaper, %llu cache hits)\n",
+              "hit", cache.hit_requests, cache.hit_mean_ms,
+              cache.hit_mean_ms > 0
+                  ? cache.miss_mean_ms / cache.hit_mean_ms
+                  : 0.0,
+              static_cast<unsigned long long>(cache.cache_hits));
+  if (!chaos && cache.cache_hits == 0) {
+    std::fprintf(stderr,
+                 "bench_serve: repeated sweeps produced no cache hits "
+                 "— the restructure cache is not engaging\n");
+    return 1;
+  }
+  if (js != nullptr) {
+    std::fprintf(js,
+                 "{\"bench\":\"serve_restructure_cache\","
+                 "\"mode\":\"miss\",\"requests\":%zu,"
+                 "\"mean_restructure_ms\":%.4f}\n",
+                 cache.miss_requests, cache.miss_mean_ms);
+    std::fprintf(js,
+                 "{\"bench\":\"serve_restructure_cache\","
+                 "\"mode\":\"hit\",\"requests\":%zu,"
+                 "\"mean_restructure_ms\":%.4f}\n",
+                 cache.hit_requests, cache.hit_mean_ms);
   }
   if (js != nullptr) std::fclose(js);
   std::printf("JSON %s\n", path);

@@ -189,6 +189,31 @@ Value Curare::load_program(std::string_view src) {
   return last;
 }
 
+void Curare::adopt_program_forms(const std::vector<Value>& forms) {
+  // Mirrors load_program's bookkeeping minus every eval_top: the forms
+  // were evaluated once in the template session and the clone installed
+  // the resulting bindings wholesale.
+  gc::MutatorScope gc_scope(ctx_.heap.gc());
+  decls_.load_program(forms);
+  for (Value form : forms) {
+    program_forms_.push_back(form);
+    if (!form.is(Kind::Cons) || !car(form).is(Kind::Symbol)) continue;
+    const std::string& head = as_symbol(car(form))->name;
+    if (head == "defun") {
+      defuns_[as_symbol(cadr(form))] = form;
+    } else if (head == "defstruct") {
+      auto type = interp_.struct_type(as_symbol(cadr(form)));
+      if (type) {
+        decls_.declare_structure(type->name, type->pointer_fields,
+                                 type->data_fields);
+      }
+    }
+  }
+  std::vector<Value> all_defuns;
+  for (const auto& [name, form] : defuns_) all_defuns.push_back(form);
+  summaries_ = analysis::compute_summaries(ctx_, decls_, all_defuns);
+}
+
 Value Curare::source_of(std::string_view fn_name) const {
   Symbol* name = ctx_.symbols.intern(fn_name);
   auto it = defuns_.find(name);

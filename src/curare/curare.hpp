@@ -113,6 +113,20 @@ class Curare : public gc::RootSource {
   /// quiescent point.
   Value load_program(std::string_view src);
 
+  /// Every top-level form load_program has accepted so far, in order.
+  /// The image subsystem captures these alongside the environment so a
+  /// cloned session can replay the analyzer bookkeeping.
+  const std::vector<Value>& program_forms() const { return program_forms_; }
+
+  /// Warm-start support: replay the analyzer-side bookkeeping of
+  /// load_program (defun tracking, declarations, defstruct structure
+  /// declarations, interprocedural summaries) over forms that were
+  /// already *evaluated* in a template session — the image clone
+  /// installs the resulting bindings directly, so nothing here is
+  /// evaluated. defstruct forms are assumed re-registered with the
+  /// interpreter before this is called (clone_into does that first).
+  void adopt_program_forms(const std::vector<Value>& forms);
+
   /// Read and evaluate every form in `src` on the selected engine;
   /// returns the last value. Unlike load_program this does NOT feed
   /// the analyzer — it is the REPL/-e evaluation path.

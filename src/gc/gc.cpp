@@ -269,6 +269,21 @@ void GcHeap::refill(ThreadCache& tc, std::size_t /*cell_size*/) {
   note_used_bytes(kBlockSize);
 }
 
+std::size_t GcHeap::reserve_blocks(std::size_t bytes) {
+  const std::size_t want = (bytes + kBlockSize - 1) / kBlockSize;
+  std::lock_guard<std::mutex> g(blocks_mu_);
+  std::size_t added = 0;
+  // Top up rather than always grow: blocks parked by earlier sweeps
+  // count toward the reservation.
+  while (free_blocks_.size() < want) {
+    blocks_.push_back(std::make_unique<Block>(kBlockSize));
+    free_blocks_.push_back(blocks_.back().get());
+    heap_bytes_ += kBlockSize;
+    ++added;
+  }
+  return added;
+}
+
 // ---- counters ----------------------------------------------------------
 
 std::uint64_t GcHeap::live_objects() const {

@@ -249,6 +249,14 @@ class GcHeap {
            used_bytes_.load(std::memory_order_relaxed) >= soft;
   }
 
+  /// Bulk-allocation warm-up: grow the free-block list so that the next
+  /// `bytes` of bump allocation refill from pre-built blocks instead of
+  /// taking one heap-growth path per 64 KiB. One lock acquisition for
+  /// the whole reservation; the image cloner calls this before
+  /// materializing a session so the clone is (almost) pure bump+memcpy.
+  /// Returns the number of blocks added.
+  std::size_t reserve_blocks(std::size_t bytes);
+
   /// Quiescent point: collect if armed (threshold crossed or requested),
   /// or join a collection already in progress. Must be called with no
   /// unrooted Values held on the C++ stack. Returns true if this call

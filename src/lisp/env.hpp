@@ -95,6 +95,27 @@ class Env {
     }
   }
 
+  /// Visit every (symbol, value) binding in THIS frame. The image
+  /// serializer needs the names too: a frame is flattened as a set of
+  /// named slots so the clone can re-bind them in a fresh session.
+  template <typename Fn>
+  void for_each_binding_named(Fn&& fn) const {
+    if (global_) {
+      std::shared_lock lock(mu_);
+      for (const auto& [name, v] : vars_) fn(name, v);
+    } else {
+      for (const auto& [name, v] : vars_) fn(name, v);
+    }
+  }
+
+  std::size_t binding_count() const {
+    if (global_) {
+      std::shared_lock lock(mu_);
+      return vars_.size();
+    }
+    return vars_.size();
+  }
+
  private:
   Env(EnvPtr parent, bool global)
       : parent_(std::move(parent)), global_(global) {}

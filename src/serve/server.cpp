@@ -34,16 +34,55 @@ ServeDaemon::ServeDaemon(sexpr::Ctx& ctx, ServeOptions opts)
       heap_used_g_(
           runtime_.obs().metrics.gauge("resource.heap_used_bytes")),
       gc_pause_h_(
-          runtime_.obs().metrics.histogram("cri.gc.pause_ns")) {
+          runtime_.obs().metrics.histogram("cri.gc.pause_ns")),
+      session_setup_ns_h_(
+          runtime_.obs().metrics.histogram("serve.session_setup_ns")) {
   // The watermarks govern the shared heap, so they are daemon-wide
   // state armed once here (tests construct daemons directly; the
   // curare_serve tool only fills ServeOptions).
   ctx_.heap.gc().set_heap_limits(opts_.heap_soft, opts_.heap_hard);
+  if (opts_.restructure_cache_cap > 0) {
+    restructure_cache_ = std::make_unique<image::RestructureCache>(
+        ctx_.heap.gc(), opts_.restructure_cache_cap);
+    restructure_cache_->attach_metrics(runtime_.obs().metrics);
+  }
+}
+
+bool ServeDaemon::prepare_image(std::string* err) {
+  try {
+    if (!opts_.image_load.empty()) {
+      image_ = std::make_unique<image::SessionImage>(
+          image::SessionImage::load_file(opts_.image_load));
+    } else if (!opts_.prelude_src.empty() && opts_.use_image) {
+      // Build the template session once, capture it, and let it die —
+      // the blob holds no pointers into the template's heap objects,
+      // which is exactly the relocatability the clone path relies on.
+      Curare templ(ctx_, runtime_);
+      templ.set_engine(opts_.engine);
+      templ.load_program(opts_.prelude_src);
+      templ.interp().take_output();  // prelude prints stay out of replies
+      image_ = std::make_unique<image::SessionImage>(
+          image::SessionImage::capture(templ));
+    }
+    if (image_ && !opts_.image_save.empty())
+      image_->save_file(opts_.image_save);
+  } catch (const std::exception& e) {
+    if (err != nullptr)
+      *err = std::string("warm-start image: ") + e.what();
+    image_.reset();
+    return false;
+  }
+  return true;
 }
 
 ServeDaemon::~ServeDaemon() { shutdown(); }
 
 bool ServeDaemon::start(std::string* err) {
+  // Warm-start preparation before the socket exists: a daemon pointed
+  // at a corrupt or version-skewed image must fail loudly at startup,
+  // not serve sessions from half a heap.
+  if (!prepare_image(err)) return false;
+
   auto fail = [&](const std::string& what) {
     if (err != nullptr) *err = what + ": " + std::strerror(errno);
     if (listen_fd_ >= 0) {
@@ -141,8 +180,17 @@ void ServeDaemon::serve_connection(Conn* conn, std::uint64_t session_id) {
   try {
     // The Session's Interp registers with the GC and its destructor
     // drains the shared future pool, so scope it tighter than the
-    // connection bookkeeping below.
-    Session session(session_id, ctx_, runtime_, opts_.engine);
+    // connection bookkeeping below. Construction is the cold-start
+    // cost — image clone or prelude evaluation — charged to the
+    // session-setup histogram the warm-start work is judged by.
+    const auto t_setup0 = std::chrono::steady_clock::now();
+    Session session(session_id, ctx_, runtime_, opts_.engine,
+                    image_.get(), restructure_cache_.get(),
+                    image_ ? nullptr : &opts_.prelude_src);
+    session_setup_ns_h_.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t_setup0)
+            .count()));
     session.set_result_cap(opts_.result_cap);
     std::string payload;
     // A reply's own socket write can't be part of the breakdown it

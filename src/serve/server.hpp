@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "curare/curare.hpp"
+#include "image/image.hpp"
+#include "image/restructure_cache.hpp"
 #include "lisp/interp.hpp"
 #include "runtime/runtime.hpp"
 #include "sexpr/ctx.hpp"
@@ -77,6 +79,24 @@ struct ServeOptions {
   std::size_t result_cap = 0;
   /// Backoff hint stamped on overloaded responses.
   std::int64_t retry_after_ms = 100;
+
+  // Warm start (DESIGN.md §15).
+  /// Program text evaluated into every session before its first
+  /// request (the tool reads --prelude <file> into this).
+  std::string prelude_src;
+  /// Load the session image from this blob instead of evaluating the
+  /// prelude; start() fails on a corrupt/version-skewed file.
+  /// Takes precedence over prelude_src.
+  std::string image_load;
+  /// After building (or loading) an image, persist it here so a daemon
+  /// restart skips prelude evaluation entirely.
+  std::string image_save;
+  /// When false, sessions re-evaluate prelude_src each time instead of
+  /// cloning from a captured image — the cold-start baseline the bench
+  /// A/Bs against. Ignored when image_load is set.
+  bool use_image = true;
+  /// Restructure-cache entry bound; 0 disables the cache.
+  std::size_t restructure_cache_cap = 1024;
 };
 
 class ServeDaemon {
@@ -106,6 +126,13 @@ class ServeDaemon {
     return conn_ids_.load(std::memory_order_relaxed);
   }
 
+  /// The warm-start image sessions clone from (null when cold-starting
+  /// via prelude evaluation or when no prelude was given).
+  const image::SessionImage* session_image() const { return image_.get(); }
+  image::RestructureCache* restructure_cache() {
+    return restructure_cache_.get();
+  }
+
  private:
   struct Conn {
     int fd = -1;
@@ -119,6 +146,9 @@ class ServeDaemon {
   void accept_loop();
   void serve_connection(Conn* conn, std::uint64_t session_id);
   void reap_finished();
+  /// Build/load/save the session image per the warm-start options.
+  /// Returns false (with *err filled) on a bad image file.
+  bool prepare_image(std::string* err);
 
   sexpr::Ctx& ctx_;
   ServeOptions opts_;
@@ -154,6 +184,13 @@ class ServeDaemon {
   /// pause time overlapping the request (pauses stop every session's
   /// world, whoever triggered the collection).
   obs::Histogram& gc_pause_h_;
+  /// Session construction wall time — image clone or prelude
+  /// evaluation plus interpreter setup. This is the cold-start number
+  /// the warm-start work advertises (DESIGN.md §15).
+  obs::Histogram& session_setup_ns_h_;
+
+  std::unique_ptr<image::SessionImage> image_;
+  std::unique_ptr<image::RestructureCache> restructure_cache_;
 };
 
 }  // namespace curare::serve

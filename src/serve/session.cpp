@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "gc/gc.hpp"
 #include "obs/recorder.hpp"
@@ -40,9 +41,23 @@ const char* exhausted_counter_name(runtime::ResourceExhausted::Kind k) {
 }  // namespace
 
 Session::Session(std::uint64_t id, sexpr::Ctx& ctx,
-                 runtime::Runtime& shared_runtime, EngineKind engine)
-    : id_(id), driver_(ctx, shared_runtime) {
+                 runtime::Runtime& shared_runtime, EngineKind engine,
+                 const image::SessionImage* image,
+                 image::RestructureCache* cache,
+                 const std::string* prelude_src)
+    : id_(id), driver_(ctx, shared_runtime), cache_(cache) {
   driver_.set_engine(engine);
+  if (image != nullptr) {
+    const image::CloneStats stats = image->clone_into(driver_);
+    shared_runtime.obs().metrics.histogram("image.clone_ns")
+        .observe(stats.ns);
+  } else if (prelude_src != nullptr && !prelude_src->empty()) {
+    // Cold start: evaluate the prelude into this session. The image
+    // path above replaces exactly this work with a bulk clone.
+    gc::MutatorScope ms(ctx.heap.gc());
+    driver_.load_program(*prelude_src);
+    driver_.interp().take_output();  // prelude output isn't a reply
+  }
 }
 
 Session::~Session() {
@@ -163,17 +178,61 @@ Response Session::do_restructure(const Request& req) {
   std::string text;
   std::string output = driver_.interp().take_output();
   std::size_t transformed = 0;
-  for (const std::string& name : names) {
+  // Cache keys for every name are derived up front, against the
+  // program state as loaded — transform() rewrites the defun table as
+  // the sweep progresses, and a key minted mid-sweep would never match
+  // the one another session computes before its own sweep starts.
+  std::vector<std::string> keys(names.size());
+  if (cache_ != nullptr) {
+    gc::MutatorScope ms(gc);
+    const image::RestructureCache::KeySeed seed =
+        image::RestructureCache::seed_state(driver_);
+    for (std::size_t i = 0; i < names.size(); ++i)
+      keys[i] = image::RestructureCache::make_key(seed, names[i],
+                                                  !req.name.empty());
+  }
+
+  for (std::size_t ni = 0; ni < names.size(); ++ni) {
+    const std::string& name = names[ni];
+    // Consult the process-wide content-addressed cache first: the key
+    // covers everything the answer depends on (restructure_cache.hpp),
+    // so a hit replays the exact reply chunk and installs the cached
+    // transformed defuns into *this* session — byte- and
+    // behavior-identical to the miss path, minus the analysis cost.
+    const std::string& key = keys[ni];
+    if (cache_ != nullptr) {
+      gc::MutatorScope ms(gc);
+      image::RestructureEntry entry;
+      if (cache_->lookup(key, &entry)) {
+        if (req.name.empty() && !entry.is_recursive) continue;
+        text += entry.text;
+        for (sexpr::Value f : entry.forms) driver_.interp().eval_top(f);
+        if (entry.ok) ++transformed;
+        continue;
+      }
+    }
     AnalysisReport report = driver_.analyze(name);
-    if (req.name.empty() && !report.info.is_recursive()) continue;
+    if (req.name.empty() && !report.info.is_recursive()) {
+      // Cache the negative verdict too: a sweep's skip decision is as
+      // expensive to re-derive as a transform refusal.
+      if (cache_ != nullptr)
+        cache_->insert(key, image::RestructureEntry{});
+      continue;
+    }
     TransformPlan plan = driver_.transform(name);
-    text += ";; " + name + "\n";
-    text += plan.to_string();
+    std::string chunk = ";; " + name + "\n";
+    chunk += plan.to_string();
     {
       gc::MutatorScope ms(gc);
       for (sexpr::Value f : plan.forms)
-        text += sexpr::write_str(f) + "\n";
+        chunk += sexpr::write_str(f) + "\n";
+      if (cache_ != nullptr) {
+        cache_->insert(key, image::RestructureEntry{
+                                chunk, plan.ok,
+                                report.info.is_recursive(), plan.forms});
+      }
     }
+    text += chunk;
     if (plan.ok) ++transformed;
   }
   if (names.empty()) {
@@ -192,7 +251,41 @@ Response Session::do_restructure(const Request& req) {
 }
 
 Response Session::do_stats() {
-  return Response::ok(obs::full_report(driver_.runtime().obs()));
+  std::string report = obs::full_report(driver_.runtime().obs());
+  // Warm-start health: restructure-cache effectiveness and what a
+  // session costs to open (image clone vs. prelude evaluation).
+  obs::Metrics& m = driver_.runtime().obs().metrics;
+  report += "\n== warm start ==\n";
+  if (cache_ != nullptr) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f", cache_->hit_ratio());
+    report += "restructure cache: " + std::to_string(cache_->size()) +
+              " entries, " + std::to_string(cache_->hits()) + " hits, " +
+              std::to_string(cache_->misses()) + " misses, " +
+              std::to_string(cache_->evictions()) +
+              " evictions, hit ratio " + ratio + "\n";
+  } else {
+    report += "restructure cache: disabled\n";
+  }
+  obs::Histogram& clone_h = m.histogram("image.clone_ns");
+  if (clone_h.count() > 0) {
+    report += "image clone: " + std::to_string(clone_h.count()) +
+              " clone(s), mean " +
+              std::to_string(
+                  static_cast<std::uint64_t>(clone_h.mean() / 1000.0)) +
+              " us\n";
+  } else {
+    report += "image clone: none (cold-start sessions)\n";
+  }
+  obs::Histogram& setup_h = m.histogram("serve.session_setup_ns");
+  if (setup_h.count() > 0) {
+    report += "session setup: " + std::to_string(setup_h.count()) +
+              " session(s), mean " +
+              std::to_string(
+                  static_cast<std::uint64_t>(setup_h.mean() / 1000.0)) +
+              " us\n";
+  }
+  return Response::ok(std::move(report));
 }
 
 Response Session::do_metrics(const Request& req) {

@@ -21,6 +21,8 @@
 #include <string>
 
 #include "curare/curare.hpp"
+#include "image/image.hpp"
+#include "image/restructure_cache.hpp"
 #include "runtime/resilience.hpp"
 #include "serve/protocol.hpp"
 
@@ -28,9 +30,17 @@ namespace curare::serve {
 
 class Session {
  public:
+  /// Warm start: when `image` is non-null the session clones its world
+  /// from it (bulk allocation + fixup) instead of evaluating; else when
+  /// `prelude_src` is non-empty it is evaluated here — the cold-start
+  /// baseline. `cache` (may be null) is the process-wide restructure
+  /// cache consulted by the restructure op.
   Session(std::uint64_t id, sexpr::Ctx& ctx,
           runtime::Runtime& shared_runtime,
-          EngineKind engine = EngineKind::kVm);
+          EngineKind engine = EngineKind::kVm,
+          const image::SessionImage* image = nullptr,
+          image::RestructureCache* cache = nullptr,
+          const std::string* prelude_src = nullptr);
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -58,6 +68,7 @@ class Session {
 
   const std::uint64_t id_;
   Curare driver_;
+  image::RestructureCache* cache_ = nullptr;
   std::size_t result_cap_ = 0;
   std::uint64_t requests_ = 0;
   /// rid of the previous request on this session — the default lane

@@ -42,7 +42,11 @@ kept here so they are enforced forever, not just the week they landed):
   * heap_quota (bench_heap): per-request memory accounting must keep
     >= 0.97x of the unmetered single-thread allocation throughput;
   * gc_pause (bench_heap): the p95 stop-the-world pause stays under an
-    absolute 50 ms ceiling.
+    absolute 50 ms ceiling;
+  * serve_coldstart (bench_serve): cloning sessions from the captured
+    image must be >= 5x faster than re-evaluating the prelude;
+  * serve_restructure_cache (bench_serve): a cache hit must answer
+    with >= 10x less restructure time than the miss that seeded it.
 
 The committed baseline is judged strictly; the fresh run gets a noise
 allowance (--gate-slack, default 0.85) so a loaded CI host does not
@@ -111,6 +115,10 @@ VOLATILE = frozenset(
         "reclaimed_bytes",
         # bench_serve runaway mix
         "clipped",
+        # bench_serve warm start (lower-is-better costs: compared by
+        # the coldstart/cache ratio gates, not the drift check)
+        "mean_setup_ms",
+        "mean_restructure_ms",
     )
 )
 
@@ -121,6 +129,8 @@ WALL_FLATNESS = 5.0  # max wall_ms(S) / wall_ms(S_min) across the sweep
 EVAL_ACCEPTANCE_RATIO = 5.0  # vm vs tree on the arith_loop workload
 QUOTA_OVERHEAD_FLOOR = 0.97  # heap_quota: accounting costs <= 3%
 PAUSE_P95_CEILING_NS = 50e6  # gc_pause: p95 stop-the-world <= 50 ms
+COLDSTART_RATIO = 5.0  # image clone vs per-session prelude re-eval
+CACHE_HIT_RATIO = 10.0  # restructure_ns: miss vs cache hit
 
 
 def check_gates(recs, label, slack):
@@ -240,6 +250,53 @@ def check_gates(recs, label, slack):
                 f"{label}: gc_pause p95 {p95 / 1e6:.2f} ms above the "
                 f"{PAUSE_P95_CEILING_NS / slack / 1e6:.0f} ms ceiling"
             )
+    # serve_coldstart: cloning the session image must beat re-evaluating
+    # the prelude by the warm-start acceptance ratio (DESIGN.md §15).
+    cold_modes = {
+        r.get("mode"): float(r.get("mean_setup_ms", 0.0))
+        for r in recs
+        if r.get("bench") == "serve_coldstart"
+    }
+    if cold_modes:
+        prelude_ms = cold_modes.get("prelude")
+        image_ms = cold_modes.get("image")
+        if prelude_ms is None or image_ms is None:
+            problems.append(
+                f"{label}: serve_coldstart records present but a mode "
+                "row (prelude/image) is missing"
+            )
+        elif image_ms > 0:
+            bar = COLDSTART_RATIO * slack
+            if prelude_ms < image_ms * bar:
+                problems.append(
+                    f"{label}: serve_coldstart image speedup "
+                    f"{prelude_ms / image_ms:.2f}x below {bar:.2f}x "
+                    f"(prelude {prelude_ms:.3f} ms, image "
+                    f"{image_ms:.3f} ms)"
+                )
+    # serve_restructure_cache: a hit must answer with at least the
+    # acceptance ratio less restructure_ns than the miss that seeded it.
+    cache_modes = {
+        r.get("mode"): float(r.get("mean_restructure_ms", 0.0))
+        for r in recs
+        if r.get("bench") == "serve_restructure_cache"
+    }
+    if cache_modes:
+        miss_ms = cache_modes.get("miss")
+        hit_ms = cache_modes.get("hit")
+        if miss_ms is None or hit_ms is None:
+            problems.append(
+                f"{label}: serve_restructure_cache records present but "
+                "a mode row (miss/hit) is missing"
+            )
+        elif hit_ms > 0:
+            bar = CACHE_HIT_RATIO * slack
+            if miss_ms < hit_ms * bar:
+                problems.append(
+                    f"{label}: restructure cache hit speedup "
+                    f"{miss_ms / hit_ms:.2f}x below {bar:.2f}x "
+                    f"(miss {miss_ms:.3f} ms, hit {hit_ms:.3f} ms)"
+                )
     # server_scaling: collapse guards.
     scaling = [r for r in recs if r.get("bench") == "server_scaling"]
     if scaling:

@@ -45,6 +45,20 @@
 //   --chaos SEED:RATE[:KINDS[:SITES]]  arm the fault injector; SITES
 //                       is a comma list of injection sites
 //                       (e.g. queue.push,task.run — default all)
+//   --prelude PATH      program file evaluated into every session
+//                       before its first request; by default it is
+//                       evaluated once into a template session and
+//                       captured as an image that new connections
+//                       clone (warm start, DESIGN.md §15)
+//   --image-save PATH   persist the captured session image so a
+//                       restarted daemon can skip prelude evaluation
+//   --image-load PATH   start from a saved image instead of
+//                       evaluating --prelude (corrupt or
+//                       version-skewed files fail startup loudly)
+//   --no-image          re-evaluate the prelude per session instead
+//                       of cloning (the cold-start baseline)
+//   --restructure-cache N  restructure-cache entry bound
+//                       (default 1024; 0 disables the cache)
 //   --stats             print the metrics report on exit
 //   --trace             enable the tracer: requests' spans stay in the
 //                       per-thread rings and the `trace` op can export
@@ -60,6 +74,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <unistd.h>
@@ -185,6 +200,9 @@ int usage() {
       "                    [--mem-quota N] [--heap-soft N] [--heap-hard N]\n"
       "                    [--fuel N] [--result-cap N] [--retry-after-ms N]\n"
       "                    [--chaos SEED:RATE[:KINDS[:SITES]]]\n"
+      "                    [--prelude PATH] [--image-save PATH]\n"
+      "                    [--image-load PATH] [--no-image]\n"
+      "                    [--restructure-cache N]\n"
       "                    [--stats] [--trace] [--profile[=N]]\n");
   return curare::serve::kExitUsage;
 }
@@ -302,6 +320,23 @@ int main(int argc, char** argv) {
       opts.result_cap = static_cast<std::size_t>(cap);
     } else if (take_value(i, arg, "--retry-after-ms", v)) {
       parse_nonneg("--retry-after-ms", v, opts.retry_after_ms);
+    } else if (take_value(i, arg, "--prelude", v)) {
+      std::ifstream in(v, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "--prelude: cannot read '%s'\n", v.c_str());
+        return curare::serve::kExitUsage;
+      }
+      opts.prelude_src.assign(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+    } else if (take_value(i, arg, "--image-save", v)) {
+      opts.image_save = v;
+    } else if (take_value(i, arg, "--image-load", v)) {
+      opts.image_load = v;
+    } else if (arg == "--no-image") {
+      opts.use_image = false;
+    } else if (take_value(i, arg, "--restructure-cache", v)) {
+      parse_nonneg("--restructure-cache", v, n);
+      opts.restructure_cache_cap = static_cast<std::size_t>(n);
     } else if (take_value(i, arg, "--chaos", v)) {
       if (!parse_chaos(v, chaos_seed, chaos_rate, chaos_kinds,
                        chaos_sites)) {
